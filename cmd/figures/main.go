@@ -1,0 +1,128 @@
+// Command figures regenerates every figure and table of the paper from
+// the simulated substrates and prints them as text tables.
+//
+// Usage:
+//
+//	figures [-seed N] [-only fig15] [-quick]
+//
+// -only selects a single artifact by name (fig02…fig18, table1,
+// headline); -quick skips the two campaign-scale artifacts (table1,
+// headline), which take a few seconds each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skeletonhunter/internal/figures"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed for all generators")
+	only := flag.String("only", "", "render a single artifact (fig02…fig18, table1, headline)")
+	quick := flag.Bool("quick", false, "skip campaign-scale artifacts (table1, headline)")
+	flag.Parse()
+
+	type artifact struct {
+		name string
+		slow bool
+		gen  func() (string, error)
+	}
+	artifacts := []artifact{
+		{"fig02", false, func() (string, error) { return figures.Fig02ContainerLifetime(*seed, 20000).Render(), nil }},
+		{"fig03", false, func() (string, error) { return figures.Fig03LifetimeByConfig(*seed, 20000).Render(), nil }},
+		{"fig04", false, func() (string, error) { return figures.Fig04StartupTime(*seed).Render(), nil }},
+		{"fig05", false, func() (string, error) { return figures.Fig05RNICsPerContainer(*seed, 50000).Render(), nil }},
+		{"fig06", false, func() (string, error) { return figures.Fig06FlowTableItems(*seed, 100000).Render(), nil }},
+		{"fig07", false, func() (string, error) { return figures.Fig07BurstCycles(*seed).Render(), nil }},
+		{"fig09", false, func() (string, error) {
+			f, err := figures.Fig09TrafficMatrix()
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"fig12", false, func() (string, error) { return figures.Fig12JobSizes(*seed, 50000).Render(), nil }},
+		{"fig13", false, func() (string, error) { return figures.Fig13STFTFeatures(*seed).Render(), nil }},
+		{"fig14", false, func() (string, error) {
+			f, err := figures.Fig14LongTermTracking(*seed)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"fig15", false, func() (string, error) {
+			f, err := figures.Fig15ProbingScale()
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"fig16", false, func() (string, error) {
+			f, err := figures.Fig16ProbingTime()
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"fig17", false, func() (string, error) { return figures.Fig17AgentOverhead().Render(), nil }},
+		{"fig18", false, func() (string, error) {
+			f, err := figures.Fig18CaseStudy(*seed)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"table1", true, func() (string, error) {
+			t, err := figures.Table1IssueCatalog(*seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		}},
+		{"headline", true, func() (string, error) {
+			h, err := figures.HeadlineAccuracy(*seed, 1)
+			if err != nil {
+				return "", err
+			}
+			return h.Render(), nil
+		}},
+		{"failurerate", true, func() (string, error) {
+			f, err := figures.FailureRateReduction(*seed)
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		}},
+		{"impact", true, func() (string, error) {
+			im, err := figures.TrainingImpact(*seed, 5)
+			if err != nil {
+				return "", err
+			}
+			return im.Render(), nil
+		}},
+	}
+
+	matched := false
+	for _, a := range artifacts {
+		if *only != "" && !strings.EqualFold(a.name, *only) {
+			continue
+		}
+		if *only == "" && *quick && a.slow {
+			continue
+		}
+		matched = true
+		out, err := a.gen()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "figures: unknown artifact %q\n", *only)
+		os.Exit(2)
+	}
+}

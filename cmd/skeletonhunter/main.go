@@ -1,0 +1,152 @@
+// Command skeletonhunter runs a complete simulated deployment end to
+// end: it brings up a containerized training cloud, submits a training
+// task, lets the monitoring system reach steady state, infers the
+// task's traffic skeleton, injects a chosen failure, and reports
+// detection, localization and accuracy.
+//
+// Usage:
+//
+//	skeletonhunter [-hosts 8] [-tp 8 -pp 2 -dp 2] [-issue 9] [-seed 1] [-v]
+//
+// -issue selects the Table-1 issue number (1–19) to inject; 0 runs a
+// healthy deployment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/hunter"
+	"skeletonhunter/internal/metrics"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/topology"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 8, "physical hosts in the fabric")
+	tp := flag.Int("tp", 8, "tensor-parallel degree")
+	pp := flag.Int("pp", 2, "pipeline-parallel degree")
+	dp := flag.Int("dp", 2, "data-parallel degree")
+	ep := flag.Int("ep", 1, "expert-parallel degree (MoE)")
+	issue := flag.Int("issue", 9, "Table-1 issue number to inject (0 = none)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	verbose := flag.Bool("v", false, "print every alarm")
+	flag.Parse()
+
+	if err := run(*hosts, parallelism.Config{TP: *tp, PP: *pp, DP: *dp, EP: *ep}, faults.IssueType(*issue), *seed, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "skeletonhunter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(hosts int, par parallelism.Config, issue faults.IssueType, seed int64, verbose bool) error {
+	d, err := hunter.New(hunter.Options{
+		Seed:  seed,
+		Hosts: hosts,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fabric: %d hosts × %d rails, %d physical links\n",
+		d.Fabric.Hosts(), d.Fabric.Spec.Rails, d.Fabric.NumLinks())
+
+	task, err := d.SubmitTask(cluster.TaskSpec{Par: par})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (%s, %d containers)\n", task.ID, par, task.NumContainers())
+
+	// Wait out the phased startup, then report.
+	d.Run(15 * time.Minute)
+	fmt.Printf("t=%-8v %d/%d containers running, %d sidecar agents\n",
+		d.Engine.Now().Round(time.Second), len(task.RunningContainers()), task.NumContainers(), d.Agents())
+
+	st, _ := d.Controller.StatsOf(task.ID)
+	fmt.Printf("ping list: full-mesh %d → basic %d targets (phase %s)\n",
+		st.FullMeshTargets, st.BasicTargets, st.Phase)
+
+	inf, err := d.InferSkeleton(task, 900*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("skeleton inferred: DP=%d TP×PP=%d (TP=%d, PP=%d), %d probe pairs\n",
+		inf.DP, inf.TPxPP, inf.TP, inf.PP, len(inf.Pairs))
+	st, _ = d.Controller.StatsOf(task.ID)
+	fmt.Printf("ping list: now %d targets (%.1f%% below full mesh)\n",
+		st.CurrentTargets, 100*(1-float64(st.CurrentTargets)/float64(st.FullMeshTargets)))
+
+	d.Run(5 * time.Minute) // detector history on the skeleton list
+
+	if issue == 0 {
+		d.Run(5 * time.Minute)
+		fmt.Printf("healthy run: %d alarms\n", len(d.Analyzer.Alarms()))
+		return nil
+	}
+
+	info, ok := faults.InfoOf(issue)
+	if !ok {
+		return fmt.Errorf("unknown issue %d", issue)
+	}
+	tgt, err := pickTarget(d, task, issue)
+	if err != nil {
+		return err
+	}
+	in, err := d.Injector.Inject(issue, tgt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("t=%-8v injected issue %d (%s; expected symptom %s) → %v\n",
+		d.Engine.Now().Round(time.Second), info.Type, info.Name, info.Symptom, in.Components)
+
+	d.Run(3 * time.Minute)
+	if issue != faults.ContainerCrash {
+		d.Injector.Clear(in)
+	}
+	d.Run(time.Minute)
+
+	rep := metrics.Score(d.Injector.Injections(), d.Analyzer.Alarms(), time.Minute)
+	fmt.Printf("alarms: %d; detected: %v; localized correctly: %v; detection latency: %s\n",
+		rep.Alarms, rep.DetectedInjections == 1, rep.LocalizedInjections == 1,
+		rep.MeanDetectionLatency.Round(time.Second))
+	for i, al := range d.Analyzer.Alarms() {
+		if !verbose && i > 2 {
+			fmt.Printf("  … %d more alarms\n", len(d.Analyzer.Alarms())-i)
+			break
+		}
+		fmt.Printf("  alarm t=%v: %d anomalies\n", al.At.Round(time.Second), len(al.Anomalies))
+		for _, v := range al.Verdicts {
+			fmt.Printf("    [%s] %s → %v\n", v.Layer, v.Detail, v.Components)
+		}
+	}
+	fmt.Printf("blacklist: %d components\n", len(d.Analyzer.Blacklist()))
+	return nil
+}
+
+func pickTarget(d *hunter.Deployment, task *cluster.Task, issue faults.IssueType) (faults.Target, error) {
+	a := task.Containers[0].Addrs[0]
+	nic := topology.NIC{Host: a.Host, Rail: a.Rail}
+	pod := d.Fabric.PodOf(a.Host)
+	link := topology.MakeLinkID(nic.ID(), d.Fabric.ToR(pod, a.Rail))
+	switch issue {
+	case faults.CRCError, faults.SwitchPortDown, faults.SwitchPortFlapping:
+		return faults.Target{Link: link}, nil
+	case faults.SwitchOffline, faults.CongestionControlIssue:
+		return faults.Target{Switch: d.Fabric.ToR(pod, a.Rail)}, nil
+	case faults.RNICHardwareFailure, faults.RNICFirmwareNotResponding,
+		faults.RNICPortDown, faults.RNICPortFlapping, faults.BondError:
+		return faults.Target{Host: a.Host, Rail: a.Rail}, nil
+	case faults.OffloadingFailure:
+		return faults.Target{Host: a.Host, Rail: a.Rail, VNI: a.VNI}, nil
+	case faults.GIDChange, faults.PCIeNICError, faults.GPUDirectRDMAError,
+		faults.NotUsingRDMA, faults.RepetitiveFlowOffloading,
+		faults.SuboptimalFlowOffloading, faults.HugepageMisconfiguration:
+		return faults.Target{Host: a.Host}, nil
+	case faults.ContainerCrash:
+		return faults.Target{Container: task.Containers[len(task.Containers)-1].ID}, nil
+	}
+	return faults.Target{}, fmt.Errorf("no target rule for issue %d", issue)
+}

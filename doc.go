@@ -1,0 +1,13 @@
+// Package skeletonhunter is a from-scratch Go reproduction of
+// SkeletonHunter (SIGCOMM 2025): a container-network monitoring and
+// diagnosis system for large-model training that infers traffic
+// skeletons from RNIC burst cycles to prune its probing matrix, detects
+// connectivity anomalies with short-term LOF and long-term lognormal
+// Z-testing, and localizes failures by optimistic overlay–underlay
+// disentanglement.
+//
+// The public surface lives under internal/ packages wired together by
+// internal/hunter (the deployment façade); cmd/skeletonhunter runs a
+// full simulated deployment and cmd/figures regenerates every figure
+// and table of the paper. See README.md, DESIGN.md and EXPERIMENTS.md.
+package skeletonhunter

@@ -1,0 +1,34 @@
+// Monitoring campaign: a reduced-scale version of the paper's
+// six-month production evaluation (§7.1). Injects rounds of failures
+// spanning the full issue catalog into a live deployment, scores
+// precision/recall/localization accuracy against ground truth, and
+// verifies that orthogonal intra-host incidents stay out of scope.
+//
+//	go run ./examples/monitoring_campaign [-rounds 2] [-seed 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"skeletonhunter/internal/figures"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 1, "passes over the 19-issue catalog")
+	seed := flag.Int64("seed", 3, "simulation seed")
+	flag.Parse()
+
+	fmt.Printf("running %d round(s) over the issue catalog…\n", *rounds)
+	start := time.Now()
+	h, err := figures.HeadlineAccuracy(*seed, *rounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(h.Render())
+	fmt.Printf("\npaper reference: precision 98.2%%, recall 99.3%%, localization accuracy 95.7%%, mean detection 8 s\n")
+	fmt.Printf("(absolute latency differs: our analysis rounds are 30 s; the paper batches at finer granularity)\n")
+	fmt.Printf("wall-clock: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,75 @@
+// Skeleton inference: recover a tenant's (private) parallelism
+// configuration from nothing but per-RNIC throughput time series, for
+// a dense task and an MoE task, and show the resulting ping-list
+// reduction.
+//
+//	go run ./examples/skeleton_inference
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/skeleton"
+	"skeletonhunter/internal/traffic"
+)
+
+func infer(name string, par parallelism.Config) {
+	fmt.Printf("== %s task (true config %s, hidden from the inferrer)\n", name, par)
+
+	// What the CSP can see: RNIC throughput counters at 1 s granularity
+	// (here synthesized by the traffic model) plus container placement.
+	gen := &traffic.Generator{Par: par, GPUsPerContainer: 8, Seed: 99}
+	var eps []skeleton.EndpointSeries
+	for _, ep := range gen.Endpoints() {
+		eps = append(eps, skeleton.EndpointSeries{
+			Container: ep.Container,
+			Rail:      ep.Rail,
+			Host:      ep.Container, // one container per host in production
+			Series:    gen.Series(ep, 900*time.Second),
+		})
+	}
+
+	inf, err := skeleton.Infer(eps, skeleton.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   inferred: DP=%d, TP×PP=%d (TP=%d, PP=%d)\n", inf.DP, inf.TPxPP, inf.TP, inf.PP)
+
+	// Coverage versus the ground-truth traffic pairs.
+	truth, err := parallelism.SkeletonPairs(par, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	index := map[parallelism.Endpoint]int{}
+	for i, ep := range eps {
+		index[parallelism.Endpoint{Container: ep.Container, Rail: ep.Rail}] = i
+	}
+	inferred := map[skeleton.Pair]bool{}
+	for _, p := range inf.Pairs {
+		inferred[p] = true
+	}
+	covered := 0
+	for pr := range truth {
+		a, b := index[pr[0]], index[pr[1]]
+		if b < a {
+			a, b = b, a
+		}
+		if inferred[skeleton.Pair{A: a, B: b}] {
+			covered++
+		}
+	}
+	containers := par.NumGPUs() / 8
+	basic := containers * (containers - 1) * 8 // rail-pruned full mesh
+	fmt.Printf("   skeleton: %d probe pairs, covering %d/%d true traffic pairs\n",
+		len(inf.Pairs), covered, len(truth))
+	fmt.Printf("   ping list: %d basic targets → %d skeleton targets (%.1f%% further reduction)\n\n",
+		basic, 2*len(inf.Pairs), 100*(1-float64(2*len(inf.Pairs))/float64(basic)))
+}
+
+func main() {
+	infer("dense", parallelism.Config{TP: 8, PP: 4, DP: 4})
+	infer("MoE", parallelism.Config{TP: 8, PP: 2, DP: 4, EP: 2})
+}

@@ -1,0 +1,3 @@
+module skeletonhunter
+
+go 1.22

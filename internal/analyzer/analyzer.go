@@ -1,0 +1,267 @@
+// Package analyzer is SkeletonHunter's analyzer (§4, §6): it ingests
+// the probe stream from every overlay agent, aggregates it into the
+// detector's temporal windows, batches the anomalies of each analysis
+// round, runs localization over them, and raises alarms — feeding the
+// blacklist that keeps new training tasks off problematic components
+// (§8, "Handling Detected Failures").
+//
+// In production this role is played by a log service plus a streaming
+// compute job; here it is an in-process pipeline over the simulation
+// engine, which preserves the logic (windows, batching, feedback) while
+// dropping the hosting substrate.
+package analyzer
+
+import (
+	"time"
+
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/detect"
+	"skeletonhunter/internal/localize"
+	"skeletonhunter/internal/netsim"
+	"skeletonhunter/internal/overlay"
+	"skeletonhunter/internal/probe"
+	"skeletonhunter/internal/sim"
+	"skeletonhunter/internal/topology"
+)
+
+// Alarm is one analysis-round outcome: the anomalies observed and the
+// localization verdicts explaining them.
+type Alarm struct {
+	At        time.Duration
+	Anomalies []detect.Anomaly
+	Verdicts  []localize.Verdict
+}
+
+// Components returns the union of component IDs named by the alarm's
+// verdicts.
+func (a Alarm) Components() []component.ID {
+	var out []component.ID
+	seen := map[component.ID]bool{}
+	for _, v := range a.Verdicts {
+		for _, c := range v.Components {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Config tunes the analyzer.
+type Config struct {
+	// Detect is the anomaly-detection configuration.
+	Detect detect.Config
+	// AnalysisInterval is how often batched anomalies are localized
+	// (default 30 s, aligned with the short-term window).
+	AnalysisInterval time.Duration
+	// PathMemory bounds how many recent probe paths are kept per pair
+	// (default 8) and HealthyMemory how many healthy observations are
+	// kept globally (default 512).
+	PathMemory    int
+	HealthyMemory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.AnalysisInterval == 0 {
+		c.AnalysisInterval = 30 * time.Second
+	}
+	if c.PathMemory == 0 {
+		c.PathMemory = 8
+	}
+	if c.HealthyMemory == 0 {
+		c.HealthyMemory = 512
+	}
+	return c
+}
+
+type pairInfo struct {
+	src, dst overlay.Addr
+	paths    [][]topology.LinkID
+}
+
+// Analyzer is the streaming pipeline.
+type Analyzer struct {
+	Engine    *sim.Engine
+	Localizer *localize.Localizer
+	// OnAlarm receives every alarm as it is raised.
+	OnAlarm func(Alarm)
+
+	cfg      Config
+	detector *detect.Detector
+	pending  []detect.Anomaly
+	pairs    map[detect.PairKey]*pairInfo
+	healthy  []localize.Observation
+	hIdx     int
+
+	alarms    []Alarm
+	blacklist map[component.ID]time.Duration // component → first blacklisted
+	ticker    *sim.Ticker
+}
+
+// New builds an analyzer over an engine and a localizer.
+func New(eng *sim.Engine, net *netsim.Net, loc *localize.Localizer, cfg Config) *Analyzer {
+	an := &Analyzer{
+		Engine:    eng,
+		Localizer: loc,
+		cfg:       cfg.withDefaults(),
+		pairs:     make(map[detect.PairKey]*pairInfo),
+		blacklist: make(map[component.ID]time.Duration),
+	}
+	an.detector = detect.New(an.cfg.Detect, func(a detect.Anomaly) {
+		an.pending = append(an.pending, a)
+	})
+	_ = net
+	return an
+}
+
+// Start begins periodic analysis rounds.
+func (an *Analyzer) Start() {
+	an.ticker = an.Engine.Every(an.Engine.Now()+an.cfg.AnalysisInterval, an.cfg.AnalysisInterval,
+		"analysis-round", func(now time.Duration) { an.Round(now) })
+}
+
+// Stop halts analysis rounds.
+func (an *Analyzer) Stop() {
+	if an.ticker != nil {
+		an.ticker.Stop()
+	}
+}
+
+// Ingest consumes one probe record (the agents' Sink).
+func (an *Analyzer) Ingest(rec probe.Record) {
+	key := detect.PairKey{
+		Task:         string(rec.Task),
+		SrcContainer: rec.SrcContainer, SrcRail: rec.SrcRail,
+		DstContainer: rec.DstContainer, DstRail: rec.DstRail,
+	}
+	pi, ok := an.pairs[key]
+	if !ok {
+		pi = &pairInfo{src: rec.Src, dst: rec.Dst}
+		an.pairs[key] = pi
+	}
+	if len(rec.Path) > 0 {
+		pi.paths = append(pi.paths, rec.Path)
+		if len(pi.paths) > an.cfg.PathMemory {
+			pi.paths = pi.paths[1:]
+		}
+	}
+	if !rec.Lost && len(rec.Path) > 0 && rec.RTT < 50*time.Microsecond {
+		ob := localize.Observation{Path: rec.Path}
+		if len(an.healthy) < an.cfg.HealthyMemory {
+			an.healthy = append(an.healthy, ob)
+		} else {
+			an.healthy[an.hIdx%an.cfg.HealthyMemory] = ob
+			an.hIdx++
+		}
+	}
+	an.detector.Observe(key, rec.At, rec.RTT, rec.Lost)
+}
+
+// Round runs one analysis round: localize pending anomalies, raise an
+// alarm, update the blacklist.
+func (an *Analyzer) Round(now time.Duration) {
+	if len(an.pending) == 0 {
+		return
+	}
+	anomalies := an.pending
+	an.pending = nil
+
+	// Build localization evidence: one entry per anomalous pair with
+	// its recent paths; anomaly types map onto localization symptoms.
+	byPair := map[detect.PairKey]localize.Symptom{}
+	for _, a := range anomalies {
+		sym := localize.SymptomLatency
+		switch a.Type {
+		case detect.Unconnectivity:
+			sym = localize.SymptomUnreachable
+		case detect.PacketLoss:
+			sym = localize.SymptomLoss
+		}
+		// Unreachability dominates loss, loss dominates latency.
+		if cur, ok := byPair[a.Key]; !ok || sym < cur {
+			byPair[a.Key] = sym
+		}
+	}
+	var evidence []localize.Evidence
+	for key, sym := range byPair {
+		pi, ok := an.pairs[key]
+		if !ok {
+			continue
+		}
+		evidence = append(evidence, localize.Evidence{
+			Src: pi.src, Dst: pi.dst, Symptom: sym, Paths: pi.paths,
+		})
+	}
+	verdicts := an.Localizer.Localize(evidence, an.healthy)
+
+	alarm := Alarm{At: now, Anomalies: anomalies, Verdicts: verdicts}
+	an.alarms = append(an.alarms, alarm)
+	for _, c := range alarm.Components() {
+		if _, ok := an.blacklist[c]; !ok {
+			an.blacklist[c] = now
+		}
+	}
+	if an.OnAlarm != nil {
+		an.OnAlarm(alarm)
+	}
+}
+
+// Flush forces open detector windows closed and runs a final round.
+func (an *Analyzer) Flush(now time.Duration) {
+	an.detector.Flush(now)
+	an.Round(now)
+}
+
+// Alarms returns every alarm raised so far.
+func (an *Analyzer) Alarms() []Alarm { return an.alarms }
+
+// Blacklisted reports whether a component is on the blacklist and when
+// it got there.
+func (an *Analyzer) Blacklisted(c component.ID) (time.Duration, bool) {
+	at, ok := an.blacklist[c]
+	return at, ok
+}
+
+// Blacklist returns a copy of the blacklist.
+func (an *Analyzer) Blacklist() map[component.ID]time.Duration {
+	out := make(map[component.ID]time.Duration, len(an.blacklist))
+	for k, v := range an.blacklist {
+		out[k] = v
+	}
+	return out
+}
+
+// ForgetTask drops detector state for a finished task's pairs.
+func (an *Analyzer) ForgetTask(task string) {
+	an.detector.ForgetTask(task)
+	for k := range an.pairs {
+		if k.Task == task {
+			delete(an.pairs, k)
+		}
+	}
+}
+
+// ForgetContainer drops state for every pair touching a gracefully
+// stopped container. Without this, the half-open windows of pairs that
+// probed the container in its final second would read as loss.
+func (an *Analyzer) ForgetContainer(task string, containerIdx int) {
+	match := func(k detect.PairKey) bool {
+		return k.Task == task && (k.SrcContainer == containerIdx || k.DstContainer == containerIdx)
+	}
+	an.detector.ForgetMatching(match)
+	for k := range an.pairs {
+		if match(k) {
+			delete(an.pairs, k)
+		}
+	}
+	// Pending anomalies from those pairs are withdrawn too: the control
+	// plane told us the container left on purpose.
+	var kept []detect.Anomaly
+	for _, a := range an.pending {
+		if !match(a.Key) {
+			kept = append(kept, a)
+		}
+	}
+	an.pending = kept
+}

@@ -1,0 +1,179 @@
+package analyzer
+
+import (
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/localize"
+	"skeletonhunter/internal/netsim"
+	"skeletonhunter/internal/overlay"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/probe"
+	"skeletonhunter/internal/sim"
+	"skeletonhunter/internal/topology"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	net  *netsim.Net
+	cp   *cluster.ControlPlane
+	an   *Analyzer
+	task *cluster.Task
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.NewEngine(19)
+	fab, err := topology.New(topology.Spec{Pods: 1, HostsPerPod: 8, Rails: 8, AggPerPod: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovl := overlay.NewNetwork()
+	cp := cluster.NewControlPlane(eng, fab, ovl, cluster.DefaultLagModel())
+	net := netsim.New(eng, fab, ovl)
+	loc := localize.NewWithControlPlane(net, cp)
+	an := New(eng, net, loc, Config{})
+	an.Start()
+	task, err := cp.Submit(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(10 * time.Minute)
+	return &rig{eng: eng, net: net, cp: cp, an: an, task: task}
+}
+
+// record builds a probe record for one pair probe at the current time.
+func (r *rig) record(srcC, dstC, rail int, entropy uint64) probe.Record {
+	src := r.task.Containers[srcC].Addrs[rail]
+	dst := r.task.Containers[dstC].Addrs[rail]
+	res := r.net.Probe(src, dst, entropy)
+	return probe.Record{
+		Task:         r.task.ID,
+		SrcContainer: srcC, SrcRail: rail, DstContainer: dstC, DstRail: rail,
+		Src: src, Dst: dst,
+		At: r.eng.Now(), RTT: res.RTT, Lost: res.Lost, Path: res.UnderlayPath,
+	}
+}
+
+// pump feeds probe records for all same-rail pairs for dur.
+func (r *rig) pump(dur time.Duration) {
+	end := r.eng.Now() + dur
+	var entropy uint64
+	for r.eng.Now() < end {
+		for s := 0; s < 4; s++ {
+			for d := 0; d < 4; d++ {
+				if s == d {
+					continue
+				}
+				for rail := 0; rail < 2; rail++ { // two rails suffice
+					entropy++
+					r.an.Ingest(r.record(s, d, rail, entropy))
+				}
+			}
+		}
+		r.eng.RunUntil(r.eng.Now() + time.Second)
+	}
+}
+
+func TestAnalyzerHealthySilent(t *testing.T) {
+	r := newRig(t)
+	r.pump(8 * time.Minute)
+	if len(r.an.Alarms()) != 0 {
+		t.Fatalf("healthy pump raised %d alarms", len(r.an.Alarms()))
+	}
+}
+
+func TestAnalyzerDetectsAndLocalizes(t *testing.T) {
+	r := newRig(t)
+	r.pump(6 * time.Minute)
+	// Down the rail-0 NIC of container 1's host.
+	addr := r.task.Containers[1].Addrs[0]
+	nic := topology.NIC{Host: addr.Host, Rail: 0}
+	r.net.SetNodeCondition(nic.ID(), &netsim.Condition{Down: true})
+	r.pump(2 * time.Minute)
+
+	alarms := r.an.Alarms()
+	if len(alarms) == 0 {
+		t.Fatal("no alarms")
+	}
+	found := false
+	for _, al := range alarms {
+		for _, c := range al.Components() {
+			if string(c) == "rnic/h1/r0" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no alarm names rnic/h1/r0: %+v", alarms)
+	}
+	if _, ok := r.an.Blacklisted("rnic/h1/r0"); !ok {
+		t.Fatal("component not blacklisted")
+	}
+}
+
+func TestAnalyzerRoundWithNoPending(t *testing.T) {
+	r := newRig(t)
+	before := len(r.an.Alarms())
+	r.an.Round(r.eng.Now())
+	if len(r.an.Alarms()) != before {
+		t.Fatal("empty round produced an alarm")
+	}
+}
+
+func TestAnalyzerFlushForcesEvaluation(t *testing.T) {
+	r := newRig(t)
+	r.pump(6 * time.Minute)
+	addr := r.task.Containers[1].Addrs[0]
+	r.net.SetNodeCondition(topology.NIC{Host: addr.Host, Rail: 0}.ID(), &netsim.Condition{Down: true})
+	// Feed less than a full window, then flush.
+	r.pump(10 * time.Second)
+	r.an.Flush(r.eng.Now())
+	if len(r.an.Alarms()) == 0 {
+		t.Fatal("flush did not surface the partial-window anomaly")
+	}
+}
+
+func TestAnalyzerForgetContainerWithdrawsPending(t *testing.T) {
+	r := newRig(t)
+	r.pump(6 * time.Minute)
+	// Kill container 1's endpoints abruptly (simulates a stop mid-window).
+	for _, a := range r.task.Containers[1].Addrs {
+		r.net.Overlay.DetachEndpoint(a)
+	}
+	r.pump(40 * time.Second) // loss accumulates into pending anomalies
+	// Control plane vouches: graceful departure.
+	r.an.ForgetContainer(string(r.task.ID), 1)
+	r.an.Round(r.eng.Now())
+	for _, al := range r.an.Alarms() {
+		for _, an := range al.Anomalies {
+			if an.Key.SrcContainer == 1 || an.Key.DstContainer == 1 {
+				t.Fatalf("forgotten container still alarmed: %+v", an.Key)
+			}
+		}
+	}
+}
+
+func TestAnalyzerForgetTask(t *testing.T) {
+	r := newRig(t)
+	r.pump(2 * time.Minute)
+	r.an.ForgetTask(string(r.task.ID))
+	// Detaching everything then pumping nothing: no state should leak.
+	r.an.Flush(r.eng.Now())
+	if len(r.an.Alarms()) != 0 {
+		t.Fatal("forgotten task produced alarms")
+	}
+}
+
+func TestAlarmComponentsDeduplicated(t *testing.T) {
+	al := Alarm{Verdicts: []localize.Verdict{
+		{Components: []component.ID{"rnic/h1/r0", "vswitch/h1"}},
+		{Components: []component.ID{"rnic/h1/r0"}},
+	}}
+	got := al.Components()
+	if len(got) != 2 {
+		t.Fatalf("components = %v, want deduplicated pair", got)
+	}
+}

@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/topology"
+)
+
+func TestTargetCounts(t *testing.T) {
+	// 256 containers × 8 rails = 2048 endpoints.
+	full := FullMeshTargets(256, 8)
+	basic := BasicTargets(256, 8)
+	if full != 2048*2040 {
+		t.Fatalf("full mesh = %d", full)
+	}
+	if basic != 256*255*8 {
+		t.Fatalf("basic = %d", basic)
+	}
+	if full/basic != 8 {
+		t.Fatalf("rail pruning factor = %d, want 8", full/basic)
+	}
+	if got := PerEndpointFullMesh(256, 8); got != 2040 {
+		t.Fatalf("per-endpoint full = %d", got)
+	}
+	if got := PerEndpointBasic(256); got != 255 {
+		t.Fatalf("per-endpoint basic = %d", got)
+	}
+}
+
+func TestDeTectorCoversAllLinks(t *testing.T) {
+	fab, err := topology.New(topology.Spec{Pods: 2, HostsPerPod: 4, Rails: 2, AggPerPod: 2, Spines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nics []topology.NIC
+	for h := 0; h < fab.Hosts(); h++ {
+		for r := 0; r < 2; r++ {
+			nics = append(nics, topology.NIC{Host: h, Rail: r})
+		}
+	}
+	probes := DeTectorProbes(fab, nics, 1)
+	if len(probes) == 0 {
+		t.Fatal("no probes")
+	}
+	// Every link must be covered by at least one probe's path.
+	covered := map[topology.LinkID]bool{}
+	for _, p := range probes {
+		paths, err := fab.Paths(p.Src, p.Dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range paths[p.PathIndex].Links {
+			covered[l] = true
+		}
+	}
+	fab.EachLink(func(id topology.LinkID, _ [2]topology.NodeID) {
+		if !covered[id] {
+			t.Fatalf("link %s not covered", id)
+		}
+	})
+	// And the probe count is far below the full mesh.
+	full := len(nics) * (len(nics) - 2)
+	if len(probes) >= full/2 {
+		t.Fatalf("deTector probes = %d, not below full mesh %d", len(probes), full)
+	}
+}
+
+func TestDeTectorRedundancyGrowsProbes(t *testing.T) {
+	fab, _ := topology.New(topology.Spec{Pods: 1, HostsPerPod: 4, Rails: 2, AggPerPod: 2})
+	var nics []topology.NIC
+	for h := 0; h < 4; h++ {
+		for r := 0; r < 2; r++ {
+			nics = append(nics, topology.NIC{Host: h, Rail: r})
+		}
+	}
+	p1 := DeTectorProbes(fab, nics, 1)
+	p3 := DeTectorProbes(fab, nics, 3)
+	if len(p3) <= len(p1) {
+		t.Fatalf("redundancy 3 (%d probes) not above redundancy 1 (%d)", len(p3), len(p1))
+	}
+}
+
+func TestCostModelShape(t *testing.T) {
+	m := CostModel{}
+	// Fig. 16's anchor points: 2047 targets ≈ 2034 s; 255 ≈ 240 s (the
+	// paper reports 240.54); 25 ≈ 25 s.
+	full := m.RoundTime(2047)
+	basic := m.RoundTime(255)
+	skel := m.RoundTime(25)
+	if full < 1900*time.Second || full > 2150*time.Second {
+		t.Fatalf("full-mesh round = %v", full)
+	}
+	if basic < 220*time.Second || basic > 270*time.Second {
+		t.Fatalf("basic round = %v", basic)
+	}
+	if skel < 20*time.Second || skel > 30*time.Second {
+		t.Fatalf("skeleton round = %v", skel)
+	}
+	if !(full > basic && basic > skel) {
+		t.Fatal("cost ordering violated")
+	}
+}

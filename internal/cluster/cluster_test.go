@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/overlay"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/sim"
+	"skeletonhunter/internal/topology"
+)
+
+// fixedLag makes lifecycle timing deterministic for tests.
+func fixedLag(create, start, stop time.Duration) LagModel {
+	return LagModel{
+		CreateLag:    func(r *rand.Rand, i int) time.Duration { return create * time.Duration(i+1) },
+		StartupDelay: func(r *rand.Rand) time.Duration { return start },
+		StopLag:      func(r *rand.Rand) time.Duration { return stop },
+	}
+}
+
+func newTestPlane(t *testing.T, hosts int) (*sim.Engine, *ControlPlane) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	fab, err := topology.New(topology.Spec{Pods: 1, HostsPerPod: hosts, Rails: 8, AggPerPod: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := NewControlPlane(eng, fab, overlay.NewNetwork(), fixedLag(time.Second, 5*time.Second, time.Second))
+	return eng, cp
+}
+
+func TestSubmitAllocatesDistinctHosts(t *testing.T) {
+	_, cp := newTestPlane(t, 8)
+	task, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.NumContainers() != 4 || len(task.Containers) != 4 {
+		t.Fatalf("containers = %d, want 4", len(task.Containers))
+	}
+	seen := map[int]bool{}
+	for _, c := range task.Containers {
+		if seen[c.Host] {
+			t.Fatalf("host %d allocated twice", c.Host)
+		}
+		seen[c.Host] = true
+	}
+	if cp.FreeHosts() != 4 {
+		t.Fatalf("free hosts = %d, want 4", cp.FreeHosts())
+	}
+}
+
+func TestSubmitCapacityError(t *testing.T) {
+	_, cp := newTestPlane(t, 2)
+	if _, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}}); err != ErrNoCapacity {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestSubmitSpecValidation(t *testing.T) {
+	_, cp := newTestPlane(t, 8)
+	if _, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 0, PP: 1, DP: 1}}); err == nil {
+		t.Fatal("invalid parallelism accepted")
+	}
+	// 12 GPUs per container exceeds the 8 rails of a host.
+	if _, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 12, PP: 1, DP: 1}, GPUsPerContainer: 12}); err == nil {
+		t.Fatal("oversized container accepted")
+	}
+	// GPUs not divisible by container size.
+	if _, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 3, PP: 1, DP: 1}, GPUsPerContainer: 2}); err == nil {
+		t.Fatal("indivisible placement accepted")
+	}
+}
+
+func TestPhasedLifecycleAndRegistration(t *testing.T) {
+	eng, cp := newTestPlane(t, 4)
+	var running []ContainerID
+	var runningAt []time.Duration
+	cp.Subscribe(func(ev Event) {
+		if ev.Kind == EvContainerRunning {
+			running = append(running, ev.Container.ID)
+			runningAt = append(runningAt, ev.At)
+		}
+	})
+	task, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the engine runs nothing is Running and nothing is attached.
+	if got := len(task.RunningContainers()); got != 0 {
+		t.Fatalf("running before engine = %d", got)
+	}
+	if _, ok := cp.Overlay.Endpoint(task.VNI, task.Containers[0].Addrs[0].IP); ok {
+		t.Fatal("endpoint attached before Running")
+	}
+
+	eng.RunUntil(time.Minute)
+	if len(running) != 2 {
+		t.Fatalf("running events = %d, want 2", len(running))
+	}
+	// Phased: container 1 created at 2s (vs 1s) → runs later.
+	if !(runningAt[1] > runningAt[0]) {
+		t.Fatalf("startup not phased: %v", runningAt)
+	}
+	// Both endpoints registered in the overlay with flow rules fanned out.
+	for _, c := range task.Containers {
+		for _, a := range c.Addrs {
+			if _, ok := cp.Overlay.Endpoint(task.VNI, a.IP); !ok {
+				t.Fatalf("endpoint %s not attached", a.IP)
+			}
+		}
+	}
+	if got := cp.Overlay.VSwitch(task.Containers[0].Host).Len(); got != 16 {
+		t.Fatalf("flow entries on host = %d, want 16 (8 local + 8 remote)", got)
+	}
+}
+
+func TestFinishTaskDetachesAndFrees(t *testing.T) {
+	eng, cp := newTestPlane(t, 4)
+	task, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	eng.RunUntil(time.Minute)
+	cp.FinishTask(task.ID)
+	eng.RunUntil(2 * time.Minute)
+	for _, c := range task.Containers {
+		if c.State != Terminated {
+			t.Fatalf("container %s state = %v", c.ID, c.State)
+		}
+		for _, a := range c.Addrs {
+			if _, ok := cp.Overlay.Endpoint(task.VNI, a.IP); ok {
+				t.Fatalf("endpoint %s still attached after finish", a.IP)
+			}
+		}
+	}
+	if cp.FreeHosts() != 4 {
+		t.Fatalf("hosts not freed: %d", cp.FreeHosts())
+	}
+	// Idempotent.
+	cp.FinishTask(task.ID)
+	cp.FinishTask("task-unknown")
+}
+
+func TestLifetimeAutoFinish(t *testing.T) {
+	eng, cp := newTestPlane(t, 4)
+	task, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 1, DP: 1}, Lifetime: 10 * time.Minute})
+	eng.RunUntil(time.Hour)
+	if !task.Finished {
+		t.Fatal("task did not auto-finish")
+	}
+	if task.FinishedAt != 10*time.Minute {
+		t.Fatalf("finished at %v, want 10m", task.FinishedAt)
+	}
+}
+
+func TestCrashContainer(t *testing.T) {
+	eng, cp := newTestPlane(t, 4)
+	task, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	eng.RunUntil(time.Minute)
+	victim := task.Containers[0]
+	if !cp.CrashContainer(victim.ID) {
+		t.Fatal("crash reported failure")
+	}
+	if victim.State != Terminated {
+		t.Fatalf("state = %v after crash", victim.State)
+	}
+	if _, ok := cp.Overlay.Endpoint(task.VNI, victim.Addrs[0].IP); ok {
+		t.Fatal("crashed container's endpoint still attached")
+	}
+	// Peer stays attached.
+	if _, ok := cp.Overlay.Endpoint(task.VNI, task.Containers[1].Addrs[0].IP); !ok {
+		t.Fatal("peer endpoint lost")
+	}
+	if cp.CrashContainer(victim.ID) {
+		t.Fatal("double crash reported success")
+	}
+	if cp.CrashContainer("nope") {
+		t.Fatal("crash of unknown container reported success")
+	}
+}
+
+func TestVNIsDistinctAcrossTasks(t *testing.T) {
+	_, cp := newTestPlane(t, 4)
+	t1, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 1, DP: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 1, DP: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.VNI == t2.VNI {
+		t.Fatal("tasks share a VNI")
+	}
+	if got := len(cp.Tasks()); got != 2 {
+		t.Fatalf("tasks = %d, want 2", got)
+	}
+}
+
+func TestEventOrder(t *testing.T) {
+	eng, cp := newTestPlane(t, 4)
+	var kinds []EventKind
+	cp.Subscribe(func(ev Event) { kinds = append(kinds, ev.Kind) })
+	task, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 1, DP: 1}, Lifetime: time.Minute})
+	eng.RunUntil(time.Hour)
+	want := []EventKind{EvTaskSubmitted, EvContainerCreated, EvContainerRunning, EvTaskFinished, EvContainerStopped}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events = %v, want %v", kinds, want)
+		}
+	}
+	_ = task
+}
+
+func TestHostReuseAfterFinish(t *testing.T) {
+	eng, cp := newTestPlane(t, 2)
+	t1, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	eng.RunUntil(time.Minute)
+	cp.FinishTask(t1.ID)
+	eng.RunUntil(2 * time.Minute)
+	if _, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}}); err != nil {
+		t.Fatalf("resubmit after finish failed: %v", err)
+	}
+}
+
+func TestHostSchedulableVeto(t *testing.T) {
+	_, cp := newTestPlane(t, 4)
+	blocked := map[int]bool{0: true, 2: true}
+	cp.HostSchedulable = func(h int) bool { return !blocked[h] }
+	task, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range task.Containers {
+		if blocked[c.Host] {
+			t.Fatalf("container scheduled on blacklisted host %d", c.Host)
+		}
+	}
+	// With too many hosts blocked, submission fails on capacity.
+	blocked[1] = true
+	if _, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}}); err != ErrNoCapacity {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestMigrateContainer(t *testing.T) {
+	eng, cp := newTestPlane(t, 4)
+	task, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	eng.RunUntil(time.Minute)
+	var migrated []ContainerID
+	cp.Subscribe(func(ev Event) {
+		if ev.Kind == EvContainerMigrated {
+			migrated = append(migrated, ev.Container.ID)
+		}
+	})
+	victim := task.Containers[0]
+	oldHost := victim.Host
+	moved, err := cp.MigrateContainer(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Host == oldHost {
+		t.Fatal("migration kept the same host")
+	}
+	// Endpoints re-homed and reattached.
+	for _, a := range moved.Addrs {
+		if a.Host != moved.Host {
+			t.Fatalf("address %v not re-homed", a)
+		}
+		got, ok := cp.Overlay.Endpoint(task.VNI, a.IP)
+		if !ok || got.Host != moved.Host {
+			t.Fatalf("endpoint %s not reattached on new host", a.IP)
+		}
+	}
+	// Peer's flow rule toward the migrated endpoint points at the new
+	// host.
+	peer := task.Containers[1]
+	e, ok := cp.Overlay.VSwitch(peer.Host).Lookup(overlay.FlowKey{VNI: task.VNI, Dst: moved.Addrs[0].IP})
+	if !ok || e.Action.RemoteHost != moved.Host {
+		t.Fatalf("peer flow rule not updated: %+v", e)
+	}
+	// Old host freed, new host busy.
+	if cp.hostBusy[oldHost] {
+		t.Fatal("old host still busy")
+	}
+	if len(migrated) != 1 || migrated[0] != victim.ID {
+		t.Fatalf("migration events = %v", migrated)
+	}
+}
+
+func TestMigrateContainerErrors(t *testing.T) {
+	eng, cp := newTestPlane(t, 2)
+	task, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	eng.RunUntil(time.Minute)
+	if _, err := cp.MigrateContainer("nope"); err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	// Both hosts busy: nowhere to go.
+	if _, err := cp.MigrateContainer(task.Containers[0].ID); err != ErrNoMigration {
+		t.Fatalf("err = %v, want ErrNoMigration", err)
+	}
+	cp.CrashContainer(task.Containers[1].ID)
+	if _, err := cp.MigrateContainer(task.Containers[1].ID); err != ErrNotRunning {
+		t.Fatalf("err = %v, want ErrNotRunning", err)
+	}
+}
+
+func TestMigrateRespectsBlacklist(t *testing.T) {
+	eng, cp := newTestPlane(t, 4)
+	task, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 1, DP: 1}})
+	eng.RunUntil(time.Minute)
+	// Only host 3 is schedulable as a destination.
+	cp.HostSchedulable = func(h int) bool { return h == 3 }
+	moved, err := cp.MigrateContainer(task.Containers[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Host != 3 {
+		t.Fatalf("migrated to %d, want 3", moved.Host)
+	}
+}
+
+func TestDefaultLagModelShapes(t *testing.T) {
+	lm := DefaultLagModel()
+	r := rand.New(rand.NewSource(9))
+	// Waves: container 0 and container 40 are a wave apart (≥ 20s even
+	// net of jitter randomness, statistically).
+	var c0, c40 time.Duration
+	for i := 0; i < 50; i++ {
+		c0 += lm.CreateLag(r, 0)
+		c40 += lm.CreateLag(r, 40)
+	}
+	if c40 <= c0 {
+		t.Fatal("later containers not created in later waves")
+	}
+	if d := lm.StartupDelay(r); d < 15*time.Second {
+		t.Fatalf("startup delay %v below floor", d)
+	}
+	if d := lm.StopLag(r); d < 0 {
+		t.Fatalf("negative stop lag %v", d)
+	}
+}

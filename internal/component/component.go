@@ -1,0 +1,90 @@
+// Package component defines the shared component-identity namespace
+// used across fault injection, localization and scoring. A localization
+// verdict is "correct" when the component ID it names matches the one
+// the injector perturbed (§7.1's localization accuracy), so both sides
+// must agree on naming.
+package component
+
+import (
+	"fmt"
+
+	"skeletonhunter/internal/topology"
+)
+
+// Class is the paper's component taxonomy (Table 1): the six classes
+// network issues were localized to in production.
+type Class int
+
+const (
+	ClassInterHostNetwork Class = iota // physical links and switches
+	ClassRNIC
+	ClassHostBoard
+	ClassVirtualSwitch
+	ClassContainerRuntime
+	ClassConfiguration
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassInterHostNetwork:
+		return "inter-host-network"
+	case ClassRNIC:
+		return "rnic"
+	case ClassHostBoard:
+		return "host-board"
+	case ClassVirtualSwitch:
+		return "virtual-switch"
+	case ClassContainerRuntime:
+		return "container-runtime"
+	case ClassConfiguration:
+		return "configuration"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ID names one concrete component instance.
+type ID string
+
+// Link names a physical link.
+func Link(l topology.LinkID) ID { return ID("link/" + string(l)) }
+
+// Switch names a physical switch.
+func Switch(n topology.NodeID) ID { return ID("switch/" + string(n)) }
+
+// RNIC names a host's rail RNIC.
+func RNIC(host, rail int) ID { return ID(fmt.Sprintf("rnic/h%d/r%d", host, rail)) }
+
+// HostBoard names a host's board (PCIe/NVLink complex).
+func HostBoard(host int) ID { return ID(fmt.Sprintf("hostboard/h%d", host)) }
+
+// VSwitch names a host's virtual switch.
+func VSwitch(host int) ID { return ID(fmt.Sprintf("vswitch/h%d", host)) }
+
+// Container names a container runtime instance.
+func Container(id string) ID { return ID("container/" + id) }
+
+// HostConfig names a host-level configuration item.
+func HostConfig(host int) ID { return ID(fmt.Sprintf("config/h%d", host)) }
+
+// SwitchConfig names a switch-level configuration item.
+func SwitchConfig(n topology.NodeID) ID { return ID("config/" + string(n)) }
+
+// HostOf extracts the host index a component is bound to, for
+// host-scoped components (RNICs, host boards, vswitches, host
+// configs). It reports false for fabric-scoped components (links,
+// switches) and containers.
+func HostOf(id ID) (int, bool) {
+	var h, r int
+	for _, pattern := range []string{"rnic/h%d/r%d"} {
+		if n, err := fmt.Sscanf(string(id), pattern, &h, &r); err == nil && n == 2 {
+			return h, true
+		}
+	}
+	for _, pattern := range []string{"hostboard/h%d", "vswitch/h%d", "config/h%d"} {
+		if n, err := fmt.Sscanf(string(id), pattern, &h); err == nil && n == 1 {
+			return h, true
+		}
+	}
+	return 0, false
+}

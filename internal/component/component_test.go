@@ -1,0 +1,84 @@
+package component
+
+import (
+	"testing"
+
+	"skeletonhunter/internal/topology"
+)
+
+func TestIDConstructors(t *testing.T) {
+	nic := topology.NIC{Host: 3, Rail: 5}
+	link := topology.MakeLinkID(nic.ID(), topology.NodeID("tor/p0/r5"))
+	cases := []struct {
+		got  ID
+		want string
+	}{
+		{Link(link), "link/nic/h3/r5--tor/p0/r5"},
+		{Switch("tor/p0/r5"), "switch/tor/p0/r5"},
+		{RNIC(3, 5), "rnic/h3/r5"},
+		{HostBoard(3), "hostboard/h3"},
+		{VSwitch(3), "vswitch/h3"},
+		{Container("task-1/c2"), "container/task-1/c2"},
+		{HostConfig(3), "config/h3"},
+		{SwitchConfig("tor/p0/r5"), "config/tor/p0/r5"},
+	}
+	for _, c := range cases {
+		if string(c.got) != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestIDsDistinct(t *testing.T) {
+	// The namespace must keep component classes from colliding even on
+	// the same underlying host/switch.
+	ids := []ID{
+		RNIC(1, 0), HostBoard(1), VSwitch(1), HostConfig(1), Container("h1"),
+	}
+	seen := map[ID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("collision at %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	cases := []struct {
+		id   ID
+		host int
+		ok   bool
+	}{
+		{RNIC(3, 5), 3, true},
+		{HostBoard(7), 7, true},
+		{VSwitch(12), 12, true},
+		{HostConfig(0), 0, true},
+		{Switch("tor/p0/r5"), 0, false},
+		{SwitchConfig("tor/p0/r5"), 0, false},
+		{Link("nic/h3/r5--tor/p0/r5"), 0, false},
+		{Container("task-1/c2"), 0, false},
+	}
+	for _, c := range cases {
+		host, ok := HostOf(c.id)
+		if ok != c.ok || (ok && host != c.host) {
+			t.Errorf("HostOf(%q) = %d, %v; want %d, %v", c.id, host, ok, c.host, c.ok)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		ClassInterHostNetwork: "inter-host-network",
+		ClassRNIC:             "rnic",
+		ClassHostBoard:        "host-board",
+		ClassVirtualSwitch:    "virtual-switch",
+		ClassContainerRuntime: "container-runtime",
+		ClassConfiguration:    "configuration",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package controller implements SkeletonHunter's controller (§4, §5.1):
+// it owns the ping-list lifecycle for every training task across the
+// three phases of the paper —
+//
+//   - preload: on task submission (before any container exists) the
+//     basic ping list is derived by rail pruning the full mesh, an 8×
+//     reduction on 8-rail hosts;
+//   - initialization: the list is activated incrementally in the data
+//     plane — a source container only probes destinations whose agents
+//     have registered as Running, avoiding the startup false positives
+//     of Challenge 1;
+//   - runtime: once the analyzer has inferred the traffic skeleton from
+//     burst cycles, the list is pruned to skeleton pairs (>95 % total
+//     reduction versus the full mesh).
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/skeleton"
+)
+
+// Target is one probing assignment for an agent: probe the endpoint
+// (DstContainer, DstRail) from (SrcContainer, SrcRail). Indices are
+// task-local.
+type Target struct {
+	SrcContainer, SrcRail int
+	DstContainer, DstRail int
+}
+
+// Phase reports which ping-list generation a task is on.
+type Phase int
+
+const (
+	PhasePreload Phase = iota
+	PhaseSkeleton
+)
+
+func (p Phase) String() string {
+	if p == PhaseSkeleton {
+		return "skeleton"
+	}
+	return "preload"
+}
+
+type taskState struct {
+	task       *cluster.Task
+	registered map[int]bool // container index → agent registered
+	basic      []Target     // rail-pruned full mesh
+	skeleton   []Target     // skeleton-pruned list (when inferred)
+	phase      Phase
+}
+
+// Controller generates and serves ping lists. It is safe for
+// concurrent use (agents in a real deployment query it over the
+// network; in-process tests may query from multiple goroutines).
+type Controller struct {
+	mu    sync.Mutex
+	tasks map[cluster.TaskID]*taskState
+}
+
+// New returns an empty controller. Wire it to a control plane with
+// Attach, or drive AddTask/Register manually.
+func New() *Controller {
+	return &Controller{tasks: make(map[cluster.TaskID]*taskState)}
+}
+
+// Attach subscribes the controller to a control plane's lifecycle
+// events: task submission preloads the basic list, container Running
+// registers the agent, container stop deregisters it.
+func (c *Controller) Attach(cp *cluster.ControlPlane) {
+	cp.Subscribe(func(ev cluster.Event) {
+		switch ev.Kind {
+		case cluster.EvTaskSubmitted:
+			c.AddTask(ev.Task)
+		case cluster.EvContainerRunning:
+			c.Register(ev.Task.ID, ev.Container.Index)
+		case cluster.EvContainerStopped:
+			c.Deregister(ev.Task.ID, ev.Container.Index)
+		case cluster.EvTaskFinished:
+			// Containers deregister individually as they stop; the task
+			// entry is dropped once every container is gone.
+		}
+	})
+}
+
+// AddTask preloads the basic ping list for a task. Adding a task twice
+// is a no-op.
+func (c *Controller) AddTask(task *cluster.Task) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tasks[task.ID]; ok {
+		return
+	}
+	c.tasks[task.ID] = &taskState{
+		task:       task,
+		registered: make(map[int]bool),
+		basic:      BasicPingList(task.NumContainers(), task.GPUsPerContainer),
+	}
+}
+
+// RemoveTask drops all state for a task.
+func (c *Controller) RemoveTask(id cluster.TaskID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tasks, id)
+}
+
+// Register marks a container's agent as up (the data-plane activation
+// step of §5.1): its endpoints become valid probe destinations.
+func (c *Controller) Register(id cluster.TaskID, containerIdx int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ts, ok := c.tasks[id]; ok {
+		ts.registered[containerIdx] = true
+	}
+}
+
+// Deregister removes a stopped container from the active set.
+func (c *Controller) Deregister(id cluster.TaskID, containerIdx int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ts, ok := c.tasks[id]; ok {
+		delete(ts.registered, containerIdx)
+		if len(ts.registered) == 0 && ts.task.Finished {
+			delete(c.tasks, id)
+		}
+	}
+}
+
+// Registered reports whether a container's agent is registered.
+func (c *Controller) Registered(id cluster.TaskID, containerIdx int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts, ok := c.tasks[id]
+	return ok && ts.registered[containerIdx]
+}
+
+// PingList returns the active probe targets for one source container:
+// the current-phase list filtered to registered destinations (and a
+// registered source — an unregistered agent probes nothing).
+func (c *Controller) PingList(id cluster.TaskID, srcContainer int) []Target {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts, ok := c.tasks[id]
+	if !ok || !ts.registered[srcContainer] {
+		return nil
+	}
+	list := ts.basic
+	if ts.phase == PhaseSkeleton {
+		list = ts.skeleton
+	}
+	var out []Target
+	for _, t := range list {
+		if t.SrcContainer == srcContainer && ts.registered[t.DstContainer] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ApplySkeleton installs an inferred skeleton for a task, switching it
+// to the runtime phase. The endpoint index convention of the inference
+// must be container*GPUsPerContainer + rail (the order produced by
+// EndpointOrder).
+func (c *Controller) ApplySkeleton(id cluster.TaskID, inf skeleton.Inference) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts, ok := c.tasks[id]
+	if !ok {
+		return fmt.Errorf("controller: unknown task %s", id)
+	}
+	gpc := ts.task.GPUsPerContainer
+	var targets []Target
+	for _, p := range inf.Pairs {
+		sc, sr := p.A/gpc, p.A%gpc
+		dc, dr := p.B/gpc, p.B%gpc
+		if sc == dc {
+			continue
+		}
+		// Probe both directions: connectivity failures can be
+		// asymmetric (e.g. one-sided offload staleness).
+		targets = append(targets,
+			Target{SrcContainer: sc, SrcRail: sr, DstContainer: dc, DstRail: dr},
+			Target{SrcContainer: dc, SrcRail: dr, DstContainer: sc, DstRail: sr},
+		)
+	}
+	sortTargets(targets)
+	ts.skeleton = targets
+	ts.phase = PhaseSkeleton
+	return nil
+}
+
+// RevertToBasic drops a task back to its basic (rail-pruned) ping
+// list — the safe fallback when skeleton fidelity validation finds the
+// inferred skeleton no longer matches the task's traffic (§7.3).
+func (c *Controller) RevertToBasic(id cluster.TaskID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ts, ok := c.tasks[id]; ok {
+		ts.phase = PhasePreload
+		ts.skeleton = nil
+	}
+}
+
+// PhaseOf returns a task's current ping-list phase.
+func (c *Controller) PhaseOf(id cluster.TaskID) Phase {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ts, ok := c.tasks[id]; ok {
+		return ts.phase
+	}
+	return PhasePreload
+}
+
+// Stats summarizes probing scale for one task (Fig. 15's metric).
+type Stats struct {
+	FullMeshTargets int // all-rails all-pairs (the Pingmesh strawman)
+	BasicTargets    int // rail-pruned (preload phase)
+	CurrentTargets  int // what agents would actually probe now
+	Phase           Phase
+}
+
+// StatsOf computes the probing-scale statistics for a task.
+func (c *Controller) StatsOf(id cluster.TaskID) (Stats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts, ok := c.tasks[id]
+	if !ok {
+		return Stats{}, false
+	}
+	nc := ts.task.NumContainers()
+	gpc := ts.task.GPUsPerContainer
+	nEp := nc * gpc
+	s := Stats{
+		FullMeshTargets: nEp * (nEp - gpc), // every endpoint → every other container's endpoints
+		BasicTargets:    len(ts.basic),
+		Phase:           ts.phase,
+	}
+	if ts.phase == PhaseSkeleton {
+		s.CurrentTargets = len(ts.skeleton)
+	} else {
+		s.CurrentTargets = len(ts.basic)
+	}
+	return s, true
+}
+
+// BasicPingList builds the preload-phase list: the same-rail full mesh.
+// Every ordered (src, dst) container pair probes on each rail — the 8×
+// (rails×) reduction over the full mesh, derivable before any container
+// starts because it depends only on the task shape.
+func BasicPingList(nContainers, rails int) []Target {
+	var out []Target
+	for s := 0; s < nContainers; s++ {
+		for d := 0; d < nContainers; d++ {
+			if s == d {
+				continue
+			}
+			for r := 0; r < rails; r++ {
+				out = append(out, Target{SrcContainer: s, SrcRail: r, DstContainer: d, DstRail: r})
+			}
+		}
+	}
+	return out
+}
+
+// EndpointOrder enumerates a task's endpoints in the index order the
+// skeleton-inference input must use with ApplySkeleton.
+func EndpointOrder(task *cluster.Task) []*cluster.Container {
+	out := make([]*cluster.Container, 0, task.NumContainers())
+	out = append(out, task.Containers...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+func sortTargets(ts []Target) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.SrcContainer != b.SrcContainer {
+			return a.SrcContainer < b.SrcContainer
+		}
+		if a.SrcRail != b.SrcRail {
+			return a.SrcRail < b.SrcRail
+		}
+		if a.DstContainer != b.DstContainer {
+			return a.DstContainer < b.DstContainer
+		}
+		return a.DstRail < b.DstRail
+	})
+}

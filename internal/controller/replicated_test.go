@@ -1,0 +1,121 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/overlay"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/sim"
+	"skeletonhunter/internal/skeleton"
+	"skeletonhunter/internal/topology"
+)
+
+func replicatedRig(t *testing.T) (*sim.Engine, *cluster.ControlPlane, *cluster.Task, *Replicated) {
+	t.Helper()
+	eng := sim.NewEngine(3)
+	fab, err := topology.New(topology.Spec{Pods: 1, HostsPerPod: 8, Rails: 8, AggPerPod: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := cluster.NewControlPlane(eng, fab, overlay.NewNetwork(), cluster.DefaultLagModel())
+	r := NewReplicated(2)
+	r.Attach(cp)
+	task, err := cp.Submit(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(10 * time.Minute)
+	return eng, cp, task, r
+}
+
+func TestReplicatedConvergence(t *testing.T) {
+	_, _, task, r := replicatedRig(t)
+	// Both replicas must serve the same ping list for every source.
+	for src := 0; src < 4; src++ {
+		a, err := r.PingList(task.ID, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.PingList(task.ID, src) // round-robins to the peer
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("replica divergence for src %d: %d vs %d targets", src, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("replica divergence at target %d", i)
+			}
+		}
+	}
+}
+
+func TestReplicatedFailover(t *testing.T) {
+	_, _, task, r := replicatedRig(t)
+	want, err := r.PingList(task.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Fail(0)
+	if r.Healthy() != 1 {
+		t.Fatalf("healthy = %d", r.Healthy())
+	}
+	// Reads keep working against the survivor, with identical content.
+	for i := 0; i < 4; i++ {
+		got, err := r.PingList(task.ID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("failover changed list size: %d vs %d", len(got), len(want))
+		}
+	}
+	// Mutations during the outage reach only the survivor…
+	inf := skeleton.Inference{Pairs: []skeleton.Pair{{A: 0, B: 8}}}
+	if err := r.ApplySkeleton(task.ID, inf); err != nil {
+		t.Fatal(err)
+	}
+	ph, err := r.PhaseOf(task.ID)
+	if err != nil || ph != PhaseSkeleton {
+		t.Fatalf("phase after failover = %v, %v", ph, err)
+	}
+	// …and total failure is reported, not masked.
+	r.Fail(1)
+	if _, err := r.PingList(task.ID, 0); err != ErrNoReplica {
+		t.Fatalf("err = %v, want ErrNoReplica", err)
+	}
+	r.Recover(1)
+	if _, err := r.PingList(task.ID, 0); err != nil {
+		t.Fatalf("recovered replica not serving: %v", err)
+	}
+}
+
+func TestReplicatedStatsAndRevert(t *testing.T) {
+	_, _, task, r := replicatedRig(t)
+	st, ok, err := r.StatsOf(task.ID)
+	if err != nil || !ok {
+		t.Fatalf("stats: %v %v", ok, err)
+	}
+	if st.BasicTargets != 96 {
+		t.Fatalf("basic targets = %d", st.BasicTargets)
+	}
+	inf := skeleton.Inference{Pairs: []skeleton.Pair{{A: 0, B: 8}}}
+	if err := r.ApplySkeleton(task.ID, inf); err != nil {
+		t.Fatal(err)
+	}
+	r.RevertToBasic(task.ID)
+	ph, err := r.PhaseOf(task.ID)
+	if err != nil || ph != PhasePreload {
+		t.Fatalf("phase after revert = %v, %v", ph, err)
+	}
+}
+
+func TestReplicatedSingleReplicaFloor(t *testing.T) {
+	r := NewReplicated(0)
+	if r.Healthy() != 1 {
+		t.Fatalf("healthy = %d, want floor of 1", r.Healthy())
+	}
+}

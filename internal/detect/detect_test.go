@@ -1,0 +1,238 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/stats"
+)
+
+var testKey = PairKey{Task: "t1", SrcContainer: 0, SrcRail: 0, DstContainer: 1, DstRail: 0}
+
+// feed pushes probes at 1/s with RTTs drawn from a lognormal around
+// median µs.
+func feed(d *Detector, r *rand.Rand, from, dur time.Duration, medianUS float64, lossRate float64) time.Duration {
+	dist := stats.LogNormal{Mu: math.Log(medianUS), Sigma: 0.08}
+	for at := from; at < from+dur; at += time.Second {
+		lost := r.Float64() < lossRate
+		rtt := time.Duration(dist.Sample(r) * float64(time.Microsecond))
+		d.Observe(testKey, at, rtt, lost)
+	}
+	return from + dur
+}
+
+func collect() (*[]Anomaly, func(Anomaly)) {
+	var out []Anomaly
+	return &out, func(a Anomaly) { out = append(out, a) }
+}
+
+func TestHealthyStreamNoAnomalies(t *testing.T) {
+	out, emit := collect()
+	d := New(Config{}, emit)
+	r := rand.New(rand.NewSource(1))
+	feed(d, r, 0, time.Hour, 16, 0)
+	d.Flush(time.Hour)
+	if len(*out) != 0 {
+		t.Fatalf("healthy stream produced %d anomalies: %+v", len(*out), (*out)[0])
+	}
+	if d.Evaluated == 0 {
+		t.Fatal("no windows evaluated")
+	}
+}
+
+func TestAbruptLatencyShiftDetected(t *testing.T) {
+	// Fig. 18: 16 µs → 120 µs must trip the short-term LOF within a
+	// window or two.
+	out, emit := collect()
+	d := New(Config{}, emit)
+	r := rand.New(rand.NewSource(2))
+	at := feed(d, r, 0, 10*time.Minute, 16, 0)
+	feed(d, r, at, 2*time.Minute, 120, 0)
+	d.Flush(at + 2*time.Minute)
+	found := false
+	var detectedAt time.Duration
+	for _, a := range *out {
+		if a.Type == LatencyShortTerm {
+			found = true
+			detectedAt = a.At
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("abrupt shift not detected (anomalies: %+v)", *out)
+	}
+	// Detection latency: within two short windows of the shift.
+	if detectedAt > at+time.Minute {
+		t.Fatalf("detected at %v, too slow (shift at %v)", detectedAt, at)
+	}
+}
+
+func TestPersistentFaultKeepsAlarming(t *testing.T) {
+	out, emit := collect()
+	d := New(Config{}, emit)
+	r := rand.New(rand.NewSource(3))
+	at := feed(d, r, 0, 10*time.Minute, 16, 0)
+	feed(d, r, at, 5*time.Minute, 120, 0)
+	d.Flush(at + 5*time.Minute)
+	n := 0
+	for _, a := range *out {
+		if a.Type == LatencyShortTerm {
+			n++
+		}
+	}
+	// 5 minutes of fault = ~10 windows; anomalous windows must not be
+	// absorbed into history, so nearly all should alarm.
+	if n < 8 {
+		t.Fatalf("persistent fault alarmed only %d times", n)
+	}
+}
+
+func TestModerateShiftStillDetected(t *testing.T) {
+	// A 2× latency shift (16 → 32 µs) is far outside the 8 % jitter and
+	// must be caught by the short-term detector.
+	out, emit := collect()
+	d := New(Config{}, emit)
+	r := rand.New(rand.NewSource(4))
+	at := feed(d, r, 0, 10*time.Minute, 16, 0)
+	feed(d, r, at, 2*time.Minute, 32, 0)
+	d.Flush(at + 2*time.Minute)
+	for _, a := range *out {
+		if a.Type == LatencyShortTerm {
+			return
+		}
+	}
+	t.Fatalf("2× shift not detected: %+v", *out)
+}
+
+func TestTransientSpikeFiltered(t *testing.T) {
+	// A single spiked probe (transient congestion) must NOT alarm: the
+	// window summary absorbs it and LOF sees a near-inlier.
+	out, emit := collect()
+	d := New(Config{}, emit)
+	r := rand.New(rand.NewSource(5))
+	at := feed(d, r, 0, 10*time.Minute, 16, 0)
+	// One window with a couple of spikes among normal samples.
+	dist := stats.LogNormal{Mu: math.Log(16), Sigma: 0.08}
+	for i := 0; i < 30; i++ {
+		rtt := time.Duration(dist.Sample(r) * float64(time.Microsecond))
+		if i == 7 || i == 19 {
+			rtt += 40 * time.Microsecond
+		}
+		d.Observe(testKey, at, rtt, false)
+		at += time.Second
+	}
+	at = feed(d, r, at, 5*time.Minute, 16, 0)
+	d.Flush(at)
+	for _, a := range *out {
+		if a.Type == LatencyShortTerm {
+			t.Fatalf("transient spikes raised an alarm: %+v", a)
+		}
+	}
+}
+
+func TestUnconnectivityDetected(t *testing.T) {
+	out, emit := collect()
+	d := New(Config{}, emit)
+	r := rand.New(rand.NewSource(6))
+	at := feed(d, r, 0, 5*time.Minute, 16, 0)
+	feed(d, r, at, time.Minute, 16, 1.0) // all lost
+	d.Flush(at + time.Minute)
+	for _, a := range *out {
+		if a.Type == Unconnectivity {
+			return
+		}
+	}
+	t.Fatal("total loss not reported as unconnectivity")
+}
+
+func TestPacketLossDetected(t *testing.T) {
+	out, emit := collect()
+	d := New(Config{}, emit)
+	r := rand.New(rand.NewSource(7))
+	at := feed(d, r, 0, 5*time.Minute, 16, 0)
+	feed(d, r, at, 2*time.Minute, 16, 0.15)
+	d.Flush(at + 2*time.Minute)
+	for _, a := range *out {
+		if a.Type == PacketLoss {
+			if a.Score < 0.02 {
+				t.Fatalf("loss score = %v", a.Score)
+			}
+			return
+		}
+	}
+	t.Fatal("15% loss not reported")
+}
+
+func TestGradualDegradationCaughtLongTerm(t *testing.T) {
+	// Latency creeping +1.5 %/window evades the short-term LOF but the
+	// 30-minute Z-test must catch it (Fig. 14's purpose).
+	out, emit := collect()
+	cfg := Config{LOFThreshold: 1e9} // disable short-term for isolation
+	d := New(cfg, emit)
+	r := rand.New(rand.NewSource(8))
+	// First long window: healthy reference.
+	at := feed(d, r, 0, 30*time.Minute, 16, 0)
+	// Creep over the next 90 minutes: 16 → 28 µs.
+	median := 16.0
+	for i := 0; i < 180; i++ { // 180 half-minute steps
+		at = feed(d, r, at, 30*time.Second, median, 0)
+		median *= 1.0031
+	}
+	d.Flush(at)
+	for _, a := range *out {
+		if a.Type == LatencyLongTerm {
+			return
+		}
+	}
+	t.Fatal("gradual degradation not caught by long-term analysis")
+}
+
+func TestLongTermNoFalsePositiveWhenStable(t *testing.T) {
+	out, emit := collect()
+	d := New(Config{LOFThreshold: 1e9}, emit)
+	r := rand.New(rand.NewSource(9))
+	at := feed(d, r, 0, 30*time.Minute, 16, 0)
+	at = feed(d, r, at, 90*time.Minute, 16, 0)
+	d.Flush(at)
+	for _, a := range *out {
+		if a.Type == LatencyLongTerm {
+			t.Fatalf("stable stream failed the Z-test: %+v", a)
+		}
+	}
+}
+
+func TestMinSamplesGuard(t *testing.T) {
+	out, emit := collect()
+	d := New(Config{}, emit)
+	// Two lonely probes in a window: not enough evidence to evaluate.
+	d.Observe(testKey, 0, 16*time.Microsecond, false)
+	d.Observe(testKey, time.Second, 16*time.Microsecond, true)
+	d.Flush(time.Minute)
+	if len(*out) != 0 {
+		t.Fatalf("underpopulated window produced anomalies: %+v", *out)
+	}
+}
+
+func TestForget(t *testing.T) {
+	out, emit := collect()
+	d := New(Config{}, emit)
+	r := rand.New(rand.NewSource(10))
+	feed(d, r, 0, 5*time.Minute, 16, 0)
+	d.ForgetTask("t1")
+	d.Flush(10 * time.Minute)
+	if len(*out) != 0 {
+		t.Fatal("forgotten pair still evaluated")
+	}
+	if len(d.pairs) != 0 {
+		t.Fatal("state not dropped")
+	}
+}
+
+func TestPairKeyString(t *testing.T) {
+	got := testKey.String()
+	if got != "t1:c0/r0→c1/r0" {
+		t.Fatalf("key string = %q", got)
+	}
+}

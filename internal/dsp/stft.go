@@ -1,0 +1,115 @@
+package dsp
+
+import "math"
+
+// STFT computes the Short-Time Fourier Transform of a real signal:
+// the signal is cut into Hann-windowed frames of windowSize samples
+// advancing by hopSize, and each frame is transformed. The result is a
+// spectrogram: one magnitude spectrum (positive frequencies only,
+// windowSize/2+1 bins after zero-padding to a power of two) per frame.
+//
+// The paper selects STFT over wavelet and plain DFT features because it
+// captures the time-varying structure of burst cycles at the lowest
+// computational cost (§5.1); this implementation is O(F · W log W).
+func STFT(signal []float64, windowSize, hopSize int) [][]float64 {
+	if windowSize <= 0 || hopSize <= 0 || len(signal) < windowSize {
+		return nil
+	}
+	win := HannWindow(windowSize)
+	padded := nextPow2(windowSize)
+	nBins := padded/2 + 1
+	var frames [][]float64
+	buf := make([]complex128, padded)
+	for start := 0; start+windowSize <= len(signal); start += hopSize {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i := 0; i < windowSize; i++ {
+			buf[i] = complex(signal[start+i]*win[i], 0)
+		}
+		fftInPlace(buf, false)
+		mags := make([]float64, nBins)
+		for k := 0; k < nBins; k++ {
+			mags[k] = math.Hypot(real(buf[k]), imag(buf[k]))
+		}
+		frames = append(frames, mags)
+	}
+	return frames
+}
+
+// SpectralFeature condenses a spectrogram into a single fixed-length
+// fingerprint: the per-bin average magnitude across frames, with the DC
+// bin zeroed (absolute throughput level must not dominate similarity —
+// two RNICs in the same DP position share *periodicity*, not
+// necessarily identical volume) and L2-normalized.
+//
+// This is the vector on which RNICs are compared during skeleton
+// inference: same-position RNICs across DP groups produce near-parallel
+// fingerprints (Fig. 13).
+func SpectralFeature(spectrogram [][]float64) []float64 {
+	if len(spectrogram) == 0 {
+		return nil
+	}
+	nBins := len(spectrogram[0])
+	feat := make([]float64, nBins)
+	for _, frame := range spectrogram {
+		for k, v := range frame {
+			feat[k] += v
+		}
+	}
+	inv := 1 / float64(len(spectrogram))
+	for k := range feat {
+		feat[k] *= inv
+	}
+	feat[0] = 0 // drop DC
+	var norm float64
+	for _, v := range feat {
+		norm += v * v
+	}
+	if norm > 0 {
+		n := math.Sqrt(norm)
+		for k := range feat {
+			feat[k] /= n
+		}
+	}
+	return feat
+}
+
+// BurstFingerprint is the one-call convenience used by the skeleton
+// inferrer: STFT with the given parameters followed by SpectralFeature.
+func BurstFingerprint(signal []float64, windowSize, hopSize int) []float64 {
+	return SpectralFeature(STFT(signal, windowSize, hopSize))
+}
+
+// DominantFrequency returns the index of the strongest non-DC bin of a
+// spectral feature, i.e. the fundamental burst frequency, along with its
+// magnitude. Returns (0, 0) for empty or flat input.
+func DominantFrequency(feature []float64) (bin int, magnitude float64) {
+	for k := 1; k < len(feature); k++ {
+		if feature[k] > magnitude {
+			magnitude = feature[k]
+			bin = k
+		}
+	}
+	return bin, magnitude
+}
+
+// FeatureDistance measures dissimilarity of two spectral fingerprints as
+// 1 − cosine similarity, in [0, 2]. Used as the linkage metric by the
+// constrained hierarchical clustering.
+func FeatureDistance(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var dot, na, nb float64
+	for i := 0; i < n; i++ {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/(math.Sqrt(na)*math.Sqrt(nb))
+}

@@ -1,0 +1,123 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// burstSeries emulates a per-RNIC throughput series: quiet baseline with
+// periodic bursts of the given period (in samples) and phase offset.
+func burstSeries(n, period, phase int, peak float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		if (i+phase)%period < period/6+1 {
+			s[i] = peak
+		} else {
+			s[i] = peak * 0.02
+		}
+	}
+	return s
+}
+
+func TestSTFTShape(t *testing.T) {
+	sig := burstSeries(300, 30, 0, 15)
+	frames := STFT(sig, 64, 32)
+	wantFrames := (300-64)/32 + 1
+	if len(frames) != wantFrames {
+		t.Fatalf("frames = %d, want %d", len(frames), wantFrames)
+	}
+	if len(frames[0]) != 33 { // 64/2+1
+		t.Fatalf("bins = %d, want 33", len(frames[0]))
+	}
+}
+
+func TestSTFTDegenerateInputs(t *testing.T) {
+	if STFT(nil, 64, 32) != nil {
+		t.Fatal("nil signal should produce nil spectrogram")
+	}
+	if STFT(make([]float64, 10), 64, 32) != nil {
+		t.Fatal("short signal should produce nil spectrogram")
+	}
+	if STFT(make([]float64, 10), 0, 1) != nil {
+		t.Fatal("zero window should produce nil")
+	}
+	if STFT(make([]float64, 10), 4, 0) != nil {
+		t.Fatal("zero hop should produce nil")
+	}
+}
+
+func TestSpectralFeatureSeparatesBurstClasses(t *testing.T) {
+	// Fig. 13: RNICs with the same burst cycle share STFT features;
+	// different cycles are separable. Same-cycle different-phase series
+	// must still match (fingerprints are magnitude-based).
+	a := BurstFingerprint(burstSeries(900, 30, 0, 15), 128, 64)
+	b := BurstFingerprint(burstSeries(900, 30, 11, 12), 128, 64) // same cycle, shifted, lower peak
+	c := BurstFingerprint(burstSeries(900, 45, 0, 15), 128, 64)  // different cycle
+	d := BurstFingerprint(burstSeries(900, 45, 7, 14), 128, 64)
+
+	same := FeatureDistance(a, b)
+	cross := FeatureDistance(a, c)
+	sameCD := FeatureDistance(c, d)
+	if same >= cross {
+		t.Fatalf("same-class distance %v not below cross-class %v", same, cross)
+	}
+	if sameCD >= cross {
+		t.Fatalf("same-class (c,d) distance %v not below cross-class %v", sameCD, cross)
+	}
+	if same > 0.15 {
+		t.Fatalf("same-class distance too large: %v", same)
+	}
+}
+
+func TestSpectralFeatureNormalized(t *testing.T) {
+	f := BurstFingerprint(burstSeries(900, 30, 0, 15), 128, 64)
+	var norm float64
+	for _, v := range f {
+		norm += v * v
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("feature norm² = %v, want 1", norm)
+	}
+	if f[0] != 0 {
+		t.Fatalf("DC bin = %v, want 0", f[0])
+	}
+}
+
+func TestSpectralFeatureScaleInvariance(t *testing.T) {
+	// Doubling throughput must not change the fingerprint direction:
+	// similarity is about periodicity, not volume.
+	a := BurstFingerprint(burstSeries(900, 30, 0, 10), 128, 64)
+	b := BurstFingerprint(burstSeries(900, 30, 0, 20), 128, 64)
+	if d := FeatureDistance(a, b); d > 1e-9 {
+		t.Fatalf("scaled series distance = %v, want ~0", d)
+	}
+}
+
+func TestDominantFrequency(t *testing.T) {
+	// 900 samples at period 30 → fundamental at bin windowSize/30.
+	f := BurstFingerprint(burstSeries(900, 30, 0, 15), 128, 64)
+	bin, mag := DominantFrequency(f)
+	if mag <= 0 {
+		t.Fatal("no dominant frequency found")
+	}
+	// Fundamental of period-30 signal in a 128-point window is bin ≈ 128/30 ≈ 4.
+	if bin < 3 || bin > 6 {
+		t.Fatalf("dominant bin = %d, want ≈4", bin)
+	}
+	if b, m := DominantFrequency(nil); b != 0 || m != 0 {
+		t.Fatal("empty feature should yield (0,0)")
+	}
+}
+
+func TestFeatureDistanceBounds(t *testing.T) {
+	a := []float64{0, 1, 0}
+	if d := FeatureDistance(a, a); d > 1e-12 {
+		t.Fatalf("self distance = %v", d)
+	}
+	if d := FeatureDistance(a, []float64{0, -1, 0}); math.Abs(d-2) > 1e-12 {
+		t.Fatalf("opposite distance = %v, want 2", d)
+	}
+	if d := FeatureDistance(a, []float64{0, 0, 0}); d != 1 {
+		t.Fatalf("zero-vector distance = %v, want 1", d)
+	}
+}

@@ -1,0 +1,128 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"skeletonhunter/internal/dsp"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/stats"
+	"skeletonhunter/internal/traffic"
+)
+
+// Fig13 demonstrates that STFT features separate burst-cycle classes
+// (Fig. 13): RNICs A and B share a cycle, C and D share another.
+type Fig13 struct {
+	// DistAB/DistCD are the within-class fingerprint distances;
+	// DistAC is the cross-class distance.
+	DistAB, DistCD, DistAC float64
+	// DominantBinAB and DominantBinCD are the classes' fundamental
+	// frequency bins.
+	DominantBinAB, DominantBinCD int
+}
+
+// Fig13STFTFeatures builds two burst classes from a TP8·PP2·DP2 task:
+// A and B are the same position across DP replicas, C and D another.
+func Fig13STFTFeatures(seed int64) Fig13 {
+	gen := &traffic.Generator{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}, GPUsPerContainer: 8, Seed: seed}
+	dur := 900 * time.Second
+	fp := func(c, r int) []float64 {
+		return dsp.BurstFingerprint(gen.Series(parallelism.Endpoint{Container: c, Rail: r}, dur), 128, 64)
+	}
+	// Containers: c = dp*PP + pp. Position (pp=0, tp=0): containers 0, 2.
+	a, b := fp(0, 0), fp(2, 0)
+	// Position (pp=1, tp=3): containers 1, 3.
+	c, d := fp(1, 3), fp(3, 3)
+	binAB, _ := dsp.DominantFrequency(a)
+	binCD, _ := dsp.DominantFrequency(c)
+	return Fig13{
+		DistAB:        dsp.FeatureDistance(a, b),
+		DistCD:        dsp.FeatureDistance(c, d),
+		DistAC:        dsp.FeatureDistance(a, c),
+		DominantBinAB: binAB,
+		DominantBinCD: binCD,
+	}
+}
+
+// Render emits the separability summary.
+func (f Fig13) Render() string {
+	return fmt.Sprintf("Figure 13 — STFT features of two burst-cycle classes\n"+
+		"within-class distance: A↔B=%.4f  C↔D=%.4f\n"+
+		"cross-class distance:  A↔C=%.4f\n"+
+		"dominant bins: class AB=%d, class CD=%d\n",
+		f.DistAB, f.DistCD, f.DistAC, f.DominantBinAB, f.DominantBinCD)
+}
+
+// Fig14 reproduces long-term latency distribution tracking (Fig. 14):
+// fit a lognormal at time T, Z-test windows at T+0.5h/T+1h/T+1.5h.
+type Fig14 struct {
+	RefMu, RefSigma float64
+	// Windows are the three follow-up tests.
+	Windows []Fig14Window
+}
+
+// Fig14Window is one follow-up Z-test.
+type Fig14Window struct {
+	Label    string
+	MedianUS float64
+	Z        float64
+	Rejected bool
+}
+
+// Fig14LongTermTracking drives the scenario: healthy at T and T+0.5h,
+// degraded at T+1h and further at T+1.5h.
+func Fig14LongTermTracking(seed int64) (Fig14, error) {
+	r := rand.New(rand.NewSource(seed))
+	healthy := stats.LogNormal{Mu: math.Log(16), Sigma: 0.15}
+	sample := func(d stats.LogNormal, n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = d.Sample(r)
+		}
+		return xs
+	}
+	ref, err := stats.FitLogNormal(sample(healthy, 1800))
+	if err != nil {
+		return Fig14{}, err
+	}
+	out := Fig14{RefMu: ref.Mu, RefSigma: ref.Sigma}
+	cases := []struct {
+		label  string
+		median float64
+	}{
+		{"T+0.5h", 16}, // still healthy
+		{"T+1.0h", 22}, // degraded
+		{"T+1.5h", 30}, // degraded further
+	}
+	const zThreshold = 6
+	for _, c := range cases {
+		xs := sample(stats.LogNormal{Mu: math.Log(c.median), Sigma: 0.15}, 1800)
+		z, _, err := ref.ZTest(xs)
+		if err != nil {
+			return Fig14{}, err
+		}
+		out.Windows = append(out.Windows, Fig14Window{
+			Label: c.label, MedianUS: c.median, Z: z, Rejected: math.Abs(z) > zThreshold,
+		})
+	}
+	return out, nil
+}
+
+// Render emits the tracking table.
+func (f Fig14) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 14 — long-term latency distribution tracking\n")
+	fmt.Fprintf(&b, "reference fit at T: lognormal(µ=%.3f, σ=%.3f) ⇒ median %.1f µs\n",
+		f.RefMu, f.RefSigma, math.Exp(f.RefMu))
+	for _, w := range f.Windows {
+		verdict := "follows reference"
+		if w.Rejected {
+			verdict = "ANOMALY (rejects reference)"
+		}
+		fmt.Fprintf(&b, "%-8s median=%.0fµs  Z=%8.1f  %s\n", w.Label, w.MedianUS, w.Z, verdict)
+	}
+	return b.String()
+}

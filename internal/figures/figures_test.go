@@ -1,0 +1,330 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig02Shape(t *testing.T) {
+	f := Fig02ContainerLifetime(1, 5000)
+	// ~50 % of small-task containers under 60 min (point index 2 = 60).
+	p60 := f.CDF[0][2]
+	if p60 < 0.4 || p60 > 0.62 {
+		t.Fatalf("P(small ≤ 60min) = %v", p60)
+	}
+	// Monotone CDFs, large class right-shifted.
+	for _, cdf := range f.CDF {
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i] < cdf[i-1] {
+				t.Fatal("CDF not monotone")
+			}
+		}
+	}
+	if f.CDF[2][2] >= f.CDF[0][2] {
+		t.Fatal("large tasks not longer-lived")
+	}
+	if !strings.Contains(f.Render(), "Figure 2") {
+		t.Fatal("render header missing")
+	}
+}
+
+func TestFig03Shape(t *testing.T) {
+	f := Fig03LifetimeByConfig(1, 5000)
+	if f.CDF[0][2] <= f.CDF[2][2] {
+		t.Fatal("low-end containers should die younger than high-end")
+	}
+	_ = f.Render()
+}
+
+func TestFig04Shape(t *testing.T) {
+	f := Fig04StartupTime(1)
+	if len(f.Startup) != 6 {
+		t.Fatalf("tasks = %d", len(f.Startup))
+	}
+	// Larger tasks bear longer tails.
+	last := func(i int) time.Duration { return f.Startup[i][len(f.Startup[i])-1] }
+	if last(5) <= last(0) {
+		t.Fatal("512-container tail not beyond 16-container tail")
+	}
+	_ = f.Render()
+}
+
+func TestFig05Shape(t *testing.T) {
+	f := Fig05RNICsPerContainer(1, 20000)
+	if f.Counts[8] <= f.Counts[4] {
+		t.Fatal("8-RNIC allocation not dominant")
+	}
+	_ = f.Render()
+}
+
+func TestFig06Shape(t *testing.T) {
+	f := Fig06FlowTableItems(1, 50000)
+	if f.Mean <= 40 {
+		t.Fatalf("mean = %v, want > 40", f.Mean)
+	}
+	if f.Max < 2000 {
+		t.Fatalf("max = %d, want heavy tail", f.Max)
+	}
+	_ = f.Render()
+}
+
+func TestFig07Shape(t *testing.T) {
+	f := Fig07BurstCycles(1)
+	if f.PeakGbps < 10 {
+		t.Fatalf("peak = %v", f.PeakGbps)
+	}
+	if f.IdleFrac < 0.3 {
+		t.Fatalf("idle fraction = %v", f.IdleFrac)
+	}
+	_ = f.Render()
+}
+
+func TestFig09Shape(t *testing.T) {
+	f, err := Fig09TrafficMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DenseDensity <= 0 || f.DenseDensity > 0.02 {
+		t.Fatalf("dense density = %v", f.DenseDensity)
+	}
+	if f.MoEDensity <= f.DenseDensity {
+		t.Fatal("MoE not denser than dense")
+	}
+	if f.Endpoints != 512 {
+		t.Fatalf("endpoints = %d", f.Endpoints)
+	}
+	_ = f.Render()
+}
+
+func TestFig12Shape(t *testing.T) {
+	f := Fig12JobSizes(1, 20000)
+	if f.Counts[512] <= f.Counts[16] {
+		t.Fatal("512-GPU jobs not dominant over 16")
+	}
+	_ = f.Render()
+}
+
+func TestFig13Shape(t *testing.T) {
+	f := Fig13STFTFeatures(1)
+	if f.DistAB >= f.DistAC || f.DistCD >= f.DistAC {
+		t.Fatalf("classes not separable: %+v", f)
+	}
+	_ = f.Render()
+}
+
+func TestFig14Shape(t *testing.T) {
+	f, err := Fig14LongTermTracking(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Windows) != 3 {
+		t.Fatalf("windows = %d", len(f.Windows))
+	}
+	if f.Windows[0].Rejected {
+		t.Fatal("T+0.5h (healthy) rejected")
+	}
+	if !f.Windows[1].Rejected || !f.Windows[2].Rejected {
+		t.Fatal("degraded windows not rejected")
+	}
+	_ = f.Render()
+}
+
+func TestFig15Shape(t *testing.T) {
+	f, err := Fig15ProbingScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 4 {
+		t.Fatalf("rows = %d", len(f.Rows))
+	}
+	for _, r := range f.Rows {
+		// Ordering: full mesh ≫ basic ≫ skeleton; the 8× rail pruning
+		// and the >95 % total reduction of §5.1.
+		if !(r.FullMesh > r.Basic && r.Basic > r.Skeleton) {
+			t.Fatalf("ordering violated: %+v", r)
+		}
+		if r.FullMesh/r.Basic != 8 {
+			t.Fatalf("rail pruning factor = %d", r.FullMesh/r.Basic)
+		}
+		if r.SkeletonReduction < 0.95 {
+			t.Fatalf("skeleton reduction = %v, want > 95%%", r.SkeletonReduction)
+		}
+	}
+	// deTector lands near the paper's 15K at 2048 RNICs.
+	last := f.Rows[3]
+	if last.DeTector < 10000 || last.DeTector > 25000 {
+		t.Fatalf("deTector estimate = %d, want ≈15K", last.DeTector)
+	}
+	_ = f.Render()
+}
+
+func TestFig16Shape(t *testing.T) {
+	f, err := Fig16ProbingTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := f.Rows[len(f.Rows)-1] // 2048 RNICs
+	// Paper: 2034 s full mesh, 240 s basic, 25 s skeleton. Shapes: the
+	// same ~8× and ~10× steps.
+	if last.FullMesh < 1800*time.Second || last.FullMesh > 2200*time.Second {
+		t.Fatalf("full-mesh round = %v", last.FullMesh)
+	}
+	if last.Basic < 200*time.Second || last.Basic > 300*time.Second {
+		t.Fatalf("basic round = %v", last.Basic)
+	}
+	if last.Skeleton > 60*time.Second {
+		t.Fatalf("skeleton round = %v", last.Skeleton)
+	}
+	_ = f.Render()
+}
+
+func TestFig17Shape(t *testing.T) {
+	f := Fig17AgentOverhead()
+	n := len(f.Ages)
+	if f.CPU[n-1] > 1.2 {
+		t.Fatalf("steady CPU = %v", f.CPU[n-1])
+	}
+	if f.MemMB[n-1] < 30 || f.MemMB[n-1] > 42 {
+		t.Fatalf("steady memory = %v", f.MemMB[n-1])
+	}
+	_ = f.Render()
+}
+
+func TestFig18Shape(t *testing.T) {
+	f, err := Fig18CaseStudy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy before injection (~16 µs), slow during fault (~120 µs),
+	// healthy after recovery.
+	idx := func(d time.Duration) int { return int(d / time.Second) }
+	pre := f.RTTSeries[idx(f.InjectAt)-5]
+	during := f.RTTSeries[idx(f.DetectAt)-1]
+	post := f.RTTSeries[len(f.RTTSeries)-5]
+	if pre < 8 || pre > 30 {
+		t.Fatalf("pre-fault RTT = %v µs", pre)
+	}
+	if during < 90 {
+		t.Fatalf("during-fault RTT = %v µs, want ≈120", during)
+	}
+	if post < 8 || post > 30 {
+		t.Fatalf("post-recovery RTT = %v µs", post)
+	}
+	if f.DetectionLatency <= 0 || f.DetectionLatency > 90*time.Second {
+		t.Fatalf("detection latency = %v", f.DetectionLatency)
+	}
+	if !strings.Contains(f.Verdict, "RNIC") && !strings.Contains(f.Verdict, "rnic") {
+		t.Fatalf("verdict does not name the RNIC: %q", f.Verdict)
+	}
+	_ = f.Render()
+}
+
+func TestTable1AllDetectedAndLocalized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign scenario; run without -short")
+	}
+	tab, err := Table1IssueCatalog(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 19 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Detected() < 18 {
+		t.Fatalf("detected %d/19:\n%s", tab.Detected(), tab.Render())
+	}
+	if tab.Localized() < 17 {
+		t.Fatalf("localized %d/19:\n%s", tab.Localized(), tab.Render())
+	}
+}
+
+func TestTrainingImpact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign scenario; run without -short")
+	}
+	im, err := TrainingImpact(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without feedback every job lands on the faulty host and dies;
+	// with feedback only the first does.
+	if im.FailedWithout != im.JobsPerWorld {
+		t.Fatalf("without feedback: %d/%d failed, want all", im.FailedWithout, im.JobsPerWorld)
+	}
+	if im.FailedWith > 1 {
+		t.Fatalf("with feedback: %d failed, want ≤1", im.FailedWith)
+	}
+	if im.IterationsWith <= im.IterationsWithout {
+		t.Fatalf("feedback did not improve training progress: %d vs %d",
+			im.IterationsWith, im.IterationsWithout)
+	}
+	_ = im.Render()
+}
+
+func TestFailureRateReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign scenario; run without -short")
+	}
+	f, err := FailureRateReduction(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RecallBefore < 0.95 {
+		t.Fatalf("pre-fix recall = %v under churn", f.RecallBefore)
+	}
+	if f.ReductionPct < 95 {
+		t.Fatalf("reduction = %v%%, want ≥95%% (paper: 99.1%%)", f.ReductionPct)
+	}
+	if f.After >= f.Before {
+		t.Fatalf("rate did not drop: %d → %d", f.Before, f.After)
+	}
+	_ = f.Render()
+}
+
+func TestTable1SeedRobustness(t *testing.T) {
+	// The 19/19 outcome must not be a lucky seed: repeat the catalog
+	// under different seeds and require near-perfect detection and
+	// localization in each run.
+	if testing.Short() {
+		t.Skip("campaign scenario; run without -short")
+	}
+	for _, seed := range []int64{101, 202} {
+		tab, err := Table1IssueCatalog(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Detected() < 19 {
+			t.Fatalf("seed %d: detected %d/19\n%s", seed, tab.Detected(), tab.Render())
+		}
+		if tab.Localized() < 18 {
+			t.Fatalf("seed %d: localized %d/19\n%s", seed, tab.Localized(), tab.Render())
+		}
+	}
+}
+
+func TestHeadlineAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign scenario; run without -short")
+	}
+	h, err := HeadlineAccuracy(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.Report
+	if r.Precision() < 0.9 {
+		t.Fatalf("precision = %v\n%s", r.Precision(), h.Render())
+	}
+	if r.Recall() < 0.9 {
+		t.Fatalf("recall = %v\n%s", r.Recall(), h.Render())
+	}
+	if r.LocalizationAccuracy() < 0.85 {
+		t.Fatalf("localization accuracy = %v\n%s", r.LocalizationAccuracy(), h.Render())
+	}
+	if h.OrthogonalDetected != 0 {
+		t.Fatalf("orthogonal incidents visible: %d", h.OrthogonalDetected)
+	}
+	if r.MeanDetectionLatency > 90*time.Second {
+		t.Fatalf("mean detection latency = %v", r.MeanDetectionLatency)
+	}
+}

@@ -1,0 +1,334 @@
+// Package figures regenerates every figure and table of the paper's
+// motivation (§3) and evaluation (§7) sections from the simulated
+// substrates. Each generator returns a printable result whose Render
+// method emits the rows/series the paper plots; cmd/figures prints them
+// all and bench_test.go wraps each in a benchmark.
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/trace"
+	"skeletonhunter/internal/traffic"
+)
+
+// Fig02 is the container-lifetime CDF by task size (Fig. 2).
+type Fig02 struct {
+	Points []time.Duration
+	// CDF[class][i] = P(lifetime ≤ Points[i]) for that size class.
+	CDF map[trace.SizeClass][]float64
+}
+
+// Fig02ContainerLifetime samples lifetimes per size class and computes
+// their CDFs.
+func Fig02ContainerLifetime(seed int64, samples int) Fig02 {
+	points := []time.Duration{}
+	for m := 20; m <= 300; m += 20 {
+		points = append(points, time.Duration(m)*time.Minute)
+	}
+	out := Fig02{Points: points, CDF: map[trace.SizeClass][]float64{}}
+	for _, cls := range []trace.SizeClass{trace.SizeSmall, trace.SizeMedium, trace.SizeLarge} {
+		r := rand.New(rand.NewSource(seed + int64(cls)))
+		xs := make([]time.Duration, samples)
+		for i := range xs {
+			xs[i] = trace.Lifetime(r, cls)
+		}
+		out.CDF[cls] = trace.CDF(xs, points)
+	}
+	return out
+}
+
+// Render emits the CDF rows.
+func (f Fig02) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — container lifetime CDF by task size\n")
+	fmt.Fprintf(&b, "%-10s", "minutes")
+	for _, cls := range []trace.SizeClass{trace.SizeSmall, trace.SizeMedium, trace.SizeLarge} {
+		fmt.Fprintf(&b, "%12s", cls)
+	}
+	b.WriteByte('\n')
+	for i, p := range f.Points {
+		fmt.Fprintf(&b, "%-10d", int(p.Minutes()))
+		for _, cls := range []trace.SizeClass{trace.SizeSmall, trace.SizeMedium, trace.SizeLarge} {
+			fmt.Fprintf(&b, "%12.3f", f.CDF[cls][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig03 is the lifetime CDF by container configuration (Fig. 3).
+type Fig03 struct {
+	Points []time.Duration
+	CDF    map[trace.ConfigClass][]float64
+}
+
+// Fig03LifetimeByConfig samples lifetimes per hardware class.
+func Fig03LifetimeByConfig(seed int64, samples int) Fig03 {
+	points := []time.Duration{}
+	for m := 20; m <= 300; m += 20 {
+		points = append(points, time.Duration(m)*time.Minute)
+	}
+	out := Fig03{Points: points, CDF: map[trace.ConfigClass][]float64{}}
+	for _, cls := range []trace.ConfigClass{trace.ConfigLowEnd, trace.ConfigMidEnd, trace.ConfigHighEnd} {
+		r := rand.New(rand.NewSource(seed + 100 + int64(cls)))
+		xs := make([]time.Duration, samples)
+		for i := range xs {
+			xs[i] = trace.LifetimeByConfig(r, cls)
+		}
+		out.CDF[cls] = trace.CDF(xs, points)
+	}
+	return out
+}
+
+// Render emits the CDF rows.
+func (f Fig03) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3 — container lifetime CDF by configuration\n")
+	fmt.Fprintf(&b, "%-10s", "minutes")
+	for _, cls := range []trace.ConfigClass{trace.ConfigLowEnd, trace.ConfigMidEnd, trace.ConfigHighEnd} {
+		fmt.Fprintf(&b, "%12s", cls)
+	}
+	b.WriteByte('\n')
+	for i, p := range f.Points {
+		fmt.Fprintf(&b, "%-10d", int(p.Minutes()))
+		for _, cls := range []trace.ConfigClass{trace.ConfigLowEnd, trace.ConfigMidEnd, trace.ConfigHighEnd} {
+			fmt.Fprintf(&b, "%12.3f", f.CDF[cls][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig04 is the phased startup-time profile of several tasks (Fig. 4).
+type Fig04 struct {
+	TaskSizes []int
+	// Startup[t][i] is the i-th container's creation→running delay in
+	// task t (sorted ascending: the "container index vs time" curve).
+	Startup [][]time.Duration
+}
+
+// Fig04StartupTime profiles six tasks of increasing size.
+func Fig04StartupTime(seed int64) Fig04 {
+	sizes := []int{16, 32, 64, 128, 256, 512}
+	out := Fig04{TaskSizes: sizes}
+	for i, n := range sizes {
+		r := rand.New(rand.NewSource(seed + int64(i)))
+		out.Startup = append(out.Startup, trace.StartupTimes(r, n))
+	}
+	return out
+}
+
+// Render emits per-task quartiles and tail.
+func (f Fig04) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 — container startup time by task size\n")
+	fmt.Fprintf(&b, "%-10s%12s%12s%12s%12s\n", "size", "p25", "p50", "p90", "max")
+	for i, n := range f.TaskSizes {
+		st := f.Startup[i]
+		q := func(p float64) time.Duration { return st[int(p*float64(len(st)-1))] }
+		fmt.Fprintf(&b, "%-10d%12s%12s%12s%12s\n", n,
+			q(0.25).Round(time.Second), q(0.5).Round(time.Second),
+			q(0.9).Round(time.Second), st[len(st)-1].Round(time.Second))
+	}
+	return b.String()
+}
+
+// Fig05 is the RNICs-per-container distribution (Fig. 5).
+type Fig05 struct {
+	Counts map[int]int
+	Total  int
+}
+
+// Fig05RNICsPerContainer samples container allocations.
+func Fig05RNICsPerContainer(seed int64, samples int) Fig05 {
+	r := rand.New(rand.NewSource(seed))
+	out := Fig05{Counts: map[int]int{}, Total: samples}
+	for i := 0; i < samples; i++ {
+		out.Counts[trace.RNICsPerContainer(r)]++
+	}
+	return out
+}
+
+// Render emits the allocation shares.
+func (f Fig05) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 — RNICs allocated per container\n")
+	keys := make([]int, 0, len(f.Counts))
+	for k := range f.Counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d RNICs: %6.2f%%\n", k, 100*float64(f.Counts[k])/float64(f.Total))
+	}
+	return b.String()
+}
+
+// Fig06 is the per-host flow-table item distribution (Fig. 6).
+type Fig06 struct {
+	Mean          float64
+	P50, P90, P99 int
+	Max           int
+}
+
+// Fig06FlowTableItems samples per-host flow-table populations.
+func Fig06FlowTableItems(seed int64, hosts int) Fig06 {
+	r := rand.New(rand.NewSource(seed))
+	xs := make([]int, hosts)
+	sum := 0
+	for i := range xs {
+		xs[i] = trace.FlowTableItems(r)
+		sum += xs[i]
+	}
+	sort.Ints(xs)
+	return Fig06{
+		Mean: float64(sum) / float64(hosts),
+		P50:  xs[hosts/2],
+		P90:  xs[hosts*9/10],
+		P99:  xs[hosts*99/100],
+		Max:  xs[hosts-1],
+	}
+}
+
+// Render emits the distribution summary.
+func (f Fig06) Render() string {
+	return fmt.Sprintf("Figure 6 — flow-table items per host\nmean=%.1f p50=%d p90=%d p99=%d max=%d\n",
+		f.Mean, f.P50, f.P90, f.P99, f.Max)
+}
+
+// Fig07 is the burst-cycle throughput series of a training container's
+// RNICs (Fig. 7).
+type Fig07 struct {
+	SampleInterval time.Duration
+	// Series[r] is rail r's throughput in Gbps.
+	Series   [][]float64
+	PeakGbps float64
+	IdleFrac float64
+}
+
+// Fig07BurstCycles generates 900 s of a typical container's traffic.
+func Fig07BurstCycles(seed int64) Fig07 {
+	gen := &traffic.Generator{Par: parallelism.Config{TP: 8, PP: 4, DP: 4}, GPUsPerContainer: 8, Seed: seed}
+	out := Fig07{SampleInterval: time.Second}
+	idle, total := 0, 0
+	for r := 0; r < 4; r++ {
+		s := gen.Series(parallelism.Endpoint{Container: 0, Rail: r}, 900*time.Second)
+		out.Series = append(out.Series, s)
+		for _, v := range s {
+			total++
+			if v < 1 {
+				idle++
+			}
+			if v > out.PeakGbps {
+				out.PeakGbps = v
+			}
+		}
+	}
+	out.IdleFrac = float64(idle) / float64(total)
+	return out
+}
+
+// Render summarizes the series (the full trace is long; the summary
+// carries the figure's message: periodic ~15 Gbps peaks, long idles).
+func (f Fig07) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — traffic burst cycles (900 s, 1 s samples)\n")
+	fmt.Fprintf(&b, "peak=%.1f Gbps idle-fraction=%.2f\n", f.PeakGbps, f.IdleFrac)
+	fmt.Fprintf(&b, "rail 0, first 60 samples (Gbps):\n")
+	for i := 0; i < 60 && i < len(f.Series[0]); i++ {
+		fmt.Fprintf(&b, "%5.1f", f.Series[0][i])
+		if (i+1)%15 == 0 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Fig09 is the RNIC traffic-matrix sparsity (Fig. 9a dense, 9b MoE).
+type Fig09 struct {
+	DenseDensity float64
+	MoEDensity   float64
+	DenseMaxDeg  int
+	MoEMaxDeg    int
+	Endpoints    int
+}
+
+// Fig09TrafficMatrix builds both 512-GPU matrices.
+func Fig09TrafficMatrix() (Fig09, error) {
+	dense, err := parallelism.TrafficMatrix(parallelism.Config{TP: 8, PP: 8, DP: 8}, 8)
+	if err != nil {
+		return Fig09{}, err
+	}
+	moe, err := parallelism.TrafficMatrix(parallelism.Config{TP: 8, PP: 8, DP: 8, EP: 4}, 8)
+	if err != nil {
+		return Fig09{}, err
+	}
+	maxDeg := func(m [][]int) int {
+		best := 0
+		for i := range m {
+			d := 0
+			for j := range m[i] {
+				if m[i][j] != 0 {
+					d++
+				}
+			}
+			if d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	return Fig09{
+		DenseDensity: parallelism.MatrixDensity(dense),
+		MoEDensity:   parallelism.MatrixDensity(moe),
+		DenseMaxDeg:  maxDeg(dense),
+		MoEMaxDeg:    maxDeg(moe),
+		Endpoints:    len(dense),
+	}, nil
+}
+
+// Render emits the sparsity summary.
+func (f Fig09) Render() string {
+	return fmt.Sprintf("Figure 9 — RNIC traffic matrices of a 512-GPU task\n"+
+		"dense (TP8·PP8·DP8):  density=%.4f max-degree=%d of %d\n"+
+		"MoE (TP8·PP8·DP8·EP4): density=%.4f max-degree=%d of %d\n",
+		f.DenseDensity, f.DenseMaxDeg, f.Endpoints-1,
+		f.MoEDensity, f.MoEMaxDeg, f.Endpoints-1)
+}
+
+// Fig12 is the job-size distribution (Fig. 12).
+type Fig12 struct {
+	Counts map[int]int
+	Total  int
+}
+
+// Fig12JobSizes samples job GPU counts.
+func Fig12JobSizes(seed int64, samples int) Fig12 {
+	r := rand.New(rand.NewSource(seed))
+	out := Fig12{Counts: map[int]int{}, Total: samples}
+	for i := 0; i < samples; i++ {
+		out.Counts[trace.JobGPUs(r)]++
+	}
+	return out
+}
+
+// Render emits the GPU-count shares.
+func (f Fig12) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12 — GPUs per training job\n")
+	keys := make([]int, 0, len(f.Counts))
+	for k := range f.Counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%5d GPUs: %6.2f%%\n", k, 100*float64(f.Counts[k])/float64(f.Total))
+	}
+	return b.String()
+}

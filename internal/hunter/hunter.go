@@ -1,0 +1,334 @@
+// Package hunter assembles a complete SkeletonHunter deployment over a
+// simulated containerized training cloud: fabric + overlay + control
+// plane (the infrastructure), controller + sidecar agents + analyzer
+// (the monitoring system), and the fault injector (the evaluation
+// harness). It is the public entry point examples and benchmarks use.
+package hunter
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"skeletonhunter/internal/analyzer"
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/controller"
+	"skeletonhunter/internal/detect"
+	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/localize"
+	"skeletonhunter/internal/logstore"
+	"skeletonhunter/internal/netsim"
+	"skeletonhunter/internal/overlay"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/probe"
+	"skeletonhunter/internal/sim"
+	"skeletonhunter/internal/skeleton"
+	"skeletonhunter/internal/topology"
+	"skeletonhunter/internal/traffic"
+)
+
+// Options configures a deployment.
+type Options struct {
+	// Seed drives every random stream (default 1).
+	Seed int64
+	// Hosts sizes the fabric via topology.Production (default 16).
+	// Set Spec to override entirely.
+	Hosts int
+	Spec  topology.Spec
+	// Detect tunes anomaly detection.
+	Detect detect.Config
+	// AnalysisInterval is the analyzer round period (default 30 s).
+	AnalysisInterval time.Duration
+	// ProbeInterval is the agents' probing round period (default 1 s).
+	ProbeInterval time.Duration
+	// TransientCongestionProb adds benign latency spikes (noise).
+	TransientCongestionProb float64
+	// Lag overrides the container lifecycle delays (default: the
+	// production-shaped model).
+	Lag cluster.LagModel
+	// AutoMigrate live-migrates running containers off hosts whose
+	// components get blacklisted (§8's quick-recovery path). Default
+	// off: the paper's deployed system alerts and blacklists, with
+	// migration under development.
+	AutoMigrate bool
+	// DisableFeedback turns the alarm → blacklist/migration loop off:
+	// alarms are still raised and recorded, but operations do not act
+	// on them. Used by impact comparisons ("what would the month have
+	// looked like without SkeletonHunter acting").
+	DisableFeedback bool
+}
+
+// Deployment is a wired SkeletonHunter instance over a simulated cloud.
+type Deployment struct {
+	Engine     *sim.Engine
+	Fabric     *topology.Fabric
+	Overlay    *overlay.Network
+	Net        *netsim.Net
+	CP         *cluster.ControlPlane
+	Controller *controller.Controller
+	Analyzer   *analyzer.Analyzer
+	Injector   *faults.Injector
+	// Log retains recent probe records indexed by task/container/RNIC/
+	// switch (§6's log service) for operator queries.
+	Log *logstore.Store
+
+	// OnAlarm, when set, receives every alarm after the deployment's
+	// own feedback handling (blacklist propagation, auto-migration).
+	OnAlarm func(analyzer.Alarm)
+
+	probeInterval time.Duration
+	autoMigrate   bool
+	feedbackOff   bool
+	agents        map[cluster.ContainerID]*probe.OverlayAgent
+	stopped       map[cluster.TaskID]int
+	blockedHosts  map[int]bool
+	migrations    int
+	overrides     map[cluster.TaskID]parallelism.Config
+	inferences    map[cluster.TaskID]skeleton.Inference
+	secrets       map[cluster.TaskID]string
+}
+
+// New builds and wires a deployment.
+func New(opts Options) (*Deployment, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Hosts == 0 {
+		opts.Hosts = 16
+	}
+	spec := opts.Spec
+	if spec == (topology.Spec{}) {
+		spec = topology.Production(opts.Hosts)
+	}
+	if opts.ProbeInterval == 0 {
+		opts.ProbeInterval = time.Second
+	}
+	eng := sim.NewEngine(opts.Seed)
+	fab, err := topology.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	ovl := overlay.NewNetwork()
+	cp := cluster.NewControlPlane(eng, fab, ovl, opts.Lag)
+	net := netsim.New(eng, fab, ovl)
+	net.TransientCongestionProb = opts.TransientCongestionProb
+	ctl := controller.New()
+	ctl.Attach(cp)
+	loc := localize.NewWithControlPlane(net, cp)
+	an := analyzer.New(eng, net, loc, analyzer.Config{
+		Detect:           opts.Detect,
+		AnalysisInterval: opts.AnalysisInterval,
+	})
+	an.Start()
+
+	d := &Deployment{
+		Engine: eng, Fabric: fab, Overlay: ovl, Net: net,
+		CP: cp, Controller: ctl, Analyzer: an,
+		Injector:      faults.NewInjector(net, cp),
+		Log:           logstore.New(1 << 16),
+		probeInterval: opts.ProbeInterval,
+		autoMigrate:   opts.AutoMigrate,
+		feedbackOff:   opts.DisableFeedback,
+		agents:        make(map[cluster.ContainerID]*probe.OverlayAgent),
+		stopped:       make(map[cluster.TaskID]int),
+		blockedHosts:  make(map[int]bool),
+		overrides:     make(map[cluster.TaskID]parallelism.Config),
+		inferences:    make(map[cluster.TaskID]skeleton.Inference),
+		secrets:       make(map[cluster.TaskID]string),
+	}
+	cp.Subscribe(d.onClusterEvent)
+	// Feedback loop: alarms blacklist hosts out of scheduling and,
+	// optionally, trigger live migration off them.
+	cp.HostSchedulable = func(h int) bool { return !d.blockedHosts[h] }
+	an.OnAlarm = d.handleAlarm
+	return d, nil
+}
+
+// ingest is the probe-record sink: records land in the retained log
+// and stream into the analyzer.
+func (d *Deployment) ingest(rec probe.Record) {
+	d.Log.Append(rec)
+	d.Analyzer.Ingest(rec)
+}
+
+// handleAlarm propagates verdicts into the scheduling blacklist and,
+// when enabled, migrates running containers off implicated hosts.
+func (d *Deployment) handleAlarm(al analyzer.Alarm) {
+	if d.feedbackOff {
+		if d.OnAlarm != nil {
+			d.OnAlarm(al)
+		}
+		return
+	}
+	for _, c := range al.Components() {
+		host, ok := component.HostOf(c)
+		if !ok {
+			continue
+		}
+		d.blockedHosts[host] = true
+		if !d.autoMigrate {
+			continue
+		}
+		for _, task := range d.CP.Tasks() {
+			for _, ct := range task.Containers {
+				if ct.Host == host && ct.State == cluster.Running {
+					if _, err := d.CP.MigrateContainer(ct.ID); err == nil {
+						d.migrations++
+					}
+				}
+			}
+		}
+	}
+	if d.OnAlarm != nil {
+		d.OnAlarm(al)
+	}
+}
+
+// BlockedHosts returns the hosts currently barred from scheduling.
+func (d *Deployment) BlockedHosts() []int {
+	var out []int
+	for h := range d.blockedHosts {
+		out = append(out, h)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// UnblockHost readmits a repaired host to scheduling.
+func (d *Deployment) UnblockHost(h int) { delete(d.blockedHosts, h) }
+
+// Migrations returns the number of auto-migrations performed.
+func (d *Deployment) Migrations() int { return d.migrations }
+
+// onClusterEvent starts/stops sidecar agents with their containers.
+func (d *Deployment) onClusterEvent(ev cluster.Event) {
+	switch ev.Kind {
+	case cluster.EvContainerRunning:
+		a := &probe.OverlayAgent{
+			Engine:     d.Engine,
+			Net:        d.Net,
+			Controller: d.Controller,
+			Task:       ev.Task,
+			Container:  ev.Container,
+			Sink:       d.ingest,
+			Interval:   d.probeInterval,
+		}
+		a.Start()
+		d.agents[ev.Container.ID] = a
+	case cluster.EvContainerStopped:
+		if a, ok := d.agents[ev.Container.ID]; ok {
+			a.Stop()
+			delete(d.agents, ev.Container.ID)
+		}
+		// Graceful stop: the control plane vouches for the departure, so
+		// the analyzer drops the container's half-open windows.
+		d.Analyzer.ForgetContainer(string(ev.Task.ID), ev.Container.Index)
+		d.countStopped(ev)
+	case cluster.EvContainerCrashed:
+		// Ungraceful: the sidecar dies with the container but nothing
+		// deregisters — peers keep probing and raise unconnectivity.
+		if a, ok := d.agents[ev.Container.ID]; ok {
+			a.Kill()
+			delete(d.agents, ev.Container.ID)
+		}
+		d.countStopped(ev)
+	}
+}
+
+func (d *Deployment) countStopped(ev cluster.Event) {
+	d.stopped[ev.Task.ID]++
+	if ev.Task.Finished && d.stopped[ev.Task.ID] == len(ev.Task.Containers) {
+		d.Analyzer.ForgetTask(string(ev.Task.ID))
+		delete(d.stopped, ev.Task.ID)
+	}
+}
+
+// SubmitTask submits a training task to the simulated cloud.
+func (d *Deployment) SubmitTask(spec cluster.TaskSpec) (*cluster.Task, error) {
+	return d.CP.Submit(spec)
+}
+
+// Run advances the simulation by the given duration.
+func (d *Deployment) Run(dur time.Duration) {
+	d.Engine.RunUntil(d.Engine.Now() + dur)
+}
+
+// CollectSeries gathers the per-endpoint throughput series the
+// production system reads from RNIC counters. The simulation
+// synthesizes them from the task's (tenant-private) parallelism — the
+// inference below must not peek at cfg, only at the series.
+func (d *Deployment) CollectSeries(task *cluster.Task, dur time.Duration) []skeleton.EndpointSeries {
+	par := task.Par
+	if ov, ok := d.overrides[task.ID]; ok {
+		par = ov
+	}
+	gen := &traffic.Generator{
+		Par:              par,
+		GPUsPerContainer: task.GPUsPerContainer,
+		Seed:             d.Engine.Rand("traffic-seed/" + string(task.ID)).Int63(),
+	}
+	var eps []skeleton.EndpointSeries
+	for _, c := range controller.EndpointOrder(task) {
+		for r := 0; r < task.GPUsPerContainer; r++ {
+			eps = append(eps, skeleton.EndpointSeries{
+				Container: c.Index,
+				Rail:      r,
+				Host:      c.Host,
+				Series:    gen.Series(parallelism.Endpoint{Container: c.Index, Rail: r}, dur),
+			})
+		}
+	}
+	return eps
+}
+
+// InferSkeleton observes a task's traffic for obsWindow, infers its
+// traffic skeleton, and installs the pruned ping list on the
+// controller. It returns the inference for inspection.
+func (d *Deployment) InferSkeleton(task *cluster.Task, obsWindow time.Duration) (skeleton.Inference, error) {
+	eps := d.CollectSeries(task, obsWindow)
+	inf, err := skeleton.Infer(eps, skeleton.Options{})
+	if err != nil {
+		return skeleton.Inference{}, fmt.Errorf("hunter: skeleton inference for %s: %w", task.ID, err)
+	}
+	if err := d.Controller.ApplySkeleton(task.ID, inf); err != nil {
+		return skeleton.Inference{}, err
+	}
+	d.inferences[task.ID] = inf
+	return inf, nil
+}
+
+// OverrideWorkload changes what traffic a task emits from now on —
+// the simulation hook for a tenant switching models or parallelism
+// strategies mid-task (§7.3's "users' uncertain workloads"). The
+// override only affects the synthesized RNIC counters; the monitoring
+// system is not told.
+func (d *Deployment) OverrideWorkload(id cluster.TaskID, par parallelism.Config) {
+	d.overrides[id] = par
+}
+
+// FidelityThreshold is the revalidation cut-off: an installed skeleton
+// scoring below it no longer matches the observed traffic and the task
+// reverts to its basic ping list.
+const FidelityThreshold = 0.5
+
+// RevalidateSkeleton re-checks an installed skeleton against a fresh
+// observation window (§7.3's mitigation). It returns the fidelity
+// score and whether the task was reverted to the basic list.
+func (d *Deployment) RevalidateSkeleton(task *cluster.Task, obsWindow time.Duration) (float64, bool) {
+	inf, ok := d.inferences[task.ID]
+	if !ok {
+		return 0, false
+	}
+	eps := d.CollectSeries(task, obsWindow)
+	score := skeleton.Fidelity(eps, inf.Groups, skeleton.Options{})
+	if score < FidelityThreshold {
+		d.Controller.RevertToBasic(task.ID)
+		delete(d.inferences, task.ID)
+		return score, true
+	}
+	return score, false
+}
+
+// Agents returns the number of live sidecar agents.
+func (d *Deployment) Agents() int { return len(d.agents) }

@@ -1,0 +1,192 @@
+// Package logstore is the measurement log service of §6: it stores the
+// agents' probe records in a bounded ring and indexes them by training
+// task, container, RNIC, and uplink (ToR) switch — the four dimensions
+// the production system aggregates on — so operators and the analyzer
+// can pull the evidence trail for any suspicious element.
+//
+// The store is deliberately bounded: production keeps a retention
+// window, not history forever. Eviction is FIFO and indexes are pruned
+// lazily (entries pointing at overwritten slots are skipped and
+// dropped at query time), which keeps Append O(#index keys) without a
+// global sweep.
+package logstore
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"skeletonhunter/internal/probe"
+	"skeletonhunter/internal/topology"
+)
+
+// Key dimensions a record is indexed under.
+type dimension int
+
+const (
+	dimTask dimension = iota
+	dimContainer
+	dimRNIC
+	dimSwitch
+)
+
+type indexKey struct {
+	dim dimension
+	key string
+}
+
+type slot struct {
+	rec probe.Record
+	seq uint64 // monotonically increasing; identifies slot generations
+}
+
+// Store is a bounded, indexed probe-record log. Safe for concurrent
+// use: agents append from their rounds while operators query.
+type Store struct {
+	mu    sync.RWMutex
+	slots []slot
+	next  int
+	seq   uint64
+	index map[indexKey][]uint64 // key → seqs (ascending)
+	// lookup from seq to slot position for O(1) retrieval.
+	capacity int
+}
+
+// New returns a store retaining up to capacity records.
+func New(capacity int) *Store {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Store{
+		slots:    make([]slot, capacity),
+		index:    make(map[indexKey][]uint64),
+		capacity: capacity,
+	}
+}
+
+// ContainerKey renders the container index key.
+func ContainerKey(task string, container int) string {
+	return fmt.Sprintf("%s/c%d", task, container)
+}
+
+// RNICKey renders the RNIC index key for a record endpoint.
+func RNICKey(host, rail int) string { return fmt.Sprintf("h%d/r%d", host, rail) }
+
+// Append stores one record and updates all indexes.
+func (s *Store) Append(rec probe.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	s.slots[s.next] = slot{rec: rec, seq: s.seq}
+	s.next = (s.next + 1) % s.capacity
+
+	add := func(dim dimension, key string) {
+		k := indexKey{dim, key}
+		s.index[k] = append(s.index[k], s.seq)
+		// Prune the index head opportunistically once it outgrows the
+		// retention window (evicted seqs can never be served again).
+		if len(s.index[k]) > 2*s.capacity {
+			s.index[k] = append([]uint64(nil), s.index[k][len(s.index[k])-s.capacity:]...)
+		}
+	}
+	add(dimTask, string(rec.Task))
+	add(dimContainer, ContainerKey(string(rec.Task), rec.SrcContainer))
+	add(dimContainer, ContainerKey(string(rec.Task), rec.DstContainer))
+	add(dimRNIC, RNICKey(rec.Src.Host, rec.Src.Rail))
+	add(dimRNIC, RNICKey(rec.Dst.Host, rec.Dst.Rail))
+	for _, sw := range uplinkSwitches(rec.Path) {
+		add(dimSwitch, string(sw))
+	}
+}
+
+// uplinkSwitches extracts the switch nodes a record's path traversed.
+func uplinkSwitches(path []topology.LinkID) []topology.NodeID {
+	seen := map[topology.NodeID]bool{}
+	var out []topology.NodeID
+	for _, l := range path {
+		for _, part := range splitLink(l) {
+			if part == "" {
+				continue
+			}
+			if isSwitchNode(part) && !seen[part] {
+				seen[part] = true
+				out = append(out, part)
+			}
+		}
+	}
+	return out
+}
+
+func splitLink(l topology.LinkID) [2]topology.NodeID {
+	s := string(l)
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == '-' && s[i+1] == '-' {
+			return [2]topology.NodeID{topology.NodeID(s[:i]), topology.NodeID(s[i+2:])}
+		}
+	}
+	return [2]topology.NodeID{}
+}
+
+func isSwitchNode(n topology.NodeID) bool {
+	s := string(n)
+	return strings.HasPrefix(s, "tor/") || strings.HasPrefix(s, "agg/") || strings.HasPrefix(s, "spine/")
+}
+
+// query returns records for an index key at or after since, oldest
+// first.
+func (s *Store) query(dim dimension, key string, since time.Duration) []probe.Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seqs := s.index[indexKey{dim, key}]
+	minSeq := uint64(1)
+	if s.seq > uint64(s.capacity) {
+		minSeq = s.seq - uint64(s.capacity) + 1
+	}
+	var out []probe.Record
+	for _, q := range seqs {
+		if q < minSeq {
+			continue // evicted
+		}
+		// Locate the slot: seq q lives at position (q-1) % capacity.
+		sl := s.slots[int((q-1)%uint64(s.capacity))]
+		if sl.seq != q {
+			continue // overwritten between index and slot (stale entry)
+		}
+		if sl.rec.At >= since {
+			out = append(out, sl.rec)
+		}
+	}
+	return out
+}
+
+// ByTask returns the retained records of a task since the given time.
+func (s *Store) ByTask(task string, since time.Duration) []probe.Record {
+	return s.query(dimTask, task, since)
+}
+
+// ByContainer returns records touching a container (as source or
+// destination).
+func (s *Store) ByContainer(task string, container int, since time.Duration) []probe.Record {
+	return s.query(dimContainer, ContainerKey(task, container), since)
+}
+
+// ByRNIC returns records whose endpoints ride the given RNIC.
+func (s *Store) ByRNIC(host, rail int, since time.Duration) []probe.Record {
+	return s.query(dimRNIC, RNICKey(host, rail), since)
+}
+
+// BySwitch returns records whose underlay path traversed the switch.
+func (s *Store) BySwitch(node topology.NodeID, since time.Duration) []probe.Record {
+	return s.query(dimSwitch, string(node), since)
+}
+
+// Len returns the number of retained records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.seq >= uint64(s.capacity) {
+		return s.capacity
+	}
+	return int(s.seq)
+}

@@ -1,0 +1,149 @@
+package logstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/overlay"
+	"skeletonhunter/internal/probe"
+	"skeletonhunter/internal/topology"
+)
+
+func rec(task string, srcC, dstC int, at time.Duration, path ...string) probe.Record {
+	r := probe.Record{
+		Task:         cluster.TaskID(task),
+		SrcContainer: srcC, SrcRail: 1,
+		DstContainer: dstC, DstRail: 1,
+		Src: overlay.Addr{Host: srcC, Rail: 1},
+		Dst: overlay.Addr{Host: dstC, Rail: 1},
+		At:  at, RTT: 16 * time.Microsecond,
+	}
+	for _, p := range path {
+		r.Path = append(r.Path, topology.LinkID(p))
+	}
+	return r
+}
+
+func TestIndexedQueries(t *testing.T) {
+	s := New(100)
+	s.Append(rec("t1", 0, 1, time.Second, "nic/h0/r1--tor/p0/r1", "nic/h1/r1--tor/p0/r1"))
+	s.Append(rec("t1", 1, 2, 2*time.Second, "nic/h1/r1--tor/p0/r1", "nic/h2/r1--tor/p0/r1"))
+	s.Append(rec("t2", 0, 1, 3*time.Second))
+
+	if got := s.ByTask("t1", 0); len(got) != 2 {
+		t.Fatalf("by task = %d, want 2", len(got))
+	}
+	if got := s.ByTask("t1", 2*time.Second); len(got) != 1 {
+		t.Fatalf("by task since = %d, want 1", len(got))
+	}
+	// Container 1 of t1 touched both records (dst of first, src of second).
+	if got := s.ByContainer("t1", 1, 0); len(got) != 2 {
+		t.Fatalf("by container = %d, want 2", len(got))
+	}
+	// Host 1 rail 1 appears in all three records (dst of the first and
+	// third, src of the second) — RNIC indexing is task-agnostic.
+	if got := s.ByRNIC(1, 1, 0); len(got) != 3 {
+		t.Fatalf("by RNIC = %d, want 3", len(got))
+	}
+	if got := s.ByRNIC(2, 1, 0); len(got) != 1 {
+		t.Fatalf("by RNIC h2 = %d, want 1", len(got))
+	}
+	if got := s.BySwitch("tor/p0/r1", 0); len(got) != 2 {
+		t.Fatalf("by switch = %d, want 2", len(got))
+	}
+	if got := s.BySwitch("tor/p9/r9", 0); len(got) != 0 {
+		t.Fatalf("unknown switch = %d records", len(got))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestEvictionBoundsRetention(t *testing.T) {
+	s := New(10)
+	for i := 0; i < 35; i++ {
+		s.Append(rec("t1", i, i+1, time.Duration(i)*time.Second))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len = %d, want capacity 10", s.Len())
+	}
+	got := s.ByTask("t1", 0)
+	if len(got) != 10 {
+		t.Fatalf("retained = %d, want 10", len(got))
+	}
+	// Only the newest 10 survive.
+	for _, r := range got {
+		if r.At < 25*time.Second {
+			t.Fatalf("evicted record served: %v", r.At)
+		}
+	}
+	// Container index entries pointing at evicted slots yield nothing.
+	if got := s.ByContainer("t1", 0, 0); len(got) != 0 {
+		t.Fatalf("evicted container query = %d", len(got))
+	}
+}
+
+func TestConcurrentAppendQuery(t *testing.T) {
+	s := New(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Append(rec(fmt.Sprintf("t%d", w), i%4, (i+1)%4, time.Duration(i)*time.Millisecond))
+				if i%10 == 0 {
+					s.ByTask(fmt.Sprintf("t%d", w), 0)
+					s.ByRNIC(i%4, 1, 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 256 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestRetentionProperty(t *testing.T) {
+	// Property: after any append sequence, a task query returns exactly
+	// the still-retained records of that task, oldest-first.
+	f := func(capRaw uint8, nRaw uint8) bool {
+		capacity := int(capRaw%20) + 1
+		n := int(nRaw%60) + 1
+		s := New(capacity)
+		for i := 0; i < n; i++ {
+			s.Append(rec("t", 0, 1, time.Duration(i)*time.Second))
+		}
+		got := s.ByTask("t", 0)
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].At <= got[i-1].At {
+				return false
+			}
+		}
+		// Newest record always present.
+		return len(got) > 0 && got[len(got)-1].At == time.Duration(n-1)*time.Second
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCapacityFloor(t *testing.T) {
+	s := New(0)
+	s.Append(rec("t", 0, 1, 0))
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}

@@ -1,0 +1,140 @@
+// Package metrics scores SkeletonHunter against the fault injector's
+// ground truth, producing the §7.1 headline numbers: detection
+// precision and recall, localization accuracy, and mean detection
+// latency.
+//
+// Matching rules: an alarm is a true positive when at least one
+// injection was active at (or shortly before) its timestamp; an
+// injection counts as detected when any alarm fires inside its active
+// window (plus grace); a detected injection is correctly localized when
+// some in-window alarm names one of the injection's ground-truth
+// components.
+package metrics
+
+import (
+	"time"
+
+	"skeletonhunter/internal/analyzer"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/faults"
+)
+
+// Report carries the scored campaign.
+type Report struct {
+	Injections int
+	Alarms     int
+
+	TruePositiveAlarms  int
+	FalsePositiveAlarms int
+	DetectedInjections  int
+	MissedInjections    int
+	LocalizedInjections int
+
+	// MeanDetectionLatency averages (first alarm − injection time) over
+	// detected injections.
+	MeanDetectionLatency time.Duration
+}
+
+// Precision is TP alarms / all alarms.
+func (r Report) Precision() float64 {
+	if r.Alarms == 0 {
+		return 1
+	}
+	return float64(r.TruePositiveAlarms) / float64(r.Alarms)
+}
+
+// Recall is detected injections / all injections.
+func (r Report) Recall() float64 {
+	if r.Injections == 0 {
+		return 1
+	}
+	return float64(r.DetectedInjections) / float64(r.Injections)
+}
+
+// LocalizationAccuracy is correctly localized / detected injections.
+func (r Report) LocalizationAccuracy() float64 {
+	if r.DetectedInjections == 0 {
+		return 0
+	}
+	return float64(r.LocalizedInjections) / float64(r.DetectedInjections)
+}
+
+// Score matches alarms against injections. grace extends each
+// injection's window on both ends: detection windows lag fault onset
+// (a 30 s aggregation window plus analysis round), and anomalies from
+// a just-cleared fault may still flush afterwards.
+func Score(injections []*faults.Injection, alarms []analyzer.Alarm, grace time.Duration) Report {
+	r := Report{Injections: len(injections), Alarms: len(alarms)}
+
+	active := func(in *faults.Injection, at time.Duration) bool {
+		if at < in.At {
+			return false
+		}
+		if !in.Cleared {
+			return true
+		}
+		return at <= in.ClearedAt+grace
+	}
+
+	// Alarm-side: precision.
+	for _, a := range alarms {
+		tp := false
+		for _, in := range injections {
+			if active(in, a.At) {
+				tp = true
+				break
+			}
+		}
+		if tp {
+			r.TruePositiveAlarms++
+		} else {
+			r.FalsePositiveAlarms++
+		}
+	}
+
+	// Injection-side: recall, localization, latency.
+	var latencySum time.Duration
+	for _, in := range injections {
+		detected := false
+		localized := false
+		var firstAlarm time.Duration
+		for _, a := range alarms {
+			if !active(in, a.At) {
+				continue
+			}
+			if !detected {
+				detected = true
+				firstAlarm = a.At
+			}
+			if componentsIntersect(a.Components(), in.Components) {
+				localized = true
+			}
+		}
+		if detected {
+			r.DetectedInjections++
+			latencySum += firstAlarm - in.At
+			if localized {
+				r.LocalizedInjections++
+			}
+		} else {
+			r.MissedInjections++
+		}
+	}
+	if r.DetectedInjections > 0 {
+		r.MeanDetectionLatency = latencySum / time.Duration(r.DetectedInjections)
+	}
+	return r
+}
+
+func componentsIntersect(a []component.ID, b []component.ID) bool {
+	set := make(map[component.ID]bool, len(a))
+	for _, c := range a {
+		set[c] = true
+	}
+	for _, c := range b {
+		if set[c] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/analyzer"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/localize"
+)
+
+func injection(at, cleared time.Duration, comps ...component.ID) *faults.Injection {
+	in := &faults.Injection{At: at, Components: comps}
+	if cleared > 0 {
+		in.Cleared = true
+		in.ClearedAt = cleared
+	}
+	return in
+}
+
+func alarm(at time.Duration, comps ...component.ID) analyzer.Alarm {
+	return analyzer.Alarm{
+		At:       at,
+		Verdicts: []localize.Verdict{{Components: comps}},
+	}
+}
+
+func TestScorePerfectCampaign(t *testing.T) {
+	c := component.RNIC(1, 2)
+	injections := []*faults.Injection{injection(10*time.Second, 60*time.Second, c)}
+	alarms := []analyzer.Alarm{alarm(40*time.Second, c)}
+	r := Score(injections, alarms, 10*time.Second)
+	if r.Precision() != 1 || r.Recall() != 1 || r.LocalizationAccuracy() != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.MeanDetectionLatency != 30*time.Second {
+		t.Fatalf("latency = %v", r.MeanDetectionLatency)
+	}
+}
+
+func TestScoreFalsePositive(t *testing.T) {
+	c := component.RNIC(1, 2)
+	injections := []*faults.Injection{injection(10*time.Second, 60*time.Second, c)}
+	alarms := []analyzer.Alarm{
+		alarm(40*time.Second, c),
+		alarm(10*time.Minute, component.VSwitch(9)), // nothing active
+	}
+	r := Score(injections, alarms, 10*time.Second)
+	if r.FalsePositiveAlarms != 1 || r.TruePositiveAlarms != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.Precision() != 0.5 {
+		t.Fatalf("precision = %v", r.Precision())
+	}
+}
+
+func TestScoreMissedInjection(t *testing.T) {
+	injections := []*faults.Injection{
+		injection(10*time.Second, 60*time.Second, component.RNIC(1, 2)),
+		injection(5*time.Minute, 6*time.Minute, component.VSwitch(3)),
+	}
+	alarms := []analyzer.Alarm{alarm(40*time.Second, component.RNIC(1, 2))}
+	r := Score(injections, alarms, 10*time.Second)
+	if r.DetectedInjections != 1 || r.MissedInjections != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.Recall() != 0.5 {
+		t.Fatalf("recall = %v", r.Recall())
+	}
+}
+
+func TestScoreMislocalized(t *testing.T) {
+	injections := []*faults.Injection{injection(10*time.Second, 60*time.Second, component.RNIC(1, 2))}
+	alarms := []analyzer.Alarm{alarm(40*time.Second, component.VSwitch(7))}
+	r := Score(injections, alarms, 10*time.Second)
+	if r.DetectedInjections != 1 {
+		t.Fatal("not detected")
+	}
+	if r.LocalizedInjections != 0 || r.LocalizationAccuracy() != 0 {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+func TestScoreGraceWindow(t *testing.T) {
+	c := component.RNIC(1, 2)
+	injections := []*faults.Injection{injection(10*time.Second, 60*time.Second, c)}
+	// Alarm lands 5 s after clear — within grace ⇒ true positive.
+	r := Score(injections, []analyzer.Alarm{alarm(65*time.Second, c)}, 10*time.Second)
+	if r.TruePositiveAlarms != 1 {
+		t.Fatalf("in-grace alarm not credited: %+v", r)
+	}
+	// Beyond grace ⇒ false positive.
+	r = Score(injections, []analyzer.Alarm{alarm(2*time.Minute, c)}, 10*time.Second)
+	if r.FalsePositiveAlarms != 1 {
+		t.Fatalf("out-of-grace alarm credited: %+v", r)
+	}
+	// Before onset ⇒ false positive.
+	r = Score(injections, []analyzer.Alarm{alarm(time.Second, c)}, 10*time.Second)
+	if r.FalsePositiveAlarms != 1 {
+		t.Fatalf("pre-onset alarm credited: %+v", r)
+	}
+}
+
+func TestScoreUnclearedInjectionStaysActive(t *testing.T) {
+	c := component.Container("task-1/c3")
+	injections := []*faults.Injection{injection(10*time.Second, 0, c)} // never cleared
+	r := Score(injections, []analyzer.Alarm{alarm(time.Hour, c)}, time.Second)
+	if r.TruePositiveAlarms != 1 || r.DetectedInjections != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+func TestScoreEmptyInputs(t *testing.T) {
+	r := Score(nil, nil, time.Second)
+	if r.Precision() != 1 || r.Recall() != 1 {
+		t.Fatalf("vacuous report = %+v", r)
+	}
+	if r.LocalizationAccuracy() != 0 {
+		t.Fatalf("vacuous localization = %v", r.LocalizationAccuracy())
+	}
+}
+
+func TestScoreMultipleAlarmsOneInjection(t *testing.T) {
+	// Several alarms during one incident: latency uses the first,
+	// localization succeeds if any alarm names the component.
+	c := component.SwitchConfig("tor/p0/r1")
+	injections := []*faults.Injection{injection(0, time.Minute, c)}
+	alarms := []analyzer.Alarm{
+		alarm(20*time.Second, component.VSwitch(1)), // wrong verdict first
+		alarm(50*time.Second, c),                    // right verdict later
+	}
+	r := Score(injections, alarms, 10*time.Second)
+	if r.DetectedInjections != 1 || r.LocalizedInjections != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.MeanDetectionLatency != 20*time.Second {
+		t.Fatalf("latency = %v, want first-alarm latency", r.MeanDetectionLatency)
+	}
+}

@@ -1,0 +1,345 @@
+// Package netsim composes the structural substrates (topology, overlay)
+// with dynamic component conditions into an end-to-end probe simulator:
+// given two overlay endpoints it resolves the logical forwarding chain,
+// maps tunnel legs onto ECMP underlay paths, and produces the RTT and
+// loss outcome a real RDMA ping between the endpoints would observe.
+//
+// Everything SkeletonHunter measures in production — ~16 µs healthy
+// RTTs, loss under switch faults, the 120 µs software-slow-path latency
+// of the Fig. 18 offload inconsistency — is produced here from
+// per-component conditions that the fault injector (internal/faults)
+// manipulates.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"skeletonhunter/internal/overlay"
+	"skeletonhunter/internal/sim"
+	"skeletonhunter/internal/topology"
+)
+
+// Condition is the dynamic health state of one component. The zero
+// value means healthy.
+type Condition struct {
+	// Down makes the component drop everything traversing it.
+	Down bool
+	// LossRate drops packets probabilistically (0..1).
+	LossRate float64
+	// ExtraLatency inflates one-way latency per traversal.
+	ExtraLatency time.Duration
+	// QueueBacklog marks the extra latency as congestion-backed: the
+	// component's queue visibly builds (a mis-configured congestion
+	// control, issue 19). Software- or firmware-induced latency leaves
+	// queues flat — the signal the Fig. 18 investigation used to rule
+	// out congestion.
+	QueueBacklog bool
+	// Flap, when non-nil, makes the component periodically Down.
+	Flap *Flap
+}
+
+// Flap describes periodic unavailability: within every Period the
+// component is down for the first DownFor.
+type Flap struct {
+	Period  time.Duration
+	DownFor time.Duration
+}
+
+// effectiveDown reports whether the condition is down at time now.
+func (c *Condition) effectiveDown(now time.Duration) bool {
+	if c == nil {
+		return false
+	}
+	if c.Down {
+		return true
+	}
+	if c.Flap != nil && c.Flap.Period > 0 {
+		if now%c.Flap.Period < c.Flap.DownFor {
+			return true
+		}
+	}
+	return false
+}
+
+// Latency model constants: one-way component costs calibrated so a
+// healthy same-rail probe (2 links, 1 ToR) round-trips in ≈16 µs, the
+// paper's expectation for RoCE (§1).
+const (
+	nicCost    = 3 * time.Microsecond   // host/NIC stack, each end
+	linkCost   = 500 * time.Nanosecond  // propagation + serialization per link
+	switchCost = 1500 * time.Nanosecond // per-switch forwarding
+	// slowPathCost is the software-processing penalty when an offloaded
+	// flow entry has been invalidated on the RNIC (Fig. 18: latency
+	// jumped from ~16 µs to ~120 µs, i.e. ≈52 µs extra each way).
+	slowPathCost = 52 * time.Microsecond
+	// slowPathLossRate is the small loss (<0.1 %) observed alongside the
+	// slow path in the Fig. 18 case.
+	slowPathLossRate = 0.0008
+)
+
+// Net is the probe-level network simulator.
+type Net struct {
+	Engine  *sim.Engine
+	Fabric  *topology.Fabric
+	Overlay *overlay.Network
+
+	// TransientCongestionProb adds an occasional benign latency spike to
+	// healthy probes (transient congestion / resource contention, §5.2)
+	// so detection must actually filter noise. Zero disables.
+	TransientCongestionProb float64
+
+	linkCond map[topology.LinkID]*Condition
+	nodeCond map[topology.NodeID]*Condition
+	hostCond map[int]*Condition
+
+	// Per-node queue occupancy estimate: exponentially decayed
+	// traversal counts, the "switch queue length" operators consult to
+	// confirm or rule out congestion (§7.2's Fig. 18 validation).
+	queue map[topology.NodeID]*queueState
+}
+
+type queueState struct {
+	depth float64
+	last  time.Duration
+}
+
+// New returns a simulator over the given substrates.
+func New(eng *sim.Engine, fab *topology.Fabric, ovl *overlay.Network) *Net {
+	return &Net{
+		Engine:   eng,
+		Fabric:   fab,
+		Overlay:  ovl,
+		linkCond: make(map[topology.LinkID]*Condition),
+		nodeCond: make(map[topology.NodeID]*Condition),
+		hostCond: make(map[int]*Condition),
+		queue:    make(map[topology.NodeID]*queueState),
+	}
+}
+
+// queueHalfLife is the decay half-life of the queue estimate.
+const queueHalfLife = 2 * time.Second
+
+func (n *Net) bumpQueue(node topology.NodeID, now time.Duration) {
+	q, ok := n.queue[node]
+	if !ok {
+		q = &queueState{}
+		n.queue[node] = q
+	}
+	if dt := now - q.last; dt > 0 {
+		q.depth *= decayFactor(dt)
+	}
+	q.depth++
+	q.last = now
+}
+
+func decayFactor(dt time.Duration) float64 {
+	// 2^(-dt/halfLife) without importing math for a hot path: the
+	// exponent is small, use the standard library after all — clarity
+	// beats micro-optimizing a simulator.
+	return math.Exp2(-float64(dt) / float64(queueHalfLife))
+}
+
+// QueueLength returns the node's current queue occupancy estimate (in
+// packets): the decayed traversal count plus a large constant backlog
+// when a congestion-backed condition afflicts the node. Operators use
+// this to distinguish genuine congestion from software-path slowness.
+func (n *Net) QueueLength(node topology.NodeID) float64 {
+	depth := 0.0
+	if q, ok := n.queue[node]; ok {
+		depth = q.depth * decayFactor(n.Engine.Now()-q.last)
+	}
+	if c := n.nodeCond[node]; c != nil && c.QueueBacklog && !c.effectiveDown(n.Engine.Now()) {
+		depth += 500
+	}
+	return depth
+}
+
+// SetLinkCondition installs (or, with nil, clears) a link's condition.
+func (n *Net) SetLinkCondition(id topology.LinkID, c *Condition) {
+	if c == nil {
+		delete(n.linkCond, id)
+		return
+	}
+	n.linkCond[id] = c
+}
+
+// SetNodeCondition installs (or clears) a switch/NIC node condition.
+func (n *Net) SetNodeCondition(id topology.NodeID, c *Condition) {
+	if c == nil {
+		delete(n.nodeCond, id)
+		return
+	}
+	n.nodeCond[id] = c
+}
+
+// SetHostCondition installs (or clears) a host-board condition that
+// affects every endpoint on the host (PCIe/NVLink-class issues).
+func (n *Net) SetHostCondition(host int, c *Condition) {
+	if c == nil {
+		delete(n.hostCond, host)
+		return
+	}
+	n.hostCond[host] = c
+}
+
+// LinkCondition returns the current condition of a link (nil if healthy).
+func (n *Net) LinkCondition(id topology.LinkID) *Condition { return n.linkCond[id] }
+
+// NodeCondition returns the current condition of a node (nil if healthy).
+func (n *Net) NodeCondition(id topology.NodeID) *Condition { return n.nodeCond[id] }
+
+// HostCondition returns the current condition of a host (nil if healthy).
+func (n *Net) HostCondition(host int) *Condition { return n.hostCond[host] }
+
+// Result is the outcome of one probe.
+type Result struct {
+	// Lost reports the probe (or its reply) never arrived.
+	Lost bool
+	// RTT is the measured round-trip time (valid only when !Lost).
+	RTT time.Duration
+	// OverlayTrace is the logical forwarding chain the probe resolved.
+	OverlayTrace overlay.Trace
+	// UnderlayPath lists the physical links of every tunnel leg actually
+	// traversed (the traceroute view a host agent would obtain).
+	UnderlayPath []topology.LinkID
+	// UnderlayNodes lists the traversed fabric nodes, in order.
+	UnderlayNodes []topology.NodeID
+}
+
+// Probe simulates one ping from src to dst at the engine's current
+// time. entropy differentiates flows for ECMP hashing: probers vary it
+// (like varying UDP source ports) to spread probes over equal-cost
+// paths, which is what gives tomography its coverage.
+func (n *Net) Probe(src, dst overlay.Addr, entropy uint64) Result {
+	now := n.Engine.Now()
+	rng := n.Engine.Rand("netsim/loss")
+
+	var res Result
+	tr, err := n.Overlay.TraceForward(src, dst.IP)
+	if err != nil {
+		// Unregistered source: the probe cannot even leave the vport.
+		res.Lost = true
+		return res
+	}
+	res.OverlayTrace = tr
+	if tr.Outcome != overlay.Reached {
+		res.Lost = true
+		return res
+	}
+
+	latency := time.Duration(0)
+	lossProb := 0.0
+	addLoss := func(p float64) { lossProb = 1 - (1-lossProb)*(1-p) }
+
+	applyCond := func(c *Condition) bool {
+		if c == nil {
+			return true
+		}
+		if c.effectiveDown(now) {
+			return false
+		}
+		addLoss(c.LossRate)
+		latency += c.ExtraLatency
+		return true
+	}
+
+	// Host-board conditions at both ends.
+	if !applyCond(n.hostCond[src.Host]) || !applyCond(n.hostCond[dst.Host]) {
+		res.Lost = true
+		return res
+	}
+
+	if tr.SlowPath {
+		latency += slowPathCost
+		addLoss(slowPathLossRate)
+	}
+
+	// Walk each tunnel leg over its ECMP-selected underlay path.
+	for legIdx, leg := range tr.TunnelLegs {
+		srcNIC := topology.NIC{Host: leg.SrcHost, Rail: leg.SrcRail}
+		dstNIC := topology.NIC{Host: leg.DstHost, Rail: leg.DstRail}
+		hash := flowHash(src, dst, legIdx, entropy)
+		path, err := n.Fabric.PathByHash(srcNIC, dstNIC, hash)
+		if err != nil {
+			res.Lost = true
+			return res
+		}
+		res.UnderlayPath = append(res.UnderlayPath, path.Links...)
+		res.UnderlayNodes = append(res.UnderlayNodes, path.Nodes...)
+
+		for _, node := range path.Nodes {
+			n.bumpQueue(node, now)
+			if !applyCond(n.nodeCond[node]) {
+				res.Lost = true
+				return res
+			}
+			switch {
+			case node == path.Nodes[0] || node == path.Nodes[len(path.Nodes)-1]:
+				latency += nicCost
+			default:
+				latency += switchCost
+			}
+		}
+		for _, link := range path.Links {
+			if !applyCond(n.linkCond[link]) {
+				res.Lost = true
+				return res
+			}
+			latency += linkCost
+		}
+	}
+	if len(tr.TunnelLegs) == 0 {
+		// Same-host delivery through the vswitch only.
+		latency += 2 * time.Microsecond
+	}
+
+	// Round trip: the reply retraces the same components (RoCE probes
+	// are symmetric at this modeling granularity).
+	rtt := 2 * latency
+
+	// Benign transient congestion.
+	if n.TransientCongestionProb > 0 && rng.Float64() < n.TransientCongestionProb {
+		rtt += time.Duration(rng.ExpFloat64() * float64(20*time.Microsecond))
+	}
+	// Measurement jitter: multiplicative lognormal-ish noise, ~±8 %.
+	jitter := 1 + 0.08*rng.NormFloat64()
+	if jitter < 0.5 {
+		jitter = 0.5
+	}
+	rtt = time.Duration(float64(rtt) * jitter)
+
+	// Two chances to die: request and reply.
+	if rng.Float64() < lossProb || rng.Float64() < lossProb {
+		res.Lost = true
+		return res
+	}
+	res.RTT = rtt
+	return res
+}
+
+// Traceroute resolves the underlay path a flow with the given entropy
+// takes between two NICs — the host agent's probing primitive for
+// physical path intersection (§5.3). It does not consult conditions:
+// traceroute shows the configured route even across lossy components.
+func (n *Net) Traceroute(src, dst topology.NIC, entropy uint64) (topology.Path, error) {
+	return n.Fabric.PathByHash(src, dst, entropy)
+}
+
+func flowHash(src, dst overlay.Addr, leg int, entropy uint64) uint64 {
+	return fnv(fmt.Sprintf("%d/%s>%s#%d", src.VNI, src.IP, dst.IP, leg)) ^ entropy
+}
+
+func fnv(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	var h uint64 = offset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,104 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestReachabilityInvariant drives random attach/detach sequences and
+// checks the core overlay invariant after every step: every pair of
+// currently-registered endpoints in the same VNI is mutually reachable
+// through the forwarding chain, and traces toward detached endpoints
+// break instead of misdelivering.
+func TestReachabilityInvariant(t *testing.T) {
+	f := func(seed int64, opsRaw []uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := NewNetwork()
+		attached := map[string]Addr{}
+		const vni = VNI(7)
+
+		check := func() bool {
+			for _, a := range attached {
+				for _, b := range attached {
+					if a.IP == b.IP {
+						continue
+					}
+					tr, err := n.TraceForward(a, b.IP)
+					if err != nil || tr.Outcome != Reached {
+						return false
+					}
+				}
+			}
+			return true
+		}
+
+		for _, op := range opsRaw {
+			host := int(op % 16)
+			rail := int(op/16) % 4
+			ip := fmt.Sprintf("10.7.%d.%d", host, rail)
+			if _, ok := attached[ip]; ok {
+				// Detach, then verify traces toward it break.
+				a := attached[ip]
+				n.DetachEndpoint(a)
+				delete(attached, ip)
+				for _, src := range attached {
+					tr, err := n.TraceForward(src, ip)
+					if err != nil {
+						return false
+					}
+					if tr.Outcome == Reached {
+						return false // misdelivery to a detached endpoint
+					}
+				}
+			} else {
+				a := Addr{VNI: vni, IP: ip, Host: host, Rail: rail}
+				if err := n.AttachEndpoint(a); err != nil {
+					return false
+				}
+				attached[ip] = a
+			}
+			if r.Intn(4) == 0 && !check() {
+				return false
+			}
+		}
+		return check()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlowTableAccounting verifies the table-size arithmetic under
+// random membership: a host with k same-VNI endpoints visible to it
+// (its own plus remote peers) holds exactly that many entries.
+func TestFlowTableAccounting(t *testing.T) {
+	f := func(hostsRaw []uint8) bool {
+		n := NewNetwork()
+		const vni = VNI(3)
+		hosts := map[int]bool{}
+		count := 0
+		for _, h := range hostsRaw {
+			host := int(h % 12)
+			if hosts[host] {
+				continue
+			}
+			hosts[host] = true
+			a := Addr{VNI: vni, IP: fmt.Sprintf("10.3.%d.0", host), Host: host, Rail: 0}
+			if err := n.AttachEndpoint(a); err != nil {
+				return false
+			}
+			count++
+		}
+		for host := range hosts {
+			if n.VSwitch(host).Len() != count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

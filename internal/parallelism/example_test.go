@@ -1,0 +1,48 @@
+package parallelism_test
+
+import (
+	"fmt"
+
+	"skeletonhunter/internal/parallelism"
+)
+
+// The paper's 512-GPU running example: TP=8 (NVLink inside each
+// container), PP=8 stages, DP=8 replicas. After the rail-optimization
+// rewrite, the endpoint traffic matrix is extremely sparse — the
+// property the whole system is built on.
+func Example() {
+	cfg := parallelism.Config{TP: 8, PP: 8, DP: 8}
+	m, err := parallelism.TrafficMatrix(cfg, 8)
+	if err != nil {
+		panic(err)
+	}
+	pairs, err := parallelism.SkeletonPairs(cfg, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d endpoints\n", cfg, cfg.NumGPUs())
+	fmt.Printf("traffic-matrix density: %.4f\n", parallelism.MatrixDensity(m))
+	fmt.Printf("true skeleton pairs: %d\n", len(pairs))
+	// Output:
+	// TP8·PP8·DP8: 512 endpoints
+	// traffic-matrix density: 0.0073
+	// true skeleton pairs: 960
+}
+
+// Cross-container communication always leaves on the destination
+// slot's rail: every network flow is in-rail (Fig. 10).
+func ExampleNetworkFlows() {
+	flows, err := parallelism.NetworkFlows(parallelism.Config{TP: 8, PP: 2, DP: 2}, 8)
+	if err != nil {
+		panic(err)
+	}
+	crossRail := 0
+	for _, f := range flows {
+		if f.Src.Rail != f.Dst.Rail {
+			crossRail++
+		}
+	}
+	fmt.Printf("%d network flows, %d cross-rail\n", len(flows), crossRail)
+	// Output:
+	// 64 network flows, 0 cross-rail
+}

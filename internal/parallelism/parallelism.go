@@ -1,0 +1,275 @@
+// Package parallelism models the parallelization strategies of large
+// model training (§3.2, Fig. 8): tensor parallelism (TP), pipeline
+// parallelism (PP), data parallelism (DP) and, for MoE models, expert
+// parallelism (EP). It derives which GPU ranks communicate, and — after
+// applying the rail-optimization rewrite that collective communication
+// libraries perform (Fig. 10) — which container×rail endpoint pairs
+// actually exchange traffic over the network.
+//
+// That derived pair set is the ground-truth "traffic skeleton" the rest
+// of the system works with: the traffic generator synthesizes bursts on
+// it, and skeleton inference tries to recover it from throughput series
+// alone.
+package parallelism
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config describes a training task's parallelism degrees. A dense model
+// uses EP == 1; an MoE model sets EP > 1 (EP must divide DP: experts
+// are sharded across data-parallel replicas).
+type Config struct {
+	TP int // tensor-parallel degree (GPUs sharing every layer's tensors)
+	PP int // pipeline-parallel degree (model stages)
+	DP int // data-parallel degree (model replicas)
+	EP int // expert-parallel degree (MoE all-to-all group size; 1 = dense)
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.TP < 1 || c.PP < 1 || c.DP < 1 {
+		return errors.New("parallelism: TP, PP and DP must be ≥ 1")
+	}
+	ep := c.EP
+	if ep == 0 {
+		ep = 1
+	}
+	if ep < 1 || c.DP%ep != 0 {
+		return fmt.Errorf("parallelism: EP (%d) must divide DP (%d)", ep, c.DP)
+	}
+	return nil
+}
+
+// NumGPUs returns the total GPU (and hence RNIC endpoint) count:
+// TP × PP × DP.
+func (c Config) NumGPUs() int { return c.TP * c.PP * c.DP }
+
+// String renders the config like "TP8·PP8·DP8".
+func (c Config) String() string {
+	s := fmt.Sprintf("TP%d·PP%d·DP%d", c.TP, c.PP, c.DP)
+	if c.EP > 1 {
+		s += fmt.Sprintf("·EP%d", c.EP)
+	}
+	return s
+}
+
+// Rank is a global GPU rank in [0, NumGPUs).
+type Rank int
+
+// Coord locates a rank in the (tp, pp, dp) grid. The layout follows
+// Megatron convention: tp varies fastest, then pp, then dp — so a
+// container holding TP consecutive ranks holds one full tensor-parallel
+// group, keeping TP traffic on NVLink.
+type Coord struct {
+	TP, PP, DP int
+}
+
+// CoordOf maps a rank to grid coordinates.
+func (c Config) CoordOf(r Rank) Coord {
+	i := int(r)
+	return Coord{
+		TP: i % c.TP,
+		PP: (i / c.TP) % c.PP,
+		DP: i / (c.TP * c.PP),
+	}
+}
+
+// RankOf maps grid coordinates back to a rank.
+func (c Config) RankOf(co Coord) Rank {
+	return Rank(co.DP*c.TP*c.PP + co.PP*c.TP + co.TP)
+}
+
+// FlowKind labels why two endpoints communicate.
+type FlowKind int
+
+const (
+	FlowTP FlowKind = iota // tensor-parallel all-reduce within a layer
+	FlowPP                 // pipeline activations/gradients between stages
+	FlowDP                 // data-parallel gradient all-reduce (ring)
+	FlowEP                 // expert-parallel all-to-all (MoE)
+)
+
+func (k FlowKind) String() string {
+	switch k {
+	case FlowTP:
+		return "tp"
+	case FlowPP:
+		return "pp"
+	case FlowDP:
+		return "dp"
+	case FlowEP:
+		return "ep"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Endpoint identifies a (container, rail) pair inside one task —
+// equivalently one RNIC serving one GPU. Container indices are
+// task-local (0 .. NumGPUs/gpusPerContainer).
+type Endpoint struct {
+	Container int
+	Rail      int
+}
+
+// Flow is one directed network transfer requirement between endpoints
+// of the same task.
+type Flow struct {
+	Src, Dst Endpoint
+	Kind     FlowKind
+	// Stage is the pipeline stage of the source for FlowPP (used by the
+	// traffic generator to time-shift bursts), and 0 otherwise.
+	Stage int
+}
+
+// ErrPlacement reports an impossible placement.
+var ErrPlacement = errors.New("parallelism: NumGPUs must be divisible by gpusPerContainer")
+
+// containerOf returns the task-local container index and local GPU slot
+// of a rank under the canonical packing (consecutive ranks fill a
+// container).
+func containerOf(r Rank, gpusPerContainer int) (container, slot int) {
+	return int(r) / gpusPerContainer, int(r) % gpusPerContainer
+}
+
+// NetworkFlows derives every inter-container flow of a task after the
+// rail-optimization rewrite: communication between rank A (slot i) and
+// rank B (slot j) of different containers first crosses NVLink to the
+// GPU at slot j inside A's container, then traverses the network
+// in-rail from (containerA, rail j) to (containerB, rail j). The
+// function therefore emits only same-rail endpoint pairs, matching the
+// sparse traffic matrices of Fig. 9.
+//
+// The returned flows are deduplicated and directed (A→B and B→A both
+// appear for bidirectional collectives).
+func NetworkFlows(c Config, gpusPerContainer int) ([]Flow, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if gpusPerContainer < 1 || c.NumGPUs()%gpusPerContainer != 0 {
+		return nil, ErrPlacement
+	}
+	ep := c.EP
+	if ep == 0 {
+		ep = 1
+	}
+
+	seen := make(map[Flow]bool)
+	var flows []Flow
+	add := func(src, dst Rank, kind FlowKind, stage int) {
+		sc, _ := containerOf(src, gpusPerContainer)
+		dc, dslot := containerOf(dst, gpusPerContainer)
+		if sc == dc {
+			return // NVLink, not network
+		}
+		// Rail optimization: the transfer leaves the source container on
+		// the destination slot's rail.
+		f := Flow{
+			Src:   Endpoint{Container: sc, Rail: dslot},
+			Dst:   Endpoint{Container: dc, Rail: dslot},
+			Kind:  kind,
+			Stage: stage,
+		}
+		if !seen[f] {
+			seen[f] = true
+			flows = append(flows, f)
+		}
+	}
+
+	n := c.NumGPUs()
+	for i := 0; i < n; i++ {
+		r := Rank(i)
+		co := c.CoordOf(r)
+
+		// TP: all-pairs within the tensor group (usually intra-container).
+		for t := 0; t < c.TP; t++ {
+			if t != co.TP {
+				add(r, c.RankOf(Coord{TP: t, PP: co.PP, DP: co.DP}), FlowTP, 0)
+			}
+		}
+		// PP: next stage (activations forward, gradients back ⇒ both
+		// directions appear once i iterates over both stages).
+		if co.PP+1 < c.PP {
+			add(r, c.RankOf(Coord{TP: co.TP, PP: co.PP + 1, DP: co.DP}), FlowPP, co.PP)
+		}
+		if co.PP > 0 {
+			add(r, c.RankOf(Coord{TP: co.TP, PP: co.PP - 1, DP: co.DP}), FlowPP, co.PP)
+		}
+		// DP: ring all-reduce — each rank talks to its ring neighbours.
+		if c.DP > 1 {
+			next := (co.DP + 1) % c.DP
+			prev := (co.DP - 1 + c.DP) % c.DP
+			add(r, c.RankOf(Coord{TP: co.TP, PP: co.PP, DP: next}), FlowDP, 0)
+			add(r, c.RankOf(Coord{TP: co.TP, PP: co.PP, DP: prev}), FlowDP, 0)
+		}
+		// EP: all-to-all among the EP block of the DP dimension.
+		if ep > 1 {
+			block := co.DP / ep
+			for d := block * ep; d < (block+1)*ep; d++ {
+				if d != co.DP {
+					add(r, c.RankOf(Coord{TP: co.TP, PP: co.PP, DP: d}), FlowEP, 0)
+				}
+			}
+		}
+	}
+	return flows, nil
+}
+
+// TrafficMatrix renders flows as a dense endpoint×endpoint 0/1 matrix
+// (Fig. 9). Endpoints are indexed container*rails + rail with
+// rails = gpusPerContainer.
+func TrafficMatrix(c Config, gpusPerContainer int) ([][]int, error) {
+	flows, err := NetworkFlows(c, gpusPerContainer)
+	if err != nil {
+		return nil, err
+	}
+	n := c.NumGPUs()
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+	}
+	idx := func(e Endpoint) int { return e.Container*gpusPerContainer + e.Rail }
+	for _, f := range flows {
+		m[idx(f.Src)][idx(f.Dst)] = 1
+	}
+	return m, nil
+}
+
+// MatrixDensity returns the fraction of nonzero off-diagonal entries in
+// a traffic matrix — the sparsity measure quoted in §3.2.
+func MatrixDensity(m [][]int) float64 {
+	n := len(m)
+	if n < 2 {
+		return 0
+	}
+	nz := 0
+	for i := range m {
+		for j := range m[i] {
+			if i != j && m[i][j] != 0 {
+				nz++
+			}
+		}
+	}
+	return float64(nz) / float64(n*(n-1))
+}
+
+// SkeletonPairs returns the undirected set of endpoint pairs that carry
+// traffic — the ground-truth traffic skeleton. Each pair appears once
+// with Src < Dst in (container, rail) order.
+func SkeletonPairs(c Config, gpusPerContainer int) (map[[2]Endpoint]bool, error) {
+	flows, err := NetworkFlows(c, gpusPerContainer)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[[2]Endpoint]bool)
+	for _, f := range flows {
+		a, b := f.Src, f.Dst
+		if b.Container < a.Container || (b.Container == a.Container && b.Rail < a.Rail) {
+			a, b = b, a
+		}
+		set[[2]Endpoint{a, b}] = true
+	}
+	return set, nil
+}

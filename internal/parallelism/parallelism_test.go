@@ -1,0 +1,225 @@
+package parallelism
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		c  Config
+		ok bool
+	}{
+		{Config{TP: 8, PP: 8, DP: 8}, true},
+		{Config{TP: 8, PP: 8, DP: 8, EP: 4}, true},
+		{Config{TP: 8, PP: 8, DP: 8, EP: 3}, false}, // EP ∤ DP
+		{Config{TP: 0, PP: 1, DP: 1}, false},
+		{Config{TP: 1, PP: 1, DP: 1}, true},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%v: err = %v, ok = %v", tc.c, err, tc.ok)
+		}
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	f := func(tp, pp, dp uint8, r uint16) bool {
+		c := Config{TP: int(tp%8) + 1, PP: int(pp%8) + 1, DP: int(dp%8) + 1}
+		rank := Rank(int(r) % c.NumGPUs())
+		return c.RankOf(c.CoordOf(rank)) == rank
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordLayoutTPFastest(t *testing.T) {
+	c := Config{TP: 4, PP: 2, DP: 2}
+	if co := c.CoordOf(0); co != (Coord{0, 0, 0}) {
+		t.Fatalf("rank 0 coord = %+v", co)
+	}
+	if co := c.CoordOf(3); co != (Coord{3, 0, 0}) {
+		t.Fatalf("rank 3 coord = %+v", co)
+	}
+	if co := c.CoordOf(4); co != (Coord{0, 1, 0}) {
+		t.Fatalf("rank 4 coord = %+v", co)
+	}
+	if co := c.CoordOf(8); co != (Coord{0, 0, 1}) {
+		t.Fatalf("rank 8 coord = %+v", co)
+	}
+}
+
+func TestNetworkFlowsAllSameRail(t *testing.T) {
+	// The rail-optimization invariant: every network flow is in-rail.
+	c := Config{TP: 8, PP: 8, DP: 8} // the paper's 512-GPU example
+	flows, err := NetworkFlows(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) == 0 {
+		t.Fatal("no flows derived")
+	}
+	for _, f := range flows {
+		if f.Src.Rail != f.Dst.Rail {
+			t.Fatalf("cross-rail flow leaked: %+v", f)
+		}
+		if f.Src.Container == f.Dst.Container {
+			t.Fatalf("intra-container flow leaked: %+v", f)
+		}
+	}
+}
+
+func TestNetworkFlowsTPStaysOnNVLink(t *testing.T) {
+	// With TP == gpusPerContainer the tensor groups are intra-container,
+	// so no FlowTP should reach the network.
+	c := Config{TP: 8, PP: 2, DP: 2}
+	flows, err := NetworkFlows(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if f.Kind == FlowTP {
+			t.Fatalf("TP flow reached network despite intra-container TP: %+v", f)
+		}
+	}
+}
+
+func TestNetworkFlowsTPSpansContainers(t *testing.T) {
+	// TP=16 over 8-GPU containers spans two containers → network TP.
+	c := Config{TP: 16, PP: 1, DP: 2}
+	flows, err := NetworkFlows(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range flows {
+		if f.Kind == FlowTP {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no network TP flow despite TP spanning containers")
+	}
+}
+
+func TestMatrixSparsity512(t *testing.T) {
+	// Fig. 9a: a 512-GPU dense task's matrix is highly sparse. Each
+	// endpoint in the basic (same-rail) full mesh would see 63 peers;
+	// the skeleton limits it to a handful.
+	c := Config{TP: 8, PP: 8, DP: 8}
+	m, err := TrafficMatrix(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 512 {
+		t.Fatalf("matrix size = %d, want 512", len(m))
+	}
+	d := MatrixDensity(m)
+	if d <= 0 || d > 0.02 {
+		t.Fatalf("density = %v, want sparse (0, 0.02]", d)
+	}
+	// Paper: a single GPU's basic ping list has 64 same-rail candidates,
+	// of which only a few are real peers (~9 incl. PP boundary cases);
+	// check the max degree is single-digit.
+	maxDeg := 0
+	for i := range m {
+		deg := 0
+		for j := range m[i] {
+			if m[i][j] != 0 {
+				deg++
+			}
+		}
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	if maxDeg > 9 {
+		t.Fatalf("max endpoint degree = %d, want ≤ 9", maxDeg)
+	}
+}
+
+func TestMatrixSymmetry(t *testing.T) {
+	c := Config{TP: 8, PP: 4, DP: 4}
+	m, err := TrafficMatrix(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != m[j][i] {
+				t.Fatalf("matrix asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMoEDenserThanDense(t *testing.T) {
+	// Fig. 9b: EP all-to-all adds pairs but the matrix stays sparse.
+	dense := Config{TP: 8, PP: 8, DP: 8}
+	moe := Config{TP: 8, PP: 8, DP: 8, EP: 4}
+	md, _ := TrafficMatrix(dense, 8)
+	mm, _ := TrafficMatrix(moe, 8)
+	dd, dm := MatrixDensity(md), MatrixDensity(mm)
+	if dm <= dd {
+		t.Fatalf("MoE density %v not above dense %v", dm, dd)
+	}
+	if dm > 0.05 {
+		t.Fatalf("MoE density %v no longer sparse", dm)
+	}
+}
+
+func TestDPRingNeighbors(t *testing.T) {
+	// DP=4, single stage, TP intra-container: every endpoint has exactly
+	// its two ring neighbours (prev, next) — and with DP=2 only one peer.
+	c := Config{TP: 8, PP: 1, DP: 4}
+	sk, err := SkeletonPairs(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 containers × 8 rails; per rail the ring 0-1-2-3 has 4 undirected
+	// edges ⇒ 32 pairs.
+	if len(sk) != 32 {
+		t.Fatalf("skeleton pairs = %d, want 32", len(sk))
+	}
+}
+
+func TestPPStageRecorded(t *testing.T) {
+	c := Config{TP: 8, PP: 4, DP: 1}
+	flows, err := NetworkFlows(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := map[int]bool{}
+	for _, f := range flows {
+		if f.Kind != FlowPP {
+			t.Fatalf("unexpected kind %v with DP=1", f.Kind)
+		}
+		stages[f.Stage] = true
+	}
+	for s := 0; s < 4; s++ {
+		if !stages[s] {
+			t.Fatalf("no PP flow recorded for stage %d", s)
+		}
+	}
+}
+
+func TestNetworkFlowsPlacementErrors(t *testing.T) {
+	if _, err := NetworkFlows(Config{TP: 8, PP: 8, DP: 8}, 5); err != ErrPlacement {
+		t.Fatalf("err = %v, want ErrPlacement", err)
+	}
+	if _, err := NetworkFlows(Config{TP: 0, PP: 1, DP: 1}, 8); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if got := (Config{TP: 8, PP: 8, DP: 8}).String(); got != "TP8·PP8·DP8" {
+		t.Fatalf("dense string = %q", got)
+	}
+	if got := (Config{TP: 8, PP: 8, DP: 8, EP: 4}).String(); got != "TP8·PP8·DP8·EP4" {
+		t.Fatalf("moe string = %q", got)
+	}
+}

@@ -1,0 +1,170 @@
+// Package probe implements SkeletonHunter's agents (§6): the overlay
+// agent, deployed as a sidecar sharing the training container's network
+// namespace, which fetches its ping list from the controller and
+// executes RDMA probes every round; and the underlay host agent, which
+// resolves traceroute-style physical paths for tomography (§5.3).
+//
+// Probe results stream to a sink (the analyzer) as Records carrying
+// end-to-end latency, loss, and the underlay path the probe's flow
+// traversed.
+package probe
+
+import (
+	"math"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/controller"
+	"skeletonhunter/internal/netsim"
+	"skeletonhunter/internal/overlay"
+	"skeletonhunter/internal/sim"
+	"skeletonhunter/internal/topology"
+)
+
+// Record is one probe observation.
+type Record struct {
+	Task cluster.TaskID
+	// Task-local endpoint coordinates.
+	SrcContainer, SrcRail int
+	DstContainer, DstRail int
+	// Src and Dst are the overlay addresses probed.
+	Src, Dst overlay.Addr
+	At       time.Duration
+	RTT      time.Duration
+	Lost     bool
+	// Path is the underlay links the probe's flow was routed over (the
+	// view a traceroute with the same five-tuple would return).
+	Path []topology.LinkID
+}
+
+// Sink consumes probe records.
+type Sink func(Record)
+
+// OverlayAgent probes on behalf of one container. One agent exists per
+// training container (sidecar); it queries the controller each round so
+// list updates (registration, skeleton pruning) take effect without
+// agent restarts.
+type OverlayAgent struct {
+	Engine     *sim.Engine
+	Net        *netsim.Net
+	Controller *controller.Controller
+	Task       *cluster.Task
+	Container  *cluster.Container
+	Sink       Sink
+	// Interval is the probing round period (default 1 s).
+	Interval time.Duration
+	// ProbesPerTarget is how many probes (with distinct ECMP entropy)
+	// each target gets per round (default 1; >1 widens path coverage).
+	ProbesPerTarget int
+
+	ticker  *sim.Ticker
+	rounds  int
+	entropy uint64
+}
+
+// Start registers the agent with the controller and begins periodic
+// probing rounds on the engine.
+func (a *OverlayAgent) Start() {
+	if a.Interval == 0 {
+		a.Interval = time.Second
+	}
+	if a.ProbesPerTarget == 0 {
+		a.ProbesPerTarget = 1
+	}
+	a.Controller.Register(a.Task.ID, a.Container.Index)
+	a.ticker = a.Engine.Every(a.Engine.Now()+a.Interval, a.Interval, "probe-round", a.round)
+}
+
+// Stop deregisters and halts probing — the graceful teardown path.
+func (a *OverlayAgent) Stop() {
+	a.Kill()
+	a.Controller.Deregister(a.Task.ID, a.Container.Index)
+}
+
+// Kill halts probing without deregistering — what actually happens
+// when the sidecar dies with a crashing container: the controller's
+// registry still lists the endpoint, so peers keep probing it and the
+// unconnectivity gets detected.
+func (a *OverlayAgent) Kill() {
+	if a.ticker != nil {
+		a.ticker.Stop()
+	}
+}
+
+// Rounds returns the number of completed probing rounds.
+func (a *OverlayAgent) Rounds() int { return a.rounds }
+
+func (a *OverlayAgent) round(now time.Duration) {
+	if a.Container.State != cluster.Running {
+		return
+	}
+	targets := a.Controller.PingList(a.Task.ID, a.Container.Index)
+	for _, tg := range targets {
+		dst := a.Task.Containers[tg.DstContainer]
+		src := a.Container.Addrs[tg.SrcRail]
+		dstAddr := dst.Addrs[tg.DstRail]
+		for p := 0; p < a.ProbesPerTarget; p++ {
+			a.entropy++
+			res := a.Net.Probe(src, dstAddr, a.entropy)
+			rec := Record{
+				Task:         a.Task.ID,
+				SrcContainer: tg.SrcContainer, SrcRail: tg.SrcRail,
+				DstContainer: tg.DstContainer, DstRail: tg.DstRail,
+				Src: src, Dst: dstAddr,
+				At:   now,
+				RTT:  res.RTT,
+				Lost: res.Lost,
+				Path: res.UnderlayPath,
+			}
+			if a.Sink != nil {
+				a.Sink(rec)
+			}
+		}
+	}
+	a.rounds++
+}
+
+// HostAgent is the per-host underlay agent: it resolves the physical
+// path a flow takes (traceroute with a chosen five-tuple), which the
+// localizer uses for physical path intersection.
+type HostAgent struct {
+	Net  *netsim.Net
+	Host int
+}
+
+// Traceroute resolves the ECMP path from a local NIC to a remote NIC
+// for the given flow entropy.
+func (h *HostAgent) Traceroute(localRail int, dst topology.NIC, entropy uint64) (topology.Path, error) {
+	return h.Net.Traceroute(topology.NIC{Host: h.Host, Rail: localRail}, dst, entropy)
+}
+
+// DumpOffload dumps the local RNIC's offloaded flow table and compares
+// it against the vswitch (the intrusive validation step of §5.3).
+func (h *HostAgent) DumpOffload(rail int) overlay.OffloadDump {
+	return h.Net.Overlay.DumpOffload(h.Host, rail)
+}
+
+// ResourceModel reproduces the agent overhead curve of Fig. 17: CPU and
+// memory converge quickly after container start and stay flat (≈1 %
+// CPU, ≈35 MB) because the skeleton-pruned ping list keeps per-round
+// work constant and small.
+type ResourceModel struct {
+	// Targets is the agent's current ping-list size.
+	Targets int
+}
+
+// CPUPercent returns the agent's CPU share at a given container age.
+func (m ResourceModel) CPUPercent(age time.Duration) float64 {
+	// Startup transient: list fetch + registration churn, decaying to
+	// the steady probing cost.
+	steady := 0.6 + 0.4*math.Min(1, float64(m.Targets)/64.0)
+	transient := 2.5 * math.Exp(-age.Seconds()/20)
+	return steady + transient
+}
+
+// MemoryMB returns the agent's resident memory at a given container age.
+func (m ResourceModel) MemoryMB(age time.Duration) float64 {
+	// Buffers fill toward the 35 MB plateau.
+	plateau := 35.0
+	return plateau*(1-math.Exp(-age.Seconds()/30)) + 4
+}

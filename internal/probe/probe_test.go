@@ -1,0 +1,203 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/controller"
+	"skeletonhunter/internal/netsim"
+	"skeletonhunter/internal/overlay"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/sim"
+	"skeletonhunter/internal/topology"
+)
+
+type rig struct {
+	eng  *sim.Engine
+	net  *netsim.Net
+	cp   *cluster.ControlPlane
+	ctl  *controller.Controller
+	task *cluster.Task
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.NewEngine(5)
+	fab, err := topology.New(topology.Spec{Pods: 1, HostsPerPod: 8, Rails: 8, AggPerPod: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovl := overlay.NewNetwork()
+	cp := cluster.NewControlPlane(eng, fab, ovl, cluster.DefaultLagModel())
+	ctl := controller.New()
+	ctl.Attach(cp)
+	task, err := cp.Submit(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(10 * time.Minute)
+	return &rig{eng: eng, net: netsim.New(eng, fab, ovl), cp: cp, ctl: ctl, task: task}
+}
+
+func startAgents(r *rig, sink Sink) []*OverlayAgent {
+	var agents []*OverlayAgent
+	for _, c := range r.task.Containers {
+		a := &OverlayAgent{
+			Engine: r.eng, Net: r.net, Controller: r.ctl,
+			Task: r.task, Container: c, Sink: sink,
+		}
+		a.Start()
+		agents = append(agents, a)
+	}
+	return agents
+}
+
+func TestAgentsProbeActiveTargets(t *testing.T) {
+	r := newRig(t)
+	var records []Record
+	agents := startAgents(r, func(rec Record) { records = append(records, rec) })
+	start := r.eng.Now()
+	r.eng.RunUntil(start + 10*time.Second)
+
+	if len(records) == 0 {
+		t.Fatal("no probe records")
+	}
+	// 4 containers × 24 targets × ~10 rounds ≈ 960.
+	if len(records) < 800 {
+		t.Fatalf("records = %d, want ≈960", len(records))
+	}
+	for _, rec := range records {
+		if rec.Lost {
+			t.Fatalf("healthy cluster produced a lost probe: %+v", rec)
+		}
+		if rec.RTT < 5*time.Microsecond || rec.RTT > 40*time.Microsecond {
+			t.Fatalf("unexpected RTT %v", rec.RTT)
+		}
+		if rec.SrcRail != rec.DstRail {
+			t.Fatalf("basic-phase probe crossed rails: %+v", rec)
+		}
+		if len(rec.Path) == 0 {
+			t.Fatal("record missing underlay path")
+		}
+	}
+	for _, a := range agents {
+		if a.Rounds() < 9 {
+			t.Fatalf("agent completed %d rounds, want ≈10", a.Rounds())
+		}
+	}
+}
+
+func TestAgentStopCeasesProbing(t *testing.T) {
+	r := newRig(t)
+	count := 0
+	agents := startAgents(r, func(Record) { count++ })
+	start := r.eng.Now()
+	r.eng.RunUntil(start + 5*time.Second)
+	for _, a := range agents {
+		a.Stop()
+	}
+	snapshot := count
+	r.eng.RunUntil(start + 20*time.Second)
+	if count != snapshot {
+		t.Fatalf("probing continued after Stop: %d → %d", snapshot, count)
+	}
+	// Stopped agents deregistered.
+	for i := range r.task.Containers {
+		if r.ctl.Registered(r.task.ID, i) {
+			t.Fatalf("container %d still registered after Stop", i)
+		}
+	}
+}
+
+func TestAgentSkipsTerminatedContainer(t *testing.T) {
+	r := newRig(t)
+	count := 0
+	agents := startAgents(r, func(Record) { count++ })
+	start := r.eng.Now()
+	r.eng.RunUntil(start + 2*time.Second)
+	// Crash the container behind agent 0; its agent must stop emitting.
+	r.cp.CrashContainer(r.task.Containers[0].ID)
+	before := count
+	srcBefore := 0
+	_ = srcBefore
+	r.eng.RunUntil(start + 4*time.Second)
+	grew := count - before
+	// Other agents keep probing (minus the dead destination).
+	if grew == 0 {
+		t.Fatal("all probing stopped after one container crash")
+	}
+	for _, a := range agents[1:] {
+		_ = a
+	}
+}
+
+func TestProbesPerTargetSpreadsEntropy(t *testing.T) {
+	r := newRig(t)
+	var paths = map[string]bool{}
+	agent := &OverlayAgent{
+		Engine: r.eng, Net: r.net, Controller: r.ctl,
+		Task: r.task, Container: r.task.Containers[0],
+		ProbesPerTarget: 4,
+		Sink: func(rec Record) {
+			key := ""
+			for _, l := range rec.Path {
+				key += string(l)
+			}
+			paths[key] = true
+		},
+	}
+	agent.Start()
+	start := r.eng.Now()
+	r.eng.RunUntil(start + 5*time.Second)
+	if len(paths) == 0 {
+		t.Fatal("no probes")
+	}
+}
+
+func TestHostAgentTracerouteAndDump(t *testing.T) {
+	r := newRig(t)
+	c0 := r.task.Containers[0]
+	c1 := r.task.Containers[1]
+	ha := &HostAgent{Net: r.net, Host: c0.Host}
+	path, err := ha.Traceroute(0, topology.NIC{Host: c1.Host, Rail: 0}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path.Links) != 2 {
+		t.Fatalf("same-rail path links = %d, want 2", len(path.Links))
+	}
+	d := ha.DumpOffload(0)
+	if d.Total == 0 {
+		t.Fatal("dump saw no entries despite running task")
+	}
+	if len(d.Inconsistent) != 0 {
+		t.Fatal("healthy dump reported inconsistencies")
+	}
+}
+
+func TestResourceModelConvergence(t *testing.T) {
+	// Fig. 17: converges to ≈1 % CPU and ≈35 MB over the container's
+	// lifetime, regardless of startup transients.
+	m := ResourceModel{Targets: 24}
+	if cpu := m.CPUPercent(0); cpu < 1.5 {
+		t.Fatalf("startup CPU = %v, want a visible transient", cpu)
+	}
+	cpuLate := m.CPUPercent(10 * time.Minute)
+	if cpuLate > 1.2 || cpuLate < 0.3 {
+		t.Fatalf("steady CPU = %v%%, want ≈1%%", cpuLate)
+	}
+	memLate := m.MemoryMB(10 * time.Minute)
+	if memLate < 30 || memLate > 42 {
+		t.Fatalf("steady memory = %v MB, want ≈35–39 MB", memLate)
+	}
+	if m.MemoryMB(0) > memLate {
+		t.Fatal("memory not monotone toward plateau")
+	}
+	// A huge ping list costs more CPU than a pruned one — the reason
+	// the skeleton matters for agent overhead.
+	big := ResourceModel{Targets: 2048}
+	if big.CPUPercent(10*time.Minute) <= m.CPUPercent(10*time.Minute) {
+		t.Fatal("ping-list size has no CPU effect")
+	}
+}

@@ -1,0 +1,149 @@
+// Package rollout models the agent release mechanics of §8
+// ("Accelerating Agent Evolution"): SkeletonHunter's agents ride
+// sidecar containers, so a new agent release reaches new training tasks
+// immediately while old tasks keep their pinned version until they
+// finish; fleet-wide coverage completes as old tasks drain. The paper
+// conducted 20+ such online updates — the short task lifetimes of
+// Fig. 2 are what make weekly (emergency) and monthly (routine)
+// releases converge quickly.
+package rollout
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+)
+
+// Version names an agent release.
+type Version string
+
+// Tracker records which agent version every live task runs and when
+// each release reached full coverage.
+type Tracker struct {
+	mu       sync.Mutex
+	current  Version
+	released time.Duration
+	tasks    map[cluster.TaskID]Version
+
+	// completions records, per release, the virtual time between its
+	// release and the moment every live task ran it.
+	completions map[Version]time.Duration
+	now         func() time.Duration
+}
+
+// New returns a tracker over a virtual clock. initial is the version
+// new tasks receive until the first Release.
+func New(now func() time.Duration, initial Version) *Tracker {
+	return &Tracker{
+		current:     initial,
+		tasks:       make(map[cluster.TaskID]Version),
+		completions: make(map[Version]time.Duration),
+		now:         now,
+	}
+}
+
+// Attach subscribes the tracker to control-plane lifecycle events:
+// task submission pins the current version, task teardown releases it.
+func (t *Tracker) Attach(cp *cluster.ControlPlane) {
+	cp.Subscribe(func(ev cluster.Event) {
+		switch ev.Kind {
+		case cluster.EvTaskSubmitted:
+			t.TaskStarted(ev.Task.ID)
+		case cluster.EvTaskFinished:
+			t.TaskFinished(ev.Task.ID)
+		}
+	})
+}
+
+// Release publishes a new agent version: tasks created from now on run
+// it; existing tasks keep their pinned version (sidecar versions only
+// change with the task, §8).
+func (t *Tracker) Release(v Version) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.current = v
+	t.released = t.now()
+	t.checkComplete()
+}
+
+// TaskStarted pins the current version onto a new task.
+func (t *Tracker) TaskStarted(id cluster.TaskID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tasks[id] = t.current
+	t.checkComplete()
+}
+
+// TaskFinished drops a task (its sidecars are gone).
+func (t *Tracker) TaskFinished(id cluster.TaskID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.tasks, id)
+	t.checkComplete()
+}
+
+// checkComplete records the completion time of the current release
+// once no live task runs an older version. Caller holds the lock.
+func (t *Tracker) checkComplete() {
+	if _, done := t.completions[t.current]; done {
+		return
+	}
+	for _, v := range t.tasks {
+		if v != t.current {
+			return
+		}
+	}
+	t.completions[t.current] = t.now() - t.released
+}
+
+// VersionOf returns a live task's pinned version.
+func (t *Tracker) VersionOf(id cluster.TaskID) (Version, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.tasks[id]
+	return v, ok
+}
+
+// Coverage returns the fraction of live tasks running the current
+// release (1.0 when the fleet is idle).
+func (t *Tracker) Coverage() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.tasks) == 0 {
+		return 1
+	}
+	n := 0
+	for _, v := range t.tasks {
+		if v == t.current {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.tasks))
+}
+
+// CompletionTime returns how long a release took to cover the fleet,
+// if it completed.
+func (t *Tracker) CompletionTime(v Version) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d, ok := t.completions[v]
+	return d, ok
+}
+
+// Versions returns the distinct versions currently live, sorted.
+func (t *Tracker) Versions() []Version {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	set := map[Version]bool{}
+	for _, v := range t.tasks {
+		set[v] = true
+	}
+	out := make([]Version, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	e.Schedule(3*time.Second, "c", func(time.Duration) { got = append(got, "c") })
+	e.Schedule(1*time.Second, "a", func(time.Duration) { got = append(got, "a") })
+	e.Schedule(2*time.Second, "b", func(time.Duration) { got = append(got, "b") })
+	e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", e.Now())
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, "x", func(time.Duration) { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := NewEngine(1)
+	var fired time.Duration
+	e.Schedule(5*time.Second, "outer", func(now time.Duration) {
+		e.After(2*time.Second, "inner", func(now time.Duration) { fired = now })
+	})
+	e.Run()
+	if fired != 7*time.Second {
+		t.Fatalf("inner fired at %v, want 7s", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10*time.Second, "x", func(time.Duration) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(1*time.Second, "past", func(time.Duration) {})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(time.Second, "x", func(time.Duration) { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var got []time.Duration
+	for i := 1; i <= 5; i++ {
+		d := time.Duration(i) * time.Second
+		e.Schedule(d, "x", func(now time.Duration) { got = append(got, now) })
+	}
+	e.RunUntil(3 * time.Second)
+	if len(got) != 3 {
+		t.Fatalf("fired %d events, want 3", len(got))
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", e.Now())
+	}
+	e.RunUntil(10 * time.Second)
+	if len(got) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(got))
+	}
+	if e.Now() != 10*time.Second {
+		t.Fatalf("clock advanced to %v, want deadline 10s", e.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	var fires []time.Duration
+	tk := e.Every(time.Second, 2*time.Second, "tick", func(now time.Duration) {
+		fires = append(fires, now)
+		if len(fires) == 3 {
+			// Stop from within the callback.
+		}
+	})
+	e.RunUntil(5 * time.Second)
+	tk.Stop()
+	e.RunUntil(20 * time.Second)
+	if len(fires) != 3 {
+		t.Fatalf("ticker fired %d times, want 3 (1s,3s,5s)", len(fires))
+	}
+	want := []time.Duration{time.Second, 3 * time.Second, 5 * time.Second}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tk *Ticker
+	tk = e.Every(0, time.Second, "tick", func(now time.Duration) {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(time.Minute)
+	if count != 2 {
+		t.Fatalf("ticker fired %d times after in-callback Stop, want 2", count)
+	}
+}
+
+func TestRandStreamsIndependentAndDeterministic(t *testing.T) {
+	a1 := NewEngine(42).Rand("alpha").Int63()
+	a2 := NewEngine(42).Rand("alpha").Int63()
+	if a1 != a2 {
+		t.Fatal("same seed+name produced different draws")
+	}
+	b := NewEngine(42).Rand("beta").Int63()
+	if a1 == b {
+		t.Fatal("different stream names produced identical draws")
+	}
+	// Drawing from one stream must not perturb another.
+	e := NewEngine(42)
+	e.Rand("noise").Int63()
+	e.Rand("noise").Int63()
+	if got := e.Rand("alpha").Int63(); got != a1 {
+		t.Fatal("stream alpha perturbed by draws on stream noise")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 4; i++ {
+		e.Schedule(time.Duration(i)*time.Second, "x", func(time.Duration) {})
+	}
+	if e.Pending() != 4 {
+		t.Fatalf("pending = %d, want 4", e.Pending())
+	}
+	e.Step()
+	if e.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", e.Pending())
+	}
+}

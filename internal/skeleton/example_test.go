@@ -1,0 +1,34 @@
+package skeleton_test
+
+import (
+	"fmt"
+	"time"
+
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/skeleton"
+	"skeletonhunter/internal/traffic"
+)
+
+// Infer a tenant's (hidden) parallelism structure from nothing but
+// per-RNIC throughput counters — the CSP-side view.
+func ExampleInfer() {
+	truth := parallelism.Config{TP: 8, PP: 2, DP: 4} // unknown to the inferrer
+	gen := &traffic.Generator{Par: truth, GPUsPerContainer: 8, Seed: 99}
+
+	var eps []skeleton.EndpointSeries
+	for _, ep := range gen.Endpoints() {
+		eps = append(eps, skeleton.EndpointSeries{
+			Container: ep.Container,
+			Rail:      ep.Rail,
+			Host:      ep.Container, // one container per host
+			Series:    gen.Series(ep, 900*time.Second),
+		})
+	}
+	inf, err := skeleton.Infer(eps, skeleton.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("inferred DP=%d TP=%d PP=%d, %d probe pairs\n", inf.DP, inf.TP, inf.PP, len(inf.Pairs))
+	// Output:
+	// inferred DP=4 TP=8 PP=2, 96 probe pairs
+}

@@ -1,0 +1,324 @@
+package skeleton
+
+import (
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/traffic"
+)
+
+// seriesFor builds EndpointSeries from the traffic generator for a
+// task where container i lives on host i (the production layout).
+func seriesFor(par parallelism.Config, dur time.Duration) []EndpointSeries {
+	g := &traffic.Generator{Par: par, GPUsPerContainer: 8, Seed: 17}
+	var eps []EndpointSeries
+	for _, ep := range g.Endpoints() {
+		eps = append(eps, EndpointSeries{
+			Container: ep.Container,
+			Rail:      ep.Rail,
+			Host:      ep.Container,
+			Series:    g.Series(ep, dur),
+		})
+	}
+	return eps
+}
+
+func TestInferRecoverStructureSmall(t *testing.T) {
+	// TP8·PP2·DP4 on 8 containers: 64 endpoints, 16 positions of 4.
+	par := parallelism.Config{TP: 8, PP: 2, DP: 4}
+	eps := seriesFor(par, 900*time.Second)
+	inf, err := Infer(eps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.DP != 4 {
+		t.Fatalf("inferred DP = %d, want 4", inf.DP)
+	}
+	if inf.TPxPP != 16 {
+		t.Fatalf("inferred TP×PP = %d, want 16", inf.TPxPP)
+	}
+	if inf.PP != 2 || inf.TP != 8 {
+		t.Fatalf("inferred PP=%d TP=%d, want 2/8", inf.PP, inf.TP)
+	}
+	// Every group must hold endpoints of a single true position.
+	for _, g := range inf.Groups {
+		tg := &traffic.Generator{Par: par, GPUsPerContainer: 8}
+		pos0, _ := tg.PositionOf(parallelism.Endpoint{Container: eps[g[0]].Container, Rail: eps[g[0]].Rail})
+		for _, m := range g[1:] {
+			pos, _ := tg.PositionOf(parallelism.Endpoint{Container: eps[m].Container, Rail: eps[m].Rail})
+			if pos != pos0 {
+				t.Fatalf("group mixes positions %v and %v", pos0, pos)
+			}
+		}
+	}
+}
+
+func TestInferSkeletonCoversGroundTruth(t *testing.T) {
+	// The inferred probe pairs must cover the true traffic pairs (no
+	// missed paths ⇒ no failure-detection blind spots) while remaining
+	// far below the basic same-rail full mesh.
+	par := parallelism.Config{TP: 8, PP: 2, DP: 4}
+	eps := seriesFor(par, 900*time.Second)
+	inf, err := Infer(eps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	index := map[parallelism.Endpoint]int{}
+	for i, ep := range eps {
+		index[parallelism.Endpoint{Container: ep.Container, Rail: ep.Rail}] = i
+	}
+	truth, err := parallelism.SkeletonPairs(par, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred := map[Pair]bool{}
+	for _, p := range inf.Pairs {
+		inferred[p] = true
+	}
+	missed := 0
+	for pr := range truth {
+		a, b := index[pr[0]], index[pr[1]]
+		if b < a {
+			a, b = b, a
+		}
+		if !inferred[Pair{A: a, B: b}] {
+			missed++
+		}
+	}
+	if missed > 0 {
+		t.Fatalf("skeleton misses %d/%d ground-truth pairs", missed, len(truth))
+	}
+
+	// Reduction vs the basic rail-pruned full mesh: 8 containers per
+	// rail ⇒ C(8,2)=28 pairs × 8 rails = 224 basic pairs.
+	basic := 8 * 28
+	if len(inf.Pairs) >= basic/2 {
+		t.Fatalf("skeleton pairs = %d, want well below basic %d", len(inf.Pairs), basic)
+	}
+}
+
+func TestInferStageOrdering(t *testing.T) {
+	par := parallelism.Config{TP: 8, PP: 4, DP: 2}
+	eps := seriesFor(par, 900*time.Second)
+	inf, err := Infer(eps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.PP != 4 {
+		t.Fatalf("inferred PP = %d, want 4", inf.PP)
+	}
+	// Groups' inferred stages must match the true pp of their members.
+	tg := &traffic.Generator{Par: par, GPUsPerContainer: 8}
+	for g, members := range inf.Groups {
+		pos, _ := tg.PositionOf(parallelism.Endpoint{Container: eps[members[0]].Container, Rail: eps[members[0]].Rail})
+		if inf.StageOf[g] != pos.PP {
+			t.Fatalf("group %d inferred stage %d, true pp %d", g, inf.StageOf[g], pos.PP)
+		}
+	}
+}
+
+func TestInfer512GPUHeadlineTask(t *testing.T) {
+	// The paper's running example (Fig. 8/9): a 512-GPU dense task with
+	// TP=8, PP=8, DP=8 across 64 containers. Full-pipeline inference at
+	// this scale (512 endpoints) must recover the exact structure and
+	// a skeleton covering every true traffic pair.
+	if testing.Short() {
+		t.Skip("512-endpoint inference; run without -short")
+	}
+	par := parallelism.Config{TP: 8, PP: 8, DP: 8}
+	// A 512-GPU model iterates slower than a small one; the 60 s period
+	// also matters methodologically: with 8 pipeline stages inside a
+	// 30 s iteration at 1 s monitoring granularity, stage onsets would
+	// be sub-sample (1.125 s apart) and PP inference must degrade to a
+	// flat pipeline — which Infer does gracefully. At 60 s the onsets
+	// quantize distinctly.
+	g := &traffic.Generator{Par: par, GPUsPerContainer: 8, Seed: 17, IterPeriod: 60 * time.Second}
+	var eps []EndpointSeries
+	for _, ep := range g.Endpoints() {
+		eps = append(eps, EndpointSeries{
+			Container: ep.Container, Rail: ep.Rail, Host: ep.Container,
+			Series: g.Series(ep, 1800*time.Second),
+		})
+	}
+	inf, err := Infer(eps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.DP != 8 || inf.TPxPP != 64 {
+		t.Fatalf("512-GPU inference DP=%d TP×PP=%d, want 8/64", inf.DP, inf.TPxPP)
+	}
+	if inf.PP != 8 || inf.TP != 8 {
+		t.Fatalf("512-GPU inference PP=%d TP=%d, want 8/8", inf.PP, inf.TP)
+	}
+	if p := purity(par, eps, inf.Groups); p < 0.999 {
+		t.Fatalf("purity = %v", p)
+	}
+	// Full coverage of the ground-truth skeleton.
+	truth, err := parallelism.SkeletonPairs(par, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	index := map[parallelism.Endpoint]int{}
+	for i, ep := range eps {
+		index[parallelism.Endpoint{Container: ep.Container, Rail: ep.Rail}] = i
+	}
+	inferred := map[Pair]bool{}
+	for _, p := range inf.Pairs {
+		inferred[p] = true
+	}
+	for pr := range truth {
+		a, b := index[pr[0]], index[pr[1]]
+		if b < a {
+			a, b = b, a
+		}
+		if !inferred[Pair{A: a, B: b}] {
+			t.Fatalf("missing true pair %v", pr)
+		}
+	}
+	// §5.1's reduction claims at this scale: basic = 64·63·8 = 32 256
+	// targets; skeleton (both directions) must be >95 % below the full
+	// mesh (512·504 = 258 048).
+	skeletonTargets := 2 * len(inf.Pairs)
+	if fullMesh := 512 * 504; float64(skeletonTargets) > 0.05*float64(fullMesh) {
+		t.Fatalf("skeleton targets = %d, not >95%% below full mesh %d", skeletonTargets, fullMesh)
+	}
+}
+
+func TestInferMoE(t *testing.T) {
+	// EP adds mid-iteration bursts; grouping must still recover the
+	// position structure (§5.1: new strategies classified the same way).
+	par := parallelism.Config{TP: 8, PP: 2, DP: 4, EP: 2}
+	eps := seriesFor(par, 900*time.Second)
+	inf, err := Infer(eps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.DP != 4 || inf.TPxPP != 16 {
+		t.Fatalf("MoE inference DP=%d TP×PP=%d, want 4/16", inf.DP, inf.TPxPP)
+	}
+}
+
+func TestInferRobustToPhaseJitter(t *testing.T) {
+	// DP replicas drift in burst phase (different data → different
+	// per-microbatch timing); STFT fingerprints are magnitude-based so
+	// inference must still recover the structure.
+	par := parallelism.Config{TP: 8, PP: 2, DP: 4}
+	g := &traffic.Generator{Par: par, GPUsPerContainer: 8, Seed: 17, PhaseJitterSamples: 2}
+	var eps []EndpointSeries
+	for _, ep := range g.Endpoints() {
+		eps = append(eps, EndpointSeries{
+			Container: ep.Container, Rail: ep.Rail, Host: ep.Container,
+			Series: g.Series(ep, 900*time.Second),
+		})
+	}
+	inf, err := Infer(eps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.DP != 4 || inf.TPxPP != 16 {
+		t.Fatalf("jittered inference DP=%d TP×PP=%d, want 4/16", inf.DP, inf.TPxPP)
+	}
+	if purity(par, eps, inf.Groups) < 0.99 {
+		t.Fatalf("jittered purity = %v", purity(par, eps, inf.Groups))
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	if _, err := Infer(nil, Options{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	short := []EndpointSeries{
+		{Container: 0, Rail: 0, Host: 0, Series: make([]float64, 10)},
+		{Container: 1, Rail: 0, Host: 1, Series: make([]float64, 10)},
+	}
+	if _, err := Infer(short, Options{}); err == nil {
+		t.Fatal("short series accepted")
+	}
+}
+
+func TestAblationTimeDomainWorseThanSTFT(t *testing.T) {
+	// Same-position endpoints at different DP replicas share burst
+	// *periodicity* but may differ in exact sample noise; crucially,
+	// different positions differ in phase, which time-domain vectors
+	// see as dissimilarity between... nothing, while STFT magnitudes
+	// ignore phase. The ablation shows time-domain features misgroup.
+	par := parallelism.Config{TP: 8, PP: 4, DP: 2}
+	eps := seriesFor(par, 900*time.Second)
+	stft, err := Infer(eps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := Infer(eps, Options{TimeDomainFeatures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoreSTFT := purity(par, eps, stft.Groups)
+	scoreTD := purity(par, eps, td.Groups)
+	if scoreSTFT < scoreTD {
+		t.Fatalf("STFT purity %v below time-domain %v", scoreSTFT, scoreTD)
+	}
+	if scoreSTFT < 0.99 {
+		t.Fatalf("STFT purity = %v, want ≈1", scoreSTFT)
+	}
+}
+
+// purity measures the fraction of endpoints whose group's majority
+// position matches their own.
+func purity(par parallelism.Config, eps []EndpointSeries, groups [][]int) float64 {
+	tg := &traffic.Generator{Par: par, GPUsPerContainer: 8}
+	correct, total := 0, 0
+	for _, g := range groups {
+		counts := map[traffic.Position]int{}
+		for _, m := range g {
+			pos, _ := tg.PositionOf(parallelism.Endpoint{Container: eps[m].Container, Rail: eps[m].Rail})
+			counts[pos]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+		total += len(g)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestBucketLags(t *testing.T) {
+	// Six groups, three clean lag levels.
+	got, pp := bucketLags([]int{0, 5, 0, 10, 5, 10}, 6)
+	want := []int{0, 1, 0, 2, 1, 2}
+	if pp != 3 {
+		t.Fatalf("pp = %d, want 3", pp)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucketLags = %v, want %v", got, want)
+		}
+	}
+	// Quantization noise within a stage is absorbed: lags {0,0,2,3}
+	// with 4 groups must yield 2 stages, not 3.
+	got, pp = bucketLags([]int{0, 0, 2, 3}, 4)
+	if pp != 2 {
+		t.Fatalf("noisy pp = %d, want 2", pp)
+	}
+	if got[0] != 0 || got[1] != 0 || got[2] != 1 || got[3] != 1 {
+		t.Fatalf("noisy stages = %v", got)
+	}
+	// All-equal lags: a flat pipeline.
+	_, pp = bucketLags([]int{4, 4, 4, 4}, 4)
+	if pp != 1 {
+		t.Fatalf("flat pp = %d, want 1", pp)
+	}
+	// Empty input.
+	stages, pp := bucketLags(nil, 0)
+	if len(stages) != 0 || pp != 1 {
+		t.Fatalf("nil lags: %v, %d", stages, pp)
+	}
+}

@@ -1,0 +1,38 @@
+package stats_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"skeletonhunter/internal/stats"
+)
+
+// Long-term anomaly detection (Fig. 14): fit a lognormal reference on
+// healthy RTTs, then Z-test later windows against it.
+func ExampleLogNormal_ZTest() {
+	r := rand.New(rand.NewSource(1))
+	healthy := stats.LogNormal{Mu: math.Log(16), Sigma: 0.15} // ≈16 µs RTT
+
+	sample := func(d stats.LogNormal, n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = d.Sample(r)
+		}
+		return xs
+	}
+	ref, err := stats.FitLogNormal(sample(healthy, 2000))
+	if err != nil {
+		panic(err)
+	}
+
+	zGood, _, _ := ref.ZTest(sample(healthy, 500))
+	degraded := stats.LogNormal{Mu: math.Log(24), Sigma: 0.15}
+	zBad, _, _ := ref.ZTest(sample(degraded, 500))
+
+	fmt.Printf("healthy window rejected: %v\n", math.Abs(zGood) > 6)
+	fmt.Printf("degraded window rejected: %v\n", math.Abs(zBad) > 6)
+	// Output:
+	// healthy window rejected: false
+	// degraded window rejected: true
+}

@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// LOF implements the Local Outlier Factor of Breunig et al. (SIGMOD
+// 2000), the density-based score SkeletonHunter's short-term detector
+// applies to latency-window feature vectors (§5.2): a new 30-second
+// window whose LOF against the five-minute look-back exceeds the
+// threshold cannot be clustered into the previous windows and is
+// declared anomalous.
+//
+// The implementation is the textbook O(n²) formulation. Look-back
+// windows hold at most tens of points (5 min / 30 s = 10 per pair), so
+// a spatial index would be pure overhead.
+
+// LOFScores returns the local outlier factor of every point in data with
+// respect to the whole set, using k nearest neighbours. Scores near 1
+// indicate inliers; scores substantially above 1 indicate outliers.
+// k is clamped to len(data)-1; fewer than 2 points yields all-1 scores
+// (a single observation can never be an outlier relative to itself).
+func LOFScores(data [][]float64, k int) []float64 {
+	n := len(data)
+	scores := make([]float64, n)
+	if n < 2 {
+		for i := range scores {
+			scores[i] = 1
+		}
+		return scores
+	}
+	if k >= n {
+		k = n - 1
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	// Pairwise distances.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := EuclideanDistance(data[i], data[j])
+			dist[i][j] = d
+			dist[j][i] = d
+		}
+	}
+
+	// k-distance and k-neighbourhood per point.
+	kdist := make([]float64, n)
+	neigh := make([][]int, n)
+	for i := 0; i < n; i++ {
+		idx := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				idx = append(idx, j)
+			}
+		}
+		sort.Slice(idx, func(a, b int) bool { return dist[i][idx[a]] < dist[i][idx[b]] })
+		kdist[i] = dist[i][idx[k-1]]
+		// The k-neighbourhood includes all points at distance ≤ k-distance
+		// (may exceed k on ties).
+		m := k
+		for m < len(idx) && dist[i][idx[m]] == kdist[i] {
+			m++
+		}
+		neigh[i] = idx[:m]
+	}
+
+	// Local reachability density.
+	lrd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for _, j := range neigh[i] {
+			sum += math.Max(kdist[j], dist[i][j]) // reachability distance
+		}
+		if sum == 0 {
+			lrd[i] = math.Inf(1) // duplicate points: infinite density
+		} else {
+			lrd[i] = float64(len(neigh[i])) / sum
+		}
+	}
+
+	// LOF: mean ratio of neighbour densities to own density.
+	for i := 0; i < n; i++ {
+		var sum float64
+		allInf := true
+		for _, j := range neigh[i] {
+			if math.IsInf(lrd[j], 1) {
+				if math.IsInf(lrd[i], 1) {
+					sum++ // inf/inf treated as 1 (coincident duplicates)
+				} else {
+					// Neighbour infinitely denser than us: strongly outlying,
+					// but keep the score finite and comparable.
+					sum += math.MaxFloat64 / float64(len(neigh[i]))
+					allInf = false
+				}
+				continue
+			}
+			allInf = false
+			if math.IsInf(lrd[i], 1) {
+				// We are infinitely dense relative to a finite neighbour.
+				continue
+			}
+			sum += lrd[j] / lrd[i]
+		}
+		if allInf && math.IsInf(lrd[i], 1) {
+			scores[i] = 1
+			continue
+		}
+		scores[i] = sum / float64(len(neigh[i]))
+	}
+	return scores
+}
+
+// LOFScore scores a single query point against a reference set (the
+// look-back window) without including the query in the reference
+// densities — the streaming form used by the detector, where each new
+// window is judged against history.
+func LOFScore(query []float64, history [][]float64, k int) float64 {
+	n := len(history)
+	if n == 0 {
+		return 1
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	// Distances among history points and from query to history.
+	hd := make([][]float64, n)
+	for i := range hd {
+		hd[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := EuclideanDistance(history[i], history[j])
+			hd[i][j] = d
+			hd[j][i] = d
+		}
+	}
+	qd := make([]float64, n)
+	for i := range history {
+		qd[i] = EuclideanDistance(query, history[i])
+	}
+
+	kdistOf := func(row []float64, self int) (float64, []int) {
+		idx := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			if j != self {
+				idx = append(idx, j)
+			}
+		}
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] < row[idx[b]] })
+		kk := k
+		if kk > len(idx) {
+			kk = len(idx)
+		}
+		if kk == 0 {
+			return 0, nil
+		}
+		kd := row[idx[kk-1]]
+		m := kk
+		for m < len(idx) && row[idx[m]] == kd {
+			m++
+		}
+		return kd, idx[:m]
+	}
+
+	// History local reachability densities.
+	hkdist := make([]float64, n)
+	hneigh := make([][]int, n)
+	for i := 0; i < n; i++ {
+		hkdist[i], hneigh[i] = kdistOf(hd[i], i)
+	}
+	hlrd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if len(hneigh[i]) == 0 {
+			hlrd[i] = math.Inf(1)
+			continue
+		}
+		var sum float64
+		for _, j := range hneigh[i] {
+			sum += math.Max(hkdist[j], hd[i][j])
+		}
+		if sum == 0 {
+			hlrd[i] = math.Inf(1)
+		} else {
+			hlrd[i] = float64(len(hneigh[i])) / sum
+		}
+	}
+
+	// Query neighbourhood and density.
+	qidx := make([]int, n)
+	for i := range qidx {
+		qidx[i] = i
+	}
+	sort.Slice(qidx, func(a, b int) bool { return qd[qidx[a]] < qd[qidx[b]] })
+	kk := k
+	if kk > n {
+		kk = n
+	}
+	qkdist := qd[qidx[kk-1]]
+	m := kk
+	for m < n && qd[qidx[m]] == qkdist {
+		m++
+	}
+	qneigh := qidx[:m]
+
+	var reachSum float64
+	for _, j := range qneigh {
+		reachSum += math.Max(hkdist[j], qd[j])
+	}
+	var qlrd float64
+	if reachSum == 0 {
+		qlrd = math.Inf(1)
+	} else {
+		qlrd = float64(len(qneigh)) / reachSum
+	}
+
+	var ratio float64
+	for _, j := range qneigh {
+		switch {
+		case math.IsInf(hlrd[j], 1) && math.IsInf(qlrd, 1):
+			ratio++
+		case math.IsInf(hlrd[j], 1):
+			return math.Inf(1)
+		case math.IsInf(qlrd, 1):
+			// query denser than neighbours — inlier
+		default:
+			ratio += hlrd[j] / qlrd
+		}
+	}
+	return ratio / float64(len(qneigh))
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func cluster2D(r *rand.Rand, cx, cy, spread float64, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{cx + r.NormFloat64()*spread, cy + r.NormFloat64()*spread}
+	}
+	return out
+}
+
+func TestLOFScoresFlagOutlier(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	data := cluster2D(r, 0, 0, 0.1, 30)
+	data = append(data, []float64{5, 5}) // far outlier
+	scores := LOFScores(data, 5)
+	out := scores[len(scores)-1]
+	for i := 0; i < 30; i++ {
+		// Edge points of a Gaussian cluster can legitimately approach 2.
+		if scores[i] > 2.5 {
+			t.Fatalf("inlier %d scored %v", i, scores[i])
+		}
+	}
+	if out < 3 {
+		t.Fatalf("outlier scored only %v", out)
+	}
+}
+
+func TestLOFScoresUniformNearOne(t *testing.T) {
+	// A regular grid: every point equally dense, LOF ≈ 1.
+	var data [][]float64
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			data = append(data, []float64{float64(i), float64(j)})
+		}
+	}
+	for i, s := range LOFScores(data, 4) {
+		if s < 0.7 || s > 1.5 {
+			t.Fatalf("grid point %d scored %v, want ≈1", i, s)
+		}
+	}
+}
+
+func TestLOFScoresDegenerate(t *testing.T) {
+	if s := LOFScores(nil, 3); len(s) != 0 {
+		t.Fatal("non-empty scores for empty data")
+	}
+	s := LOFScores([][]float64{{1, 2}}, 3)
+	if len(s) != 1 || s[0] != 1 {
+		t.Fatalf("single point: %v", s)
+	}
+	// All-duplicate points should not blow up and should read as inliers.
+	dup := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	for _, v := range LOFScores(dup, 2) {
+		if v != 1 {
+			t.Fatalf("duplicate points scored %v", v)
+		}
+	}
+}
+
+func TestLOFScoreStreaming(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	history := cluster2D(r, 10, 10, 0.2, 10) // 5-minute lookback = 10 windows
+
+	// A query inside the cluster is an inlier.
+	in := LOFScore([]float64{10.05, 9.9}, history, 5)
+	if in > 1.5 {
+		t.Fatalf("inlier query scored %v", in)
+	}
+	// A query far away is an outlier.
+	out := LOFScore([]float64{30, 30}, history, 5)
+	if out < 5 {
+		t.Fatalf("outlier query scored %v", out)
+	}
+	if out <= in {
+		t.Fatalf("outlier (%v) not scored above inlier (%v)", out, in)
+	}
+}
+
+func TestLOFScoreEmptyHistory(t *testing.T) {
+	if s := LOFScore([]float64{1}, nil, 3); s != 1 {
+		t.Fatalf("score with no history = %v, want 1 (no evidence)", s)
+	}
+}
+
+func TestLOFScoreDuplicateHistory(t *testing.T) {
+	history := [][]float64{{2, 2}, {2, 2}, {2, 2}}
+	if s := LOFScore([]float64{2, 2}, history, 2); s != 1 {
+		t.Fatalf("coincident query scored %v, want 1", s)
+	}
+	if s := LOFScore([]float64{9, 9}, history, 2); !math.IsInf(s, 1) {
+		t.Fatalf("distant query against zero-spread history scored %v, want +Inf", s)
+	}
+}
+
+func TestLOFLatencyWindowScenario(t *testing.T) {
+	// End-to-end sanity at the detector's actual feature shape: seven
+	// summary features of healthy 16µs windows, then a 120µs window
+	// (the Fig. 18 anomaly) must stand out.
+	r := rand.New(rand.NewSource(17))
+	healthy := LogNormal{Mu: math.Log(16), Sigma: 0.1}
+	var history [][]float64
+	for w := 0; w < 10; w++ {
+		xs := make([]float64, 60)
+		for i := range xs {
+			xs[i] = healthy.Sample(r)
+		}
+		history = append(history, Summarize(xs).Vector())
+	}
+	// Healthy new window.
+	xs := make([]float64, 60)
+	for i := range xs {
+		xs[i] = healthy.Sample(r)
+	}
+	if s := LOFScore(Summarize(xs).Vector(), history, 5); s > 2.0 {
+		t.Fatalf("healthy window scored %v", s)
+	}
+	// Anomalous window.
+	bad := LogNormal{Mu: math.Log(120), Sigma: 0.1}
+	for i := range xs {
+		xs[i] = bad.Sample(r)
+	}
+	if s := LOFScore(Summarize(xs).Vector(), history, 5); s < 5 {
+		t.Fatalf("anomalous window scored only %v", s)
+	}
+}

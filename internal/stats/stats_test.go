@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Max != 5 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("median = %v, want 3", s.P50)
+	}
+	if s.P25 != 2 || s.P75 != 4 {
+		t.Fatalf("quartiles = %v/%v, want 2/4", s.P25, s.P75)
+	}
+	if !almost(s.Mean, 3, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if !almost(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("std = %v, want sqrt(2.5)", s.Std)
+	}
+	if s.N != 5 {
+		t.Fatalf("n = %d", s.N)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summary should have N==0")
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.P50 != 7 || s.Std != 0 {
+		t.Fatalf("single-element summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if got := Percentile(sorted, 0.5); !almost(got, 25, 1e-12) {
+		t.Fatalf("p50 = %v, want 25", got)
+	}
+	if got := Percentile(sorted, 0); got != 10 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(sorted, 1); got != 40 {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestPercentileOrderProperty(t *testing.T) {
+	// Property: percentile is monotone in p and bounded by [min, max].
+	f := func(raw []float64, p1, p2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs) // sorts internally
+		_ = s
+		sorted := append([]float64(nil), xs...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		pa := math.Abs(math.Mod(p1, 1))
+		pb := math.Abs(math.Mod(p2, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		qa, qb := Percentile(sorted, pa), Percentile(sorted, pb)
+		return qa <= qb+1e-9 && qa >= sorted[0]-1e-9 && qb <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5, 1e-12) {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	// Sample variance of this classic set is 32/7.
+	if !almost(Variance(xs), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", Variance(xs))
+	}
+	if !almost(Std(xs), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("std = %v", Std(xs))
+	}
+}
+
+func TestFitLogNormalRecovery(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	want := LogNormal{Mu: 2.8, Sigma: 0.22} // ~16µs-scale RTT in µs logs
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = want.Sample(r)
+	}
+	got, err := FitLogNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got.Mu, want.Mu, 0.01) || !almost(got.Sigma, want.Sigma, 0.01) {
+		t.Fatalf("fit = %+v, want ≈ %+v", got, want)
+	}
+}
+
+func TestFitLogNormalRejectsBadInput(t *testing.T) {
+	if _, err := FitLogNormal(nil); err == nil {
+		t.Fatal("expected error on empty sample")
+	}
+	if _, err := FitLogNormal([]float64{1}); err == nil {
+		t.Fatal("expected error on single sample")
+	}
+	if _, err := FitLogNormal([]float64{1, -2, 3}); err == nil {
+		t.Fatal("expected error on non-positive sample")
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	d := LogNormal{Mu: 1, Sigma: 0.5}
+	if !almost(d.Median(), math.E, 1e-12) {
+		t.Fatalf("median = %v", d.Median())
+	}
+	if !almost(d.Mean(), math.Exp(1.125), 1e-12) {
+		t.Fatalf("mean = %v", d.Mean())
+	}
+	// Quantile at 0.5 equals the median.
+	if !almost(d.Quantile(0.5), d.Median(), 1e-9) {
+		t.Fatalf("q50 = %v, median = %v", d.Quantile(0.5), d.Median())
+	}
+	if d.Quantile(0.9) <= d.Quantile(0.1) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestZTestDetectsShift(t *testing.T) {
+	ref := LogNormal{Mu: math.Log(16), Sigma: 0.2}
+	r := rand.New(rand.NewSource(3))
+
+	// Consistent sample: drawn from the reference itself.
+	good := make([]float64, 500)
+	for i := range good {
+		good[i] = ref.Sample(r)
+	}
+	_, p, err := ref.ZTest(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Fatalf("consistent sample rejected: p = %v", p)
+	}
+
+	// Shifted sample: the Fig. 18 case, 16µs → 120µs.
+	bad := make([]float64, 500)
+	shift := LogNormal{Mu: math.Log(120), Sigma: 0.2}
+	for i := range bad {
+		bad[i] = shift.Sample(r)
+	}
+	z, p, err := ref.ZTest(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 || z < 10 {
+		t.Fatalf("shifted sample not rejected: z = %v, p = %v", z, p)
+	}
+}
+
+func TestZTestGradualDegradationDetectable(t *testing.T) {
+	// A 30% latency creep — the gradual degradation long-term analysis
+	// exists to catch (§5.2) — must be flagged with enough samples.
+	ref := LogNormal{Mu: math.Log(16), Sigma: 0.2}
+	r := rand.New(rand.NewSource(5))
+	crept := LogNormal{Mu: math.Log(16 * 1.3), Sigma: 0.2}
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = crept.Sample(r)
+	}
+	_, p, err := ref.ZTest(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Fatalf("gradual degradation not detected: p = %v", p)
+	}
+}
+
+func TestZTestErrors(t *testing.T) {
+	d := LogNormal{Mu: 1, Sigma: 0.1}
+	if _, _, err := d.ZTest(nil); err == nil {
+		t.Fatal("expected error on empty sample")
+	}
+	if _, _, err := d.ZTest([]float64{-1}); err == nil {
+		t.Fatal("expected error on negative sample")
+	}
+	zero := LogNormal{Mu: 1, Sigma: 0}
+	if _, _, err := zero.ZTest([]float64{1}); err == nil {
+		t.Fatal("expected error on zero-sigma reference")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if !almost(NormalCDF(0), 0.5, 1e-12) {
+		t.Fatal("Φ(0) != 0.5")
+	}
+	if !almost(NormalCDF(1.96), 0.975, 1e-3) {
+		t.Fatalf("Φ(1.96) = %v", NormalCDF(1.96))
+	}
+}
+
+func TestErfinvRoundTrip(t *testing.T) {
+	for _, x := range []float64{-0.999, -0.5, -0.1, 0, 0.1, 0.5, 0.9, 0.999} {
+		y := erfinv(x)
+		if !almost(math.Erf(y), x, 1e-9) {
+			t.Fatalf("erf(erfinv(%v)) = %v", x, math.Erf(y))
+		}
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := []float64{1, 0, 0}
+	b := []float64{0, 1, 0}
+	if got := CosineSimilarity(a, a); !almost(got, 1, 1e-12) {
+		t.Fatalf("self similarity = %v", got)
+	}
+	if got := CosineSimilarity(a, b); !almost(got, 0, 1e-12) {
+		t.Fatalf("orthogonal similarity = %v", got)
+	}
+	if got := CosineSimilarity(a, []float64{-1, 0, 0}); !almost(got, -1, 1e-12) {
+		t.Fatalf("opposite similarity = %v", got)
+	}
+	if got := CosineSimilarity(a, []float64{0, 0, 0}); got != 0 {
+		t.Fatalf("zero-vector similarity = %v", got)
+	}
+}

@@ -1,0 +1,330 @@
+// Package topology models the rail-optimized data-center fabric that
+// containerized large-model training runs on (§3.2, Fig. 10).
+//
+// Hosts carry one RNIC per rail; RNIC r of every host in a pod connects
+// to that pod's rail-r top-of-rack (ToR) switch. ToRs uplink to a pod's
+// aggregation switches, which uplink to the spine tier; equal-cost
+// multi-path (ECMP) routing spreads flows over the aggregation and
+// spine choices. Collective-communication libraries keep training
+// traffic in-rail (cross-rail transfers become NVLink + in-rail hops),
+// which is the property SkeletonHunter's basic ping-list pruning
+// exploits (§5.1).
+//
+// The package is purely structural: component identity, connectivity,
+// and ECMP path enumeration. Dynamic state (faults, latency, loss)
+// lives in internal/netsim.
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeKind discriminates fabric nodes.
+type NodeKind int
+
+const (
+	KindNIC NodeKind = iota
+	KindToR
+	KindAgg
+	KindSpine
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindNIC:
+		return "nic"
+	case KindToR:
+		return "tor"
+	case KindAgg:
+		return "agg"
+	case KindSpine:
+		return "spine"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// NodeID names a fabric node, e.g. "nic/h12/r3", "tor/p0/r3",
+// "agg/p0/a1", "spine/s2". String IDs keep diagnostics and tomography
+// vote tables human-readable, which matters when an operator inspects
+// a localization verdict.
+type NodeID string
+
+// LinkID names an undirected physical link as "<a>--<b>" with a < b.
+type LinkID string
+
+// MakeLinkID builds the canonical LinkID for a node pair.
+func MakeLinkID(a, b NodeID) LinkID {
+	if b < a {
+		a, b = b, a
+	}
+	return LinkID(string(a) + "--" + string(b))
+}
+
+// NIC identifies one RNIC: a (host, rail) pair. NICs are the probing
+// endpoints' physical attachment points.
+type NIC struct {
+	Host int // global host index
+	Rail int
+}
+
+// ID returns the fabric node ID of the NIC.
+func (n NIC) ID() NodeID { return NodeID(fmt.Sprintf("nic/h%d/r%d", n.Host, n.Rail)) }
+
+// Spec parameterizes a fabric.
+type Spec struct {
+	Pods        int // pods (a.k.a. segments); ≥ 1
+	HostsPerPod int // hosts per pod; ≥ 1
+	Rails       int // RNICs per host = rails per pod; ≥ 1 (production: 8)
+	AggPerPod   int // aggregation switches per pod; ≥ 1
+	Spines      int // spine switches shared by all pods; ≥ 1 (unused if Pods == 1)
+}
+
+// Production returns the spec used throughout the evaluation harness: a
+// scaled-down but structurally faithful version of the paper's cluster
+// (8 rails per host, multiple pods, ECMP fan-out at agg and spine).
+func Production(hosts int) Spec {
+	pods := (hosts + 31) / 32
+	if pods < 1 {
+		pods = 1
+	}
+	return Spec{Pods: pods, HostsPerPod: (hosts + pods - 1) / pods, Rails: 8, AggPerPod: 4, Spines: 8}
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Pods < 1 || s.HostsPerPod < 1 || s.Rails < 1 || s.AggPerPod < 1 {
+		return errors.New("topology: all spec fields must be ≥ 1")
+	}
+	if s.Pods > 1 && s.Spines < 1 {
+		return errors.New("topology: multi-pod fabric requires spines")
+	}
+	return nil
+}
+
+// Fabric is an instantiated topology.
+type Fabric struct {
+	Spec  Spec
+	hosts int
+
+	// links holds every physical link, keyed by canonical ID.
+	links map[LinkID][2]NodeID
+}
+
+// New builds the fabric for a spec.
+func New(spec Spec) (*Fabric, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{Spec: spec, hosts: spec.Pods * spec.HostsPerPod, links: make(map[LinkID][2]NodeID)}
+	addLink := func(a, b NodeID) {
+		f.links[MakeLinkID(a, b)] = [2]NodeID{a, b}
+	}
+	for p := 0; p < spec.Pods; p++ {
+		for h := 0; h < spec.HostsPerPod; h++ {
+			host := p*spec.HostsPerPod + h
+			for r := 0; r < spec.Rails; r++ {
+				addLink(NIC{Host: host, Rail: r}.ID(), f.ToR(p, r))
+			}
+		}
+		for r := 0; r < spec.Rails; r++ {
+			for a := 0; a < spec.AggPerPod; a++ {
+				addLink(f.ToR(p, r), f.Agg(p, a))
+			}
+		}
+		if spec.Pods > 1 {
+			for a := 0; a < spec.AggPerPod; a++ {
+				for s := 0; s < spec.Spines; s++ {
+					addLink(f.Agg(p, a), f.Spine(s))
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// Hosts returns the number of hosts in the fabric.
+func (f *Fabric) Hosts() int { return f.hosts }
+
+// PodOf returns the pod index of a host.
+func (f *Fabric) PodOf(host int) int { return host / f.Spec.HostsPerPod }
+
+// ToR returns the node ID of pod p's rail-r ToR switch.
+func (f *Fabric) ToR(p, r int) NodeID { return NodeID(fmt.Sprintf("tor/p%d/r%d", p, r)) }
+
+// Agg returns the node ID of pod p's a-th aggregation switch.
+func (f *Fabric) Agg(p, a int) NodeID { return NodeID(fmt.Sprintf("agg/p%d/a%d", p, a)) }
+
+// Spine returns the node ID of spine switch s.
+func (f *Fabric) Spine(s int) NodeID { return NodeID(fmt.Sprintf("spine/s%d", s)) }
+
+// LinkEndpoints returns the two nodes a link connects, and whether the
+// link exists in this fabric.
+func (f *Fabric) LinkEndpoints(l LinkID) ([2]NodeID, bool) {
+	ep, ok := f.links[l]
+	return ep, ok
+}
+
+// NumLinks returns the number of physical links.
+func (f *Fabric) NumLinks() int { return len(f.links) }
+
+// EachLink visits every link; iteration order is unspecified.
+func (f *Fabric) EachLink(fn func(LinkID, [2]NodeID)) {
+	for id, ep := range f.links {
+		fn(id, ep)
+	}
+}
+
+// Path is one loop-free physical route between two NICs: the ordered
+// node sequence and the links between consecutive nodes.
+type Path struct {
+	Nodes []NodeID
+	Links []LinkID
+}
+
+func pathFromNodes(nodes []NodeID) Path {
+	links := make([]LinkID, 0, len(nodes)-1)
+	for i := 0; i+1 < len(nodes); i++ {
+		links = append(links, MakeLinkID(nodes[i], nodes[i+1]))
+	}
+	return Path{Nodes: nodes, Links: links}
+}
+
+// ErrSameNIC reports a path request from a NIC to itself.
+var ErrSameNIC = errors.New("topology: source and destination NIC identical")
+
+// ErrIntraHost reports a path request between two NICs on the same
+// host: that traffic rides NVLink/PCIe, not the network fabric, and is
+// out of SkeletonHunter's scope (§7.3).
+var ErrIntraHost = errors.New("topology: NICs share a host (intra-host path)")
+
+// NumPaths returns the number of equal-cost paths between two NICs
+// without materializing them.
+func (f *Fabric) NumPaths(src, dst NIC) (int, error) {
+	if src == dst {
+		return 0, ErrSameNIC
+	}
+	if src.Host == dst.Host {
+		return 0, ErrIntraHost
+	}
+	sp, dp := f.PodOf(src.Host), f.PodOf(dst.Host)
+	switch {
+	case sp == dp && src.Rail == dst.Rail:
+		return 1, nil
+	case sp == dp:
+		return f.Spec.AggPerPod, nil
+	case src.Rail == dst.Rail || src.Rail != dst.Rail:
+		return f.Spec.AggPerPod * f.Spec.Spines * f.Spec.AggPerPod, nil
+	}
+	return 0, nil
+}
+
+// Paths enumerates every equal-cost path between two NICs, in a
+// deterministic order. Cross-pod pairs have AggPerPod² × Spines paths.
+func (f *Fabric) Paths(src, dst NIC) ([]Path, error) {
+	if src == dst {
+		return nil, ErrSameNIC
+	}
+	if src.Host == dst.Host {
+		return nil, ErrIntraHost
+	}
+	sp, dp := f.PodOf(src.Host), f.PodOf(dst.Host)
+	sNIC, dNIC := src.ID(), dst.ID()
+
+	if sp == dp && src.Rail == dst.Rail {
+		return []Path{pathFromNodes([]NodeID{sNIC, f.ToR(sp, src.Rail), dNIC})}, nil
+	}
+	if sp == dp {
+		// Cross-rail, same pod: up to an aggregation switch and back down.
+		paths := make([]Path, 0, f.Spec.AggPerPod)
+		for a := 0; a < f.Spec.AggPerPod; a++ {
+			paths = append(paths, pathFromNodes([]NodeID{
+				sNIC, f.ToR(sp, src.Rail), f.Agg(sp, a), f.ToR(dp, dst.Rail), dNIC,
+			}))
+		}
+		return paths, nil
+	}
+	// Cross-pod: src ToR → src agg → spine → dst agg → dst ToR.
+	paths := make([]Path, 0, f.Spec.AggPerPod*f.Spec.Spines*f.Spec.AggPerPod)
+	for a1 := 0; a1 < f.Spec.AggPerPod; a1++ {
+		for s := 0; s < f.Spec.Spines; s++ {
+			for a2 := 0; a2 < f.Spec.AggPerPod; a2++ {
+				paths = append(paths, pathFromNodes([]NodeID{
+					sNIC, f.ToR(sp, src.Rail), f.Agg(sp, a1), f.Spine(s), f.Agg(dp, a2), f.ToR(dp, dst.Rail), dNIC,
+				}))
+			}
+		}
+	}
+	return paths, nil
+}
+
+// PathByHash picks the ECMP path a flow with the given hash entropy
+// takes. Real switches hash the five-tuple per hop; modelling the
+// selection as one hash over the enumerated equal-cost set preserves
+// the property the tomography cares about: a fixed flow sticks to one
+// path, different flows spread across paths.
+func (f *Fabric) PathByHash(src, dst NIC, hash uint64) (Path, error) {
+	n, err := f.NumPaths(src, dst)
+	if err != nil {
+		return Path{}, err
+	}
+	idx := int(hash % uint64(n))
+	if n == 1 {
+		paths, err := f.Paths(src, dst)
+		if err != nil {
+			return Path{}, err
+		}
+		return paths[0], nil
+	}
+	return f.pathByIndex(src, dst, idx)
+}
+
+func (f *Fabric) pathByIndex(src, dst NIC, idx int) (Path, error) {
+	sp, dp := f.PodOf(src.Host), f.PodOf(dst.Host)
+	sNIC, dNIC := src.ID(), dst.ID()
+	if sp == dp && src.Rail == dst.Rail {
+		return pathFromNodes([]NodeID{sNIC, f.ToR(sp, src.Rail), dNIC}), nil
+	}
+	if sp == dp {
+		a := idx % f.Spec.AggPerPod
+		return pathFromNodes([]NodeID{sNIC, f.ToR(sp, src.Rail), f.Agg(sp, a), f.ToR(dp, dst.Rail), dNIC}), nil
+	}
+	a2 := idx % f.Spec.AggPerPod
+	idx /= f.Spec.AggPerPod
+	s := idx % f.Spec.Spines
+	idx /= f.Spec.Spines
+	a1 := idx % f.Spec.AggPerPod
+	return pathFromNodes([]NodeID{sNIC, f.ToR(sp, src.Rail), f.Agg(sp, a1), f.Spine(s), f.Agg(dp, a2), f.ToR(dp, dst.Rail), dNIC}), nil
+}
+
+// SwitchNodes returns all switch node IDs (ToR, Agg, Spine) in the
+// fabric in a deterministic order.
+func (f *Fabric) SwitchNodes() []NodeID {
+	var out []NodeID
+	for p := 0; p < f.Spec.Pods; p++ {
+		for r := 0; r < f.Spec.Rails; r++ {
+			out = append(out, f.ToR(p, r))
+		}
+		for a := 0; a < f.Spec.AggPerPod; a++ {
+			out = append(out, f.Agg(p, a))
+		}
+	}
+	if f.Spec.Pods > 1 {
+		for s := 0; s < f.Spec.Spines; s++ {
+			out = append(out, f.Spine(s))
+		}
+	}
+	return out
+}
+
+// LinksOfNode returns all links incident to a node.
+func (f *Fabric) LinksOfNode(n NodeID) []LinkID {
+	var out []LinkID
+	for id, ep := range f.links {
+		if ep[0] == n || ep[1] == n {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is an agent-side connection to the controller. It is safe for
+// concurrent use; requests serialize over the single connection (an
+// agent's request rate is one ping-list fetch and one report batch per
+// probing round, so multiplexing would be over-engineering).
+type Client struct {
+	task      string
+	container int
+	secret    Secret
+	timeout   time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+	rng  *rand.Rand
+}
+
+// Dial connects an agent identity to a controller address.
+func Dial(addr, task string, container int, secret Secret) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, DefaultTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		task:      task,
+		container: container,
+		secret:    secret,
+		timeout:   DefaultTimeout,
+		conn:      conn,
+		dec:       json.NewDecoder(bufio.NewReader(conn)),
+		enc:       json.NewEncoder(conn),
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(container))),
+	}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) call(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req.Task = c.task
+	req.Container = c.container
+	authenticate(c.secret, &req, fmt.Sprintf("%x", c.rng.Uint64()))
+	deadline := time.Now().Add(c.timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return Response{}, err
+	}
+	if err := c.enc.Encode(&req); err != nil {
+		return Response{}, fmt.Errorf("transport: send %s: %w", req.Op, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("transport: recv %s: %w", req.Op, err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("transport: %s rejected: %s", req.Op, resp.Error)
+	}
+	return resp, nil
+}
+
+// Register announces this agent as up.
+func (c *Client) Register() error {
+	_, err := c.call(Request{Op: OpRegister})
+	return err
+}
+
+// Deregister announces a graceful shutdown.
+func (c *Client) Deregister() error {
+	_, err := c.call(Request{Op: OpDeregister})
+	return err
+}
+
+// PingList fetches the agent's current probe targets.
+func (c *Client) PingList() ([]Target, error) {
+	resp, err := c.call(Request{Op: OpPingList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Targets, nil
+}
+
+// Report streams a batch of probe results.
+func (c *Client) Report(reports []ProbeReport) error {
+	_, err := c.call(Request{Op: OpReport, Reports: reports})
+	return err
+}
+
+// Stats fetches probing-scale statistics for the agent's task.
+func (c *Client) Stats() (full, basic, current int, phase string, err error) {
+	resp, err := c.call(Request{Op: OpStats})
+	if err != nil {
+		return 0, 0, 0, "", err
+	}
+	return resp.FullMeshTargets, resp.BasicTargets, resp.CurrentTargets, resp.Phase, nil
+}

@@ -1,0 +1,114 @@
+// Package transport implements the controller↔agent wire protocol of a
+// real SkeletonHunter deployment (§6): sidecar agents fetch their ping
+// lists from, register with, and stream probe reports to the
+// controller over TCP. Every request is authenticated with a per-task
+// HMAC so one tenant's containers cannot forge requests to learn about
+// another tenant's training tasks — the paper's stated reason for
+// encrypting the channel.
+//
+// Framing is newline-delimited JSON: one request frame up, one
+// response frame down, over a persistent connection per agent. The
+// simulation path bypasses this package (agents call the controller
+// in-process); examples and tests exercise it over real sockets to
+// keep the deployment path honest.
+package transport
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// Op enumerates protocol operations.
+type Op string
+
+const (
+	// OpRegister announces a container's agent as up (data-plane
+	// activation, §5.1).
+	OpRegister Op = "register"
+	// OpDeregister announces a graceful agent shutdown.
+	OpDeregister Op = "deregister"
+	// OpPingList fetches the current probe targets for a source
+	// container.
+	OpPingList Op = "pinglist"
+	// OpReport streams a batch of probe results to the analyzer.
+	OpReport Op = "report"
+	// OpStats fetches probing-scale statistics (operator tooling).
+	OpStats Op = "stats"
+)
+
+// Target mirrors controller.Target for the wire (kept separate so the
+// wire format does not pin internal types).
+type Target struct {
+	SrcContainer int `json:"sc"`
+	SrcRail      int `json:"sr"`
+	DstContainer int `json:"dc"`
+	DstRail      int `json:"dr"`
+}
+
+// ProbeReport is one probe observation in an OpReport batch.
+type ProbeReport struct {
+	SrcContainer int   `json:"sc"`
+	SrcRail      int   `json:"sr"`
+	DstContainer int   `json:"dc"`
+	DstRail      int   `json:"dr"`
+	AtNanos      int64 `json:"at"`
+	RTTNanos     int64 `json:"rtt"`
+	Lost         bool  `json:"lost"`
+	// Path carries the underlay link IDs the probe's flow traversed.
+	Path []string `json:"path,omitempty"`
+}
+
+// Request is the uplink frame.
+type Request struct {
+	Op        Op     `json:"op"`
+	Task      string `json:"task"`
+	Container int    `json:"container"`
+	// Nonce and MAC authenticate the request (see Sign).
+	Nonce string `json:"nonce"`
+	MAC   string `json:"mac"`
+
+	Reports []ProbeReport `json:"reports,omitempty"`
+}
+
+// Response is the downlink frame.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	Targets []Target `json:"targets,omitempty"`
+
+	// Stats payload (OpStats).
+	FullMeshTargets int    `json:"full_mesh,omitempty"`
+	BasicTargets    int    `json:"basic,omitempty"`
+	CurrentTargets  int    `json:"current,omitempty"`
+	Phase           string `json:"phase,omitempty"`
+}
+
+// Secret is a per-task shared secret issued by the control plane when
+// the task is created and injected into its sidecar agents.
+type Secret []byte
+
+// Sign computes the request MAC: HMAC-SHA256 over op|task|container|nonce.
+func Sign(secret Secret, op Op, task string, container int, nonce string) string {
+	mac := hmac.New(sha256.New, secret)
+	fmt.Fprintf(mac, "%s|%s|%d|%s", op, task, container, nonce)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// Verify checks a request's MAC against the task secret.
+func Verify(secret Secret, req *Request) bool {
+	want := Sign(secret, req.Op, req.Task, req.Container, req.Nonce)
+	return hmac.Equal([]byte(want), []byte(req.MAC))
+}
+
+// authenticate fills the auth fields of a request.
+func authenticate(secret Secret, req *Request, nonce string) {
+	req.Nonce = nonce
+	req.MAC = Sign(secret, req.Op, req.Task, req.Container, nonce)
+}
+
+// DefaultTimeout bounds each request/response exchange.
+const DefaultTimeout = 5 * time.Second

@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+)
+
+// Backend is what the server fronts: the controller-side operations an
+// authenticated agent may invoke. The deployment façade implements it
+// over the in-process controller and analyzer.
+type Backend interface {
+	// SecretOf returns the shared secret for a task ("" task unknown).
+	SecretOf(task string) (Secret, bool)
+	// Register marks a container's agent as up.
+	Register(task string, container int) error
+	// Deregister marks it down.
+	Deregister(task string, container int) error
+	// PingList returns the container's current probe targets.
+	PingList(task string, container int) ([]Target, error)
+	// Report ingests a batch of probe results.
+	Report(task string, container int, reports []ProbeReport) error
+	// Stats returns probing-scale statistics for the task.
+	Stats(task string) (full, basic, current int, phase string, err error)
+}
+
+// Server accepts agent connections and dispatches authenticated
+// requests to the backend.
+type Server struct {
+	backend Backend
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	// Logf, when set, receives connection-level errors (defaults to
+	// log.Printf; tests silence it).
+	Logf func(format string, args ...any)
+
+	wg sync.WaitGroup
+}
+
+// NewServer starts a server on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string, backend Backend) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		backend: backend,
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+		Logf:    log.Printf,
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address (for agents to dial).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes every live connection, and waits for
+// handler goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && s.Logf != nil {
+				s.Logf("transport: decode from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			if s.Logf != nil {
+				s.Logf("transport: encode to %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request) Response {
+	secret, ok := s.backend.SecretOf(req.Task)
+	if !ok {
+		return Response{Error: "unknown task"}
+	}
+	// Authentication first: a request with a bad MAC learns nothing,
+	// not even whether the container index is valid (§6's anti-forgery
+	// requirement).
+	if !Verify(secret, req) {
+		return Response{Error: "authentication failed"}
+	}
+	switch req.Op {
+	case OpRegister:
+		if err := s.backend.Register(req.Task, req.Container); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
+	case OpDeregister:
+		if err := s.backend.Deregister(req.Task, req.Container); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
+	case OpPingList:
+		targets, err := s.backend.PingList(req.Task, req.Container)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Targets: targets}
+	case OpReport:
+		if err := s.backend.Report(req.Task, req.Container, req.Reports); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
+	case OpStats:
+		full, basic, current, phase, err := s.backend.Stats(req.Task)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, FullMeshTargets: full, BasicTargets: basic, CurrentTargets: current, Phase: phase}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}

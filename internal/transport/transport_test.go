@@ -1,0 +1,336 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// fakeBackend implements Backend in memory.
+type fakeBackend struct {
+	mu         sync.Mutex
+	secrets    map[string]Secret
+	registered map[string]map[int]bool
+	reports    []ProbeReport
+	targets    map[string][]Target
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{
+		secrets:    map[string]Secret{"task-1": Secret("s3cret")},
+		registered: map[string]map[int]bool{"task-1": {}},
+		targets: map[string][]Target{
+			"task-1": {{SrcContainer: 0, SrcRail: 1, DstContainer: 1, DstRail: 1}},
+		},
+	}
+}
+
+func (f *fakeBackend) SecretOf(task string) (Secret, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.secrets[task]
+	return s, ok
+}
+
+func (f *fakeBackend) Register(task string, c int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.registered[task][c] = true
+	return nil
+}
+
+func (f *fakeBackend) Deregister(task string, c int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.registered[task], c)
+	return nil
+}
+
+func (f *fakeBackend) PingList(task string, c int) ([]Target, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.registered[task][c] {
+		return nil, errors.New("not registered")
+	}
+	return f.targets[task], nil
+}
+
+func (f *fakeBackend) Report(task string, c int, reports []ProbeReport) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reports = append(f.reports, reports...)
+	return nil
+}
+
+func (f *fakeBackend) Stats(task string) (int, int, int, string, error) {
+	return 768, 96, 96, "preload", nil
+}
+
+func startServer(t *testing.T) (*Server, *fakeBackend) {
+	t.Helper()
+	b := newFakeBackend()
+	s, err := NewServer("127.0.0.1:0", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Logf = nil
+	t.Cleanup(func() { s.Close() })
+	return s, b
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, b := startServer(t)
+	c, err := Dial(s.Addr(), "task-1", 0, Secret("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Register(); err != nil {
+		t.Fatal(err)
+	}
+	targets, err := c.PingList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 || targets[0].DstContainer != 1 {
+		t.Fatalf("targets = %+v", targets)
+	}
+	if err := c.Report([]ProbeReport{{SrcContainer: 0, DstContainer: 1, RTTNanos: 16000, Path: []string{"l1", "l2"}}}); err != nil {
+		t.Fatal(err)
+	}
+	full, basic, current, phase, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != 768 || basic != 96 || current != 96 || phase != "preload" {
+		t.Fatalf("stats = %d/%d/%d/%s", full, basic, current, phase)
+	}
+	if err := c.Deregister(); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.reports) != 1 || b.reports[0].RTTNanos != 16000 {
+		t.Fatalf("reports = %+v", b.reports)
+	}
+	if len(b.reports[0].Path) != 2 {
+		t.Fatal("path not carried")
+	}
+}
+
+func TestAuthRejection(t *testing.T) {
+	s, _ := startServer(t)
+	// Wrong secret: every operation must be rejected before touching
+	// the backend.
+	c, err := Dial(s.Addr(), "task-1", 0, Secret("WRONG"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(); err == nil {
+		t.Fatal("forged register accepted")
+	}
+	if _, err := c.PingList(); err == nil {
+		t.Fatal("forged pinglist accepted")
+	}
+	// Unknown task.
+	c2, err := Dial(s.Addr(), "task-nope", 0, Secret("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Register(); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}
+
+func TestCrossTenantForgery(t *testing.T) {
+	// A tenant holding its own secret must not be able to act on
+	// another task: the MAC binds the task name.
+	s, b := startServer(t)
+	b.mu.Lock()
+	b.secrets["task-2"] = Secret("other")
+	b.registered["task-2"] = map[int]bool{}
+	b.mu.Unlock()
+	// Dial as task-2 but with task-1's secret.
+	c, err := Dial(s.Addr(), "task-2", 0, Secret("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(); err == nil {
+		t.Fatal("cross-tenant request accepted")
+	}
+}
+
+func TestUnregisteredPingListRejected(t *testing.T) {
+	s, _ := startServer(t)
+	c, err := Dial(s.Addr(), "task-1", 0, Secret("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.PingList(); err == nil {
+		t.Fatal("ping list served before registration")
+	}
+}
+
+func TestConcurrentAgents(t *testing.T) {
+	s, b := startServer(t)
+	const agents = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, agents)
+	for i := 0; i < agents; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr(), "task-1", idx, Secret("s3cret"))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Register(); err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < 10; r++ {
+				if _, err := c.PingList(); err != nil {
+					errs <- err
+					return
+				}
+				if err := c.Report([]ProbeReport{{SrcContainer: idx, RTTNanos: int64(r)}}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.reports) != agents*10 {
+		t.Fatalf("reports = %d, want %d", len(b.reports), agents*10)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s, _ := startServer(t)
+	c, err := Dial(s.Addr(), "task-1", 0, Secret("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(); err == nil {
+		t.Fatal("request succeeded after server close")
+	}
+	// Double close is a no-op.
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestServerSurvivesMalformedInput(t *testing.T) {
+	s, _ := startServer(t)
+	// Raw garbage, truncated frames, and absurd numbers must not crash
+	// or wedge the server; well-formed clients keep working after.
+	for _, junk := range []string{
+		"not json at all\n",
+		`{"op": 42}` + "\n",
+		`{"op":"pinglist","task":` + "\n",
+		"\x00\x01\x02\xff\n",
+		`{"op":"report","task":"task-1","reports":[{"sc":-9999999}]}` + "\n",
+	} {
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte(junk)); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}
+	// The server still serves a legitimate client.
+	c, err := Dial(s.Addr(), "task-1", 0, Secret("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(); err != nil {
+		t.Fatalf("server wedged after malformed input: %v", err)
+	}
+}
+
+func TestOversizedBatchHandled(t *testing.T) {
+	s, b := startServer(t)
+	c, err := Dial(s.Addr(), "task-1", 0, Secret("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(); err != nil {
+		t.Fatal(err)
+	}
+	// A full probing round's worth of reports in one frame.
+	batch := make([]ProbeReport, 2048)
+	for i := range batch {
+		batch[i] = ProbeReport{SrcContainer: 0, DstContainer: 1, RTTNanos: int64(i)}
+	}
+	if err := c.Report(batch); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.reports) != 2048 {
+		t.Fatalf("reports = %d", len(b.reports))
+	}
+}
+
+func TestSignVerifyProperties(t *testing.T) {
+	secret := Secret("k")
+	req := &Request{Op: OpPingList, Task: "t", Container: 3}
+	authenticate(secret, req, "nonce-1")
+	if !Verify(secret, req) {
+		t.Fatal("freshly signed request does not verify")
+	}
+	// Any field mutation invalidates the MAC.
+	tamper := *req
+	tamper.Container = 4
+	if Verify(secret, &tamper) {
+		t.Fatal("container tamper not caught")
+	}
+	tamper = *req
+	tamper.Op = OpRegister
+	if Verify(secret, &tamper) {
+		t.Fatal("op tamper not caught")
+	}
+	tamper = *req
+	tamper.Task = "other"
+	if Verify(secret, &tamper) {
+		t.Fatal("task tamper not caught")
+	}
+	if Verify(Secret("k2"), req) {
+		t.Fatal("wrong key verified")
+	}
+	// Distinct nonces yield distinct MACs (no trivially replayable
+	// constant).
+	m1 := Sign(secret, OpPingList, "t", 3, "n1")
+	m2 := Sign(secret, OpPingList, "t", 3, "n2")
+	if m1 == m2 {
+		t.Fatal("nonce not bound into MAC")
+	}
+	_ = fmt.Sprintf("%v", m1)
+}
