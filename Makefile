@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Certifies the analyzer's concurrent shard fan-out under the race
+# detector (tier-1 acceptance for the sharded analysis plane).
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...

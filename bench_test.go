@@ -6,18 +6,22 @@
 package skeletonhunter_test
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 	"time"
 
+	"skeletonhunter/internal/analyzer"
 	"skeletonhunter/internal/cluster"
 	"skeletonhunter/internal/detect"
 	"skeletonhunter/internal/figures"
 	"skeletonhunter/internal/hcluster"
+	"skeletonhunter/internal/localize"
 	"skeletonhunter/internal/netsim"
 	"skeletonhunter/internal/overlay"
 	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/probe"
 	"skeletonhunter/internal/sim"
 	"skeletonhunter/internal/skeleton"
 	"skeletonhunter/internal/stats"
@@ -490,6 +494,77 @@ func BenchmarkAblationCUSUMvsLOF(b *testing.B) {
 	b.ReportMetric(cusumSamples, "cusum-samples-to-detect")
 	b.ReportMetric(lofSamples, "lof-samples-to-detect")
 }
+
+// --- Analysis-plane pipeline (DESIGN.md §analysis-plane) ---
+
+// benchAnalyzerRound drives the sharded analysis plane at a
+// production-shaped load: 16 concurrent task shards, each ingesting a
+// full 30-sample detection window for 24 pairs per round (11,520
+// records per round), then running one analysis round. Healthy RTTs
+// keep the localizer mostly out of the loop so the numbers isolate
+// the ingest→window→detect path that dominates steady-state cost.
+func benchAnalyzerRound(b *testing.B, workers int) {
+	const (
+		tasks            = 16
+		pairsPerTask     = 24
+		samplesPerWindow = 30
+	)
+	eng := sim.NewEngine(7)
+	fab, err := topology.New(topology.Spec{Pods: 1, HostsPerPod: 8, Rails: 8, AggPerPod: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ovl := overlay.NewNetwork()
+	cp := cluster.NewControlPlane(eng, fab, ovl, cluster.DefaultLagModel())
+	net := netsim.New(eng, fab, ovl)
+	loc := localize.NewWithControlPlane(net, cp)
+	an := analyzer.New(eng, loc, analyzer.Config{Workers: workers})
+
+	taskIDs := make([]cluster.TaskID, tasks)
+	for i := range taskIDs {
+		taskIDs[i] = cluster.TaskID(fmt.Sprintf("bench-task-%02d", i))
+	}
+	dist := stats.LogNormal{Mu: math.Log(16), Sigma: 0.1}
+	r := rand.New(rand.NewSource(5))
+	batch := make(probe.Batch, 0, pairsPerTask*samplesPerWindow)
+	at := time.Duration(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range taskIDs {
+			batch = batch[:0]
+			for p := 0; p < pairsPerTask; p++ {
+				for s := 0; s < samplesPerWindow; s++ {
+					batch = append(batch, probe.Record{
+						Task:         id,
+						SrcContainer: p, SrcRail: p % 8,
+						DstContainer: p + 1, DstRail: p % 8,
+						At:  at + time.Duration(s)*time.Second,
+						RTT: time.Duration(dist.Sample(r) * float64(time.Microsecond)),
+					})
+				}
+			}
+			an.IngestBatch(batch)
+		}
+		at += samplesPerWindow * time.Second
+		an.Round(at)
+	}
+	b.StopTimer()
+	total := float64(b.N) * tasks * pairsPerTask * samplesPerWindow
+	b.ReportMetric(total/b.Elapsed().Seconds(), "records/s")
+	b.ReportMetric(float64(an.Shards()), "shards")
+	// Healthy iid load: long runs may see the odd statistical-outlier
+	// window flag, which is fine — it exercises the localize stage too.
+	b.ReportMetric(float64(len(an.Alarms())), "alarms")
+}
+
+// BenchmarkAnalyzerRoundSerial pins the round fan-out to one worker —
+// the pre-refactor serial baseline.
+func BenchmarkAnalyzerRoundSerial(b *testing.B) { benchAnalyzerRound(b, 1) }
+
+// BenchmarkAnalyzerRoundSharded lets the round fan out across
+// GOMAXPROCS workers; alarms are bit-identical to the serial run (see
+// internal/hunter determinism tests), only wall-clock differs.
+func BenchmarkAnalyzerRoundSharded(b *testing.B) { benchAnalyzerRound(b, 0) }
 
 func boolMetric(v bool) float64 {
 	if v {

@@ -34,19 +34,21 @@ func main() {
 	ep := flag.Int("ep", 1, "expert-parallel degree (MoE)")
 	issue := flag.Int("issue", 9, "Table-1 issue number to inject (0 = none)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "analysis-round worker pool size (0 = GOMAXPROCS); alarms are identical at any value")
 	verbose := flag.Bool("v", false, "print every alarm")
 	flag.Parse()
 
-	if err := run(*hosts, parallelism.Config{TP: *tp, PP: *pp, DP: *dp, EP: *ep}, faults.IssueType(*issue), *seed, *verbose); err != nil {
+	if err := run(*hosts, parallelism.Config{TP: *tp, PP: *pp, DP: *dp, EP: *ep}, faults.IssueType(*issue), *seed, *workers, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "skeletonhunter:", err)
 		os.Exit(1)
 	}
 }
 
-func run(hosts int, par parallelism.Config, issue faults.IssueType, seed int64, verbose bool) error {
+func run(hosts int, par parallelism.Config, issue faults.IssueType, seed int64, workers int, verbose bool) error {
 	d, err := hunter.New(hunter.Options{
-		Seed:  seed,
-		Hosts: hosts,
+		Seed:    seed,
+		Hosts:   hosts,
+		Workers: workers,
 	})
 	if err != nil {
 		return err
@@ -123,6 +125,9 @@ func run(hosts int, par parallelism.Config, issue faults.IssueType, seed int64, 
 		}
 	}
 	fmt.Printf("blacklist: %d components\n", len(d.Analyzer.Blacklist()))
+	if verbose {
+		fmt.Printf("pipeline: %s over %d task shard(s)\n", d.Analyzer.Stats(), d.Analyzer.Shards())
+	}
 	return nil
 }
 

@@ -5,20 +5,30 @@
 // blacklist that keeps new training tasks off problematic components
 // (§8, "Handling Detected Failures").
 //
-// In production this role is played by a log service plus a streaming
-// compute job; here it is an in-process pipeline over the simulation
-// engine, which preserves the logic (windows, batching, feedback) while
-// dropping the hosting substrate.
+// In production this role is played by a log service plus a keyed
+// streaming compute job (Flink) partitioned by training task; here the
+// same shape runs in-process: the analyzer is a set of per-task shards
+// (internal/pipeline), each owning its own detector state, pair map and
+// healthy-observation ring. Agent batches land in their task's shard
+// inbox (ingest stage); each analysis round fans the shards out across
+// a bounded worker pool — every shard drains its inbox through its
+// detector (window/detect stage) and disentangles its pending anomalies
+// (localize stage) — then fans back in with a deterministic merge:
+// shards are visited in ascending task-key order and their anomalies
+// and verdicts concatenated in that order (alarm stage). The merge rule
+// is what makes the same seed produce bit-identical alarms at any
+// GOMAXPROCS or worker count.
 package analyzer
 
 import (
+	"sort"
 	"time"
 
 	"skeletonhunter/internal/component"
 	"skeletonhunter/internal/detect"
 	"skeletonhunter/internal/localize"
-	"skeletonhunter/internal/netsim"
 	"skeletonhunter/internal/overlay"
+	"skeletonhunter/internal/pipeline"
 	"skeletonhunter/internal/probe"
 	"skeletonhunter/internal/sim"
 	"skeletonhunter/internal/topology"
@@ -57,9 +67,13 @@ type Config struct {
 	AnalysisInterval time.Duration
 	// PathMemory bounds how many recent probe paths are kept per pair
 	// (default 8) and HealthyMemory how many healthy observations are
-	// kept globally (default 512).
+	// kept per shard (default 512).
 	PathMemory    int
 	HealthyMemory int
+	// Workers bounds the analysis-round fan-out across task shards
+	// (default: GOMAXPROCS). Results are identical at any value; this
+	// only trades wall-clock for cores.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +86,9 @@ func (c Config) withDefaults() Config {
 	if c.HealthyMemory == 0 {
 		c.HealthyMemory = 512
 	}
+	if c.Workers == 0 {
+		c.Workers = pipeline.DefaultWorkers()
+	}
 	return c
 }
 
@@ -80,92 +97,97 @@ type pairInfo struct {
 	paths    [][]topology.LinkID
 }
 
-// Analyzer is the streaming pipeline.
-type Analyzer struct {
-	Engine    *sim.Engine
-	Localizer *localize.Localizer
-	// OnAlarm receives every alarm as it is raised.
-	OnAlarm func(Alarm)
-
+// shard is the per-task analysis partition: the keyed unit of the
+// streaming job. All of a task's probe records land here, and nothing
+// else does, so shards never contend.
+type shard struct {
+	task     string
 	cfg      Config
 	detector *detect.Detector
+	inbox    []probe.Record // records awaiting the window/detect stage
 	pending  []detect.Anomaly
 	pairs    map[detect.PairKey]*pairInfo
 	healthy  []localize.Observation
 	hIdx     int
-
-	alarms    []Alarm
-	blacklist map[component.ID]time.Duration // component → first blacklisted
-	ticker    *sim.Ticker
+	// samples is a reusable buffer for grouping a pair's contiguous
+	// records into one ObserveMany call.
+	samples []detect.Sample
 }
 
-// New builds an analyzer over an engine and a localizer.
-func New(eng *sim.Engine, net *netsim.Net, loc *localize.Localizer, cfg Config) *Analyzer {
-	an := &Analyzer{
-		Engine:    eng,
-		Localizer: loc,
-		cfg:       cfg.withDefaults(),
-		pairs:     make(map[detect.PairKey]*pairInfo),
-		blacklist: make(map[component.ID]time.Duration),
-	}
-	an.detector = detect.New(an.cfg.Detect, func(a detect.Anomaly) {
-		an.pending = append(an.pending, a)
+func newShard(task string, cfg Config) *shard {
+	s := &shard{task: task, cfg: cfg, pairs: make(map[detect.PairKey]*pairInfo)}
+	s.detector = detect.New(cfg.Detect, func(a detect.Anomaly) {
+		s.pending = append(s.pending, a)
 	})
-	_ = net
-	return an
+	return s
 }
 
-// Start begins periodic analysis rounds.
-func (an *Analyzer) Start() {
-	an.ticker = an.Engine.Every(an.Engine.Now()+an.cfg.AnalysisInterval, an.cfg.AnalysisInterval,
-		"analysis-round", func(now time.Duration) { an.Round(now) })
-}
-
-// Stop halts analysis rounds.
-func (an *Analyzer) Stop() {
-	if an.ticker != nil {
-		an.ticker.Stop()
-	}
-}
-
-// Ingest consumes one probe record (the agents' Sink).
-func (an *Analyzer) Ingest(rec probe.Record) {
-	key := detect.PairKey{
-		Task:         string(rec.Task),
-		SrcContainer: rec.SrcContainer, SrcRail: rec.SrcRail,
-		DstContainer: rec.DstContainer, DstRail: rec.DstRail,
-	}
-	pi, ok := an.pairs[key]
-	if !ok {
-		pi = &pairInfo{src: rec.Src, dst: rec.Dst}
-		an.pairs[key] = pi
-	}
-	if len(rec.Path) > 0 {
-		pi.paths = append(pi.paths, rec.Path)
-		if len(pi.paths) > an.cfg.PathMemory {
-			pi.paths = pi.paths[1:]
+// drain runs the window/detect stage: every inbox record flows through
+// the pair map and the detector. Records of one pair arrive
+// contiguously within an agent's round batch, so grouping by
+// consecutive runs gives one detector lookup per pair per round.
+func (s *shard) drain() (records int) {
+	records = len(s.inbox)
+	var (
+		runKey detect.PairKey
+		runPI  *pairInfo
+		have   bool
+	)
+	flush := func() {
+		if have && len(s.samples) > 0 {
+			s.detector.ObserveMany(runKey, s.samples)
+			s.samples = s.samples[:0]
 		}
 	}
-	if !rec.Lost && len(rec.Path) > 0 && rec.RTT < 50*time.Microsecond {
-		ob := localize.Observation{Path: rec.Path}
-		if len(an.healthy) < an.cfg.HealthyMemory {
-			an.healthy = append(an.healthy, ob)
-		} else {
-			an.healthy[an.hIdx%an.cfg.HealthyMemory] = ob
-			an.hIdx++
+	for i := range s.inbox {
+		rec := &s.inbox[i]
+		key := detect.PairKey{
+			Task:         string(rec.Task),
+			SrcContainer: rec.SrcContainer, SrcRail: rec.SrcRail,
+			DstContainer: rec.DstContainer, DstRail: rec.DstRail,
 		}
+		if !have || key != runKey {
+			flush()
+			runKey = key
+			have = true
+			pi, ok := s.pairs[key]
+			if !ok {
+				pi = &pairInfo{src: rec.Src, dst: rec.Dst}
+				s.pairs[key] = pi
+			}
+			runPI = pi
+		}
+		if len(rec.Path) > 0 {
+			runPI.paths = append(runPI.paths, rec.Path)
+			if len(runPI.paths) > s.cfg.PathMemory {
+				runPI.paths = runPI.paths[1:]
+			}
+		}
+		if !rec.Lost && len(rec.Path) > 0 && rec.RTT < 50*time.Microsecond {
+			ob := localize.Observation{Path: rec.Path}
+			if len(s.healthy) < s.cfg.HealthyMemory {
+				s.healthy = append(s.healthy, ob)
+			} else {
+				s.healthy[s.hIdx%s.cfg.HealthyMemory] = ob
+				s.hIdx++
+			}
+		}
+		s.samples = append(s.samples, detect.Sample{At: rec.At, RTT: rec.RTT, Lost: rec.Lost})
 	}
-	an.detector.Observe(key, rec.At, rec.RTT, rec.Lost)
+	flush()
+	s.inbox = s.inbox[:0]
+	return records
 }
 
-// Round runs one analysis round: localize pending anomalies, raise an
-// alarm, update the blacklist.
-func (an *Analyzer) Round(now time.Duration) {
-	if len(an.pending) == 0 {
-		return
+// localizeRound runs the localize stage over the shard's pending
+// anomalies. Evidence is assembled in sorted pair-key order so the
+// verdict sequence is a pure function of the shard's state.
+func (s *shard) localizeRound(loc *localize.Localizer) ([]detect.Anomaly, []localize.Verdict) {
+	if len(s.pending) == 0 {
+		return nil, nil
 	}
-	anomalies := an.pending
-	an.pending = nil
+	anomalies := s.pending
+	s.pending = nil
 
 	// Build localization evidence: one entry per anomalous pair with
 	// its recent paths; anomaly types map onto localization symptoms.
@@ -183,20 +205,147 @@ func (an *Analyzer) Round(now time.Duration) {
 			byPair[a.Key] = sym
 		}
 	}
+	keys := make([]detect.PairKey, 0, len(byPair))
+	for key := range byPair {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessPairKey(keys[i], keys[j]) })
 	var evidence []localize.Evidence
-	for key, sym := range byPair {
-		pi, ok := an.pairs[key]
+	for _, key := range keys {
+		pi, ok := s.pairs[key]
 		if !ok {
 			continue
 		}
 		evidence = append(evidence, localize.Evidence{
-			Src: pi.src, Dst: pi.dst, Symptom: sym, Paths: pi.paths,
+			Src: pi.src, Dst: pi.dst, Symptom: byPair[key], Paths: pi.paths,
 		})
 	}
-	verdicts := an.Localizer.Localize(evidence, an.healthy)
+	return anomalies, loc.Localize(evidence, s.healthy)
+}
+
+func lessPairKey(a, b detect.PairKey) bool {
+	if a.Task != b.Task {
+		return a.Task < b.Task
+	}
+	if a.SrcContainer != b.SrcContainer {
+		return a.SrcContainer < b.SrcContainer
+	}
+	if a.SrcRail != b.SrcRail {
+		return a.SrcRail < b.SrcRail
+	}
+	if a.DstContainer != b.DstContainer {
+		return a.DstContainer < b.DstContainer
+	}
+	return a.DstRail < b.DstRail
+}
+
+// Analyzer is the sharded streaming pipeline.
+type Analyzer struct {
+	Engine *sim.Engine
+	// Localizer is the read-only disentanglement core shared by every
+	// shard. Its Localize path (overlay trace, tomography votes,
+	// offload dumps, control-plane lookups) performs no writes — see
+	// the audit note on localize.Localizer — so concurrent shards may
+	// call it without locking.
+	Localizer *localize.Localizer
+	// OnAlarm receives every alarm as it is raised.
+	OnAlarm func(Alarm)
+
+	cfg    Config
+	shards *pipeline.Sharded[shard]
+	stats  pipeline.Counters
+
+	alarms    []Alarm
+	blacklist map[component.ID]time.Duration // component → first blacklisted
+	ticker    *sim.Ticker
+}
+
+// New builds an analyzer over an engine and a localizer.
+func New(eng *sim.Engine, loc *localize.Localizer, cfg Config) *Analyzer {
+	an := &Analyzer{
+		Engine:    eng,
+		Localizer: loc,
+		cfg:       cfg.withDefaults(),
+		blacklist: make(map[component.ID]time.Duration),
+	}
+	an.shards = pipeline.NewSharded(func(task string) *shard {
+		return newShard(task, an.cfg)
+	})
+	return an
+}
+
+// Start begins periodic analysis rounds.
+func (an *Analyzer) Start() {
+	an.ticker = an.Engine.Every(an.Engine.Now()+an.cfg.AnalysisInterval, an.cfg.AnalysisInterval,
+		"analysis-round", func(now time.Duration) { an.Round(now) })
+}
+
+// Stop halts analysis rounds.
+func (an *Analyzer) Stop() {
+	if an.ticker != nil {
+		an.ticker.Stop()
+	}
+}
+
+// Ingest consumes one probe record: the single-record convenience
+// entry point (tests, replay tools). Agents use IngestBatch.
+func (an *Analyzer) Ingest(rec probe.Record) {
+	sh := an.shards.Get(string(rec.Task))
+	sh.inbox = append(sh.inbox, rec)
+	an.stats.Add(pipeline.StageIngest, 1)
+}
+
+// IngestBatch consumes one agent round's records at once — the ingest
+// stage. A batch belongs to a single task (one sidecar, one task), so
+// this is one shard lookup per round; the records wait in the shard's
+// inbox until the next round's window/detect stage drains them on the
+// worker pool.
+func (an *Analyzer) IngestBatch(batch probe.Batch) {
+	if len(batch) == 0 {
+		return
+	}
+	sh := an.shards.Get(string(batch[0].Task))
+	sh.inbox = append(sh.inbox, batch...)
+	an.stats.Add(pipeline.StageIngest, uint64(len(batch)))
+}
+
+// shardResult is one shard's round output, merged in task-key order.
+type shardResult struct {
+	anomalies []detect.Anomaly
+	verdicts  []localize.Verdict
+}
+
+// Round runs one analysis round: fan the shards out over the worker
+// pool (each drains its inbox and localizes its pending anomalies),
+// fan back in by ascending task key, raise one alarm, update the
+// blacklist.
+func (an *Analyzer) Round(now time.Duration) {
+	results := pipeline.FanOut(an.shards, an.cfg.Workers, func(task string, s *shard) shardResult {
+		n := s.drain()
+		an.stats.Add(pipeline.StageDetect, uint64(n))
+		anomalies, verdicts := s.localizeRound(an.Localizer)
+		an.stats.Add(pipeline.StageLocalize, uint64(len(anomalies)))
+		return shardResult{anomalies: anomalies, verdicts: verdicts}
+	})
+
+	// Deterministic merge: FanOut returns results in ascending task-key
+	// order; concatenation preserves it. Cross-shard duplicates (two
+	// tasks blaming the same component) collapse via MergeVerdicts,
+	// exactly as a single-batch Localize would have collapsed them.
+	var anomalies []detect.Anomaly
+	var verdicts []localize.Verdict
+	for _, r := range results {
+		anomalies = append(anomalies, r.anomalies...)
+		verdicts = append(verdicts, r.verdicts...)
+	}
+	if len(anomalies) == 0 {
+		return
+	}
+	verdicts = localize.MergeVerdicts(verdicts)
 
 	alarm := Alarm{At: now, Anomalies: anomalies, Verdicts: verdicts}
 	an.alarms = append(an.alarms, alarm)
+	an.stats.Add(pipeline.StageAlarm, 1)
 	for _, c := range alarm.Components() {
 		if _, ok := an.blacklist[c]; !ok {
 			an.blacklist[c] = now
@@ -209,7 +358,14 @@ func (an *Analyzer) Round(now time.Duration) {
 
 // Flush forces open detector windows closed and runs a final round.
 func (an *Analyzer) Flush(now time.Duration) {
-	an.detector.Flush(now)
+	// Drain inboxes first so every record reaches its window, then
+	// close the windows; Round would drain too, but by then the flush
+	// must already have evaluated the half-open windows.
+	an.shards.Each(func(task string, s *shard) {
+		n := s.drain()
+		an.stats.Add(pipeline.StageDetect, uint64(n))
+		s.detector.Flush(now)
+	})
 	an.Round(now)
 }
 
@@ -232,36 +388,50 @@ func (an *Analyzer) Blacklist() map[component.ID]time.Duration {
 	return out
 }
 
-// ForgetTask drops detector state for a finished task's pairs.
+// Shards returns the number of live task shards.
+func (an *Analyzer) Shards() int { return an.shards.Len() }
+
+// Stats exposes the per-stage pipeline counters.
+func (an *Analyzer) Stats() *pipeline.Counters { return &an.stats }
+
+// ForgetTask drops the finished task's entire shard.
 func (an *Analyzer) ForgetTask(task string) {
-	an.detector.ForgetTask(task)
-	for k := range an.pairs {
-		if k.Task == task {
-			delete(an.pairs, k)
-		}
-	}
+	an.shards.Delete(task)
 }
 
 // ForgetContainer drops state for every pair touching a gracefully
 // stopped container. Without this, the half-open windows of pairs that
 // probed the container in its final second would read as loss.
 func (an *Analyzer) ForgetContainer(task string, containerIdx int) {
+	s, ok := an.shards.Peek(task)
+	if !ok {
+		return
+	}
 	match := func(k detect.PairKey) bool {
 		return k.Task == task && (k.SrcContainer == containerIdx || k.DstContainer == containerIdx)
 	}
-	an.detector.ForgetMatching(match)
-	for k := range an.pairs {
+	s.detector.ForgetMatching(match)
+	for k := range s.pairs {
 		if match(k) {
-			delete(an.pairs, k)
+			delete(s.pairs, k)
 		}
 	}
-	// Pending anomalies from those pairs are withdrawn too: the control
-	// plane told us the container left on purpose.
-	var kept []detect.Anomaly
-	for _, a := range an.pending {
+	// Inbox records touching the container are withdrawn before they
+	// ever reach a window, and pending anomalies from those pairs are
+	// withdrawn too: the control plane told us the container left on
+	// purpose.
+	kept := s.inbox[:0]
+	for _, rec := range s.inbox {
+		if rec.SrcContainer != containerIdx && rec.DstContainer != containerIdx {
+			kept = append(kept, rec)
+		}
+	}
+	s.inbox = kept
+	var keptPending []detect.Anomaly
+	for _, a := range s.pending {
 		if !match(a.Key) {
-			kept = append(kept, a)
+			keptPending = append(keptPending, a)
 		}
 	}
-	an.pending = kept
+	s.pending = keptPending
 }

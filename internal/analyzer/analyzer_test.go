@@ -34,7 +34,7 @@ func newRig(t *testing.T) *rig {
 	cp := cluster.NewControlPlane(eng, fab, ovl, cluster.DefaultLagModel())
 	net := netsim.New(eng, fab, ovl)
 	loc := localize.NewWithControlPlane(net, cp)
-	an := New(eng, net, loc, Config{})
+	an := New(eng, loc, Config{})
 	an.Start()
 	task, err := cp.Submit(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
 	if err != nil {

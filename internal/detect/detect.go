@@ -152,27 +152,58 @@ func New(cfg Config, emit func(Anomaly)) *Detector {
 	return &Detector{cfg: cfg.withDefaults(), pairs: make(map[PairKey]*pairState), emit: emit}
 }
 
+// Sample is one probe outcome, the unit of the batched ingest path.
+type Sample struct {
+	At   time.Duration
+	RTT  time.Duration
+	Lost bool
+}
+
 // Observe ingests one probe result. rtt is ignored when lost is true.
 // Windows close lazily when a sample arrives past the boundary; call
 // Flush to force evaluation at the end of a run.
 func (d *Detector) Observe(key PairKey, at time.Duration, rtt time.Duration, lost bool) {
+	d.observe(key, d.state(key, at), Sample{At: at, RTT: rtt, Lost: lost})
+}
+
+// ObserveMany ingests a run of samples for one pair with a single
+// state lookup — the batched hot path: an agent's probing round
+// delivers all of a pair's probes contiguously, so the analyzer calls
+// this once per pair per round instead of Observe once per record.
+// Samples must be in non-decreasing time order, as Observe's would be.
+func (d *Detector) ObserveMany(key PairKey, samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	st := d.state(key, samples[0].At)
+	for _, s := range samples {
+		d.observe(key, st, s)
+	}
+}
+
+// state returns (creating if needed) the pair's window state.
+func (d *Detector) state(key PairKey, at time.Duration) *pairState {
 	st, ok := d.pairs[key]
 	if !ok {
 		st = &pairState{winStart: at, longStart: at}
 		d.pairs[key] = st
 	}
-	if at >= st.winStart+d.cfg.ShortWindow {
-		d.closeShort(key, st, at)
+	return st
+}
+
+func (d *Detector) observe(key PairKey, st *pairState, s Sample) {
+	if s.At >= st.winStart+d.cfg.ShortWindow {
+		d.closeShort(key, st, s.At)
 	}
-	if at >= st.longStart+d.cfg.LongWindow {
-		d.closeLong(key, st, at)
+	if s.At >= st.longStart+d.cfg.LongWindow {
+		d.closeLong(key, st, s.At)
 	}
 	st.total++
-	if lost {
+	if s.Lost {
 		st.lost++
 		return
 	}
-	us := float64(rtt) / float64(time.Microsecond)
+	us := float64(s.RTT) / float64(time.Microsecond)
 	st.rtts = append(st.rtts, us)
 	st.longRTTs = append(st.longRTTs, us)
 }

@@ -230,6 +230,70 @@ func TestForget(t *testing.T) {
 	}
 }
 
+// TestObserveManyMatchesObserve proves the batched ingest path is
+// behaviourally identical to the per-record one: same samples, same
+// anomaly stream.
+func TestObserveManyMatchesObserve(t *testing.T) {
+	sample := func(r *rand.Rand, median float64, lossRate float64, at time.Duration) Sample {
+		dist := stats.LogNormal{Mu: math.Log(median), Sigma: 0.08}
+		lost := r.Float64() < lossRate
+		return Sample{At: at, RTT: time.Duration(dist.Sample(r) * float64(time.Microsecond)), Lost: lost}
+	}
+	var samples []Sample
+	r := rand.New(rand.NewSource(11))
+	at := time.Duration(0)
+	for ; at < 10*time.Minute; at += time.Second {
+		samples = append(samples, sample(r, 16, 0, at))
+	}
+	for ; at < 12*time.Minute; at += time.Second {
+		samples = append(samples, sample(r, 120, 0.05, at))
+	}
+
+	serialOut, serialEmit := collect()
+	serial := New(Config{}, serialEmit)
+	for _, s := range samples {
+		serial.Observe(testKey, s.At, s.RTT, s.Lost)
+	}
+	serial.Flush(at)
+
+	batchedOut, batchedEmit := collect()
+	batched := New(Config{}, batchedEmit)
+	// Deliver in round-sized chunks, as the analyzer's batch path does.
+	for i := 0; i < len(samples); i += 7 {
+		end := i + 7
+		if end > len(samples) {
+			end = len(samples)
+		}
+		batched.ObserveMany(testKey, samples[i:end])
+	}
+	batched.Flush(at)
+
+	if len(*serialOut) == 0 {
+		t.Fatal("scenario produced no anomalies; test has no teeth")
+	}
+	if len(*serialOut) != len(*batchedOut) {
+		t.Fatalf("anomaly counts diverge: serial %d, batched %d", len(*serialOut), len(*batchedOut))
+	}
+	for i := range *serialOut {
+		a, b := (*serialOut)[i], (*batchedOut)[i]
+		if a.Type != b.Type || a.At != b.At || a.Score != b.Score {
+			t.Fatalf("anomaly %d diverges: serial %+v, batched %+v", i, a, b)
+		}
+	}
+	if serial.Evaluated != batched.Evaluated {
+		t.Fatalf("evaluated windows diverge: %d vs %d", serial.Evaluated, batched.Evaluated)
+	}
+}
+
+func TestObserveManyEmpty(t *testing.T) {
+	_, emit := collect()
+	d := New(Config{}, emit)
+	d.ObserveMany(testKey, nil)
+	if len(d.pairs) != 0 {
+		t.Fatal("empty batch created pair state")
+	}
+}
+
 func TestPairKeyString(t *testing.T) {
 	got := testKey.String()
 	if got != "t1:c0/r0→c1/r0" {

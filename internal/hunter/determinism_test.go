@@ -1,0 +1,114 @@
+package hunter
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/topology"
+)
+
+// runFingerprint plays a fixed two-tenant fault scenario and renders
+// everything observable about the run — every alarm (times, anomaly
+// keys, verdict components/layers/details, in order), the blacklist,
+// and the engine's processed-event count — to a string. Runs with the
+// same seed must produce byte-identical fingerprints whatever the
+// analyzer worker count or GOMAXPROCS setting.
+func runFingerprint(t *testing.T, workers int) string {
+	t.Helper()
+	d, err := New(Options{
+		Seed:    23,
+		Spec:    topology.Spec{Pods: 1, HostsPerPod: 8, Rails: 8, AggPerPod: 2},
+		Lag:     fastLag(),
+		Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two tenants so the round fan-out has multiple shards to merge,
+	// and two concurrent faults so both shards carry anomalies in the
+	// same round — exercising the cross-shard merge order.
+	t1, err := d.SubmitTask(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := d.SubmitTask(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(7 * time.Minute) // steady state + detector history
+
+	a := t1.Containers[0].Addrs[0]
+	if _, err := d.Injector.Inject(faults.RNICPortDown, faults.Target{Host: a.Host, Rail: a.Rail}); err != nil {
+		t.Fatal(err)
+	}
+	b := t2.Containers[1].Addrs[2]
+	if _, err := d.Injector.Inject(faults.RNICPortFlapping, faults.Target{Host: b.Host, Rail: b.Rail}); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(3 * time.Minute)
+
+	var sb strings.Builder
+	for _, al := range d.Analyzer.Alarms() {
+		fmt.Fprintf(&sb, "alarm@%v\n", al.At)
+		for _, an := range al.Anomalies {
+			fmt.Fprintf(&sb, "  anomaly %+v %v @%v score=%.9g\n", an.Key, an.Type, an.At, an.Score)
+		}
+		for _, v := range al.Verdicts {
+			fmt.Fprintf(&sb, "  verdict [%v] %v pairs=%d %s\n", v.Layer, v.Components, v.Pairs, v.Detail)
+		}
+	}
+	bl := d.Analyzer.Blacklist()
+	keys := make([]string, 0, len(bl))
+	for c := range bl {
+		keys = append(keys, string(c))
+	}
+	sort.Strings(keys)
+	for _, c := range keys {
+		at, _ := d.Analyzer.Blacklisted(component.ID(c))
+		fmt.Fprintf(&sb, "blacklist %s @%v\n", c, at)
+	}
+	fmt.Fprintf(&sb, "processed=%d shards=%d\n", d.Engine.Processed, d.Analyzer.Shards())
+	return sb.String()
+}
+
+// TestDeterminismAcrossWorkerCounts is the load-bearing property of the
+// sharded analysis plane: the worker pool size must only trade
+// wall-clock for cores, never change an alarm, a verdict, or the
+// blacklist.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	want := runFingerprint(t, 1)
+	if !strings.Contains(want, "alarm@") {
+		t.Fatal("scenario raised no alarms; determinism test has no teeth")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if got := runFingerprint(t, workers); got != want {
+			t.Fatalf("workers=%d diverged from serial run:\n--- serial ---\n%s--- workers=%d ---\n%s", workers, want, workers, got)
+		}
+	}
+}
+
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	single := runFingerprint(t, 0) // 0 → DefaultWorkers = GOMAXPROCS = 1
+	runtime.GOMAXPROCS(prev)
+	parallel := runFingerprint(t, 0) // DefaultWorkers at full parallelism
+	if single != parallel {
+		t.Fatalf("GOMAXPROCS=1 and GOMAXPROCS=%d runs diverged:\n--- single ---\n%s--- parallel ---\n%s", prev, single, parallel)
+	}
+}
+
+func TestDeterminismSameSeedTwice(t *testing.T) {
+	a := runFingerprint(t, 0)
+	b := runFingerprint(t, 0)
+	if a != b {
+		t.Fatalf("same seed produced different runs:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}

@@ -40,6 +40,10 @@ type Options struct {
 	Detect detect.Config
 	// AnalysisInterval is the analyzer round period (default 30 s).
 	AnalysisInterval time.Duration
+	// Workers bounds the analyzer's per-round fan-out across task
+	// shards (default GOMAXPROCS). Alarms are bit-identical at any
+	// value; this only trades wall-clock for cores.
+	Workers int
 	// ProbeInterval is the agents' probing round period (default 1 s).
 	ProbeInterval time.Duration
 	// TransientCongestionProb adds benign latency spikes (noise).
@@ -116,9 +120,10 @@ func New(opts Options) (*Deployment, error) {
 	ctl := controller.New()
 	ctl.Attach(cp)
 	loc := localize.NewWithControlPlane(net, cp)
-	an := analyzer.New(eng, net, loc, analyzer.Config{
+	an := analyzer.New(eng, loc, analyzer.Config{
 		Detect:           opts.Detect,
 		AnalysisInterval: opts.AnalysisInterval,
+		Workers:          opts.Workers,
 	})
 	an.Start()
 
@@ -145,11 +150,12 @@ func New(opts Options) (*Deployment, error) {
 	return d, nil
 }
 
-// ingest is the probe-record sink: records land in the retained log
-// and stream into the analyzer.
-func (d *Deployment) ingest(rec probe.Record) {
-	d.Log.Append(rec)
-	d.Analyzer.Ingest(rec)
+// ingestBatch is the per-round probe sink: each agent round's records
+// land in the retained log and the analyzer's shard inbox in one call
+// apiece, instead of once per record.
+func (d *Deployment) ingestBatch(b probe.Batch) {
+	d.Log.AppendBatch(b)
+	d.Analyzer.IngestBatch(b)
 }
 
 // handleAlarm propagates verdicts into the scheduling blacklist and,
@@ -211,7 +217,7 @@ func (d *Deployment) onClusterEvent(ev cluster.Event) {
 			Controller: d.Controller,
 			Task:       ev.Task,
 			Container:  ev.Container,
-			Sink:       d.ingest,
+			BatchSink:  d.ingestBatch,
 			Interval:   d.probeInterval,
 		}
 		a.Start()

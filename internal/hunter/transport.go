@@ -93,6 +93,10 @@ func (b *transportBackend) Report(task string, container int, reports []transpor
 	if !ok {
 		return fmt.Errorf("unknown task %s", task)
 	}
+	// Validate and convert the whole report, then ingest it as one
+	// batch, mirroring the in-process agents' per-round path. A report
+	// with any malformed entry is rejected wholesale.
+	batch := make(probe.Batch, 0, len(reports))
 	for _, r := range reports {
 		if r.SrcContainer < 0 || r.SrcContainer >= len(t.Containers) ||
 			r.DstContainer < 0 || r.DstContainer >= len(t.Containers) {
@@ -116,8 +120,9 @@ func (b *transportBackend) Report(task string, container int, reports []transpor
 		for _, l := range r.Path {
 			rec.Path = append(rec.Path, topology.LinkID(l))
 		}
-		d.ingest(rec)
+		batch = append(batch, rec)
 	}
+	d.ingestBatch(batch)
 	return nil
 }
 

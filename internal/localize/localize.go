@@ -118,6 +118,26 @@ type Verdict struct {
 // overlay stage distinguish "container gone" from "vswitch broken"
 // (the controller synchronizes container states from the control
 // plane's database, §6).
+//
+// Concurrency audit: Localize and everything it reaches is read-only,
+// so one Localizer may be shared by the analyzer's concurrent task
+// shards. The full call surface and why each leg is safe:
+//
+//   - Localizer itself holds no mutable state; no method writes a
+//     field.
+//   - overlay.Network.TraceForward and DumpOffload go through the
+//     non-instantiating vswitch accessor and only read flow tables
+//     and the endpoint registry.
+//   - topology.Fabric is immutable after construction (only Spec is
+//     read here).
+//   - the ContainerRunning/ContainerIDOf closures wired by
+//     NewWithControlPlane only iterate cluster.ControlPlane.Tasks(),
+//     which builds a fresh slice from the task registry.
+//
+// The remaining requirement is external: nothing may mutate the
+// overlay, fabric or control plane while a Localize batch is in
+// flight. The simulation engine guarantees that, because shards only
+// fan out inside a single engine event.
 type Localizer struct {
 	Net              *netsim.Net
 	ContainerRunning func(addr overlay.Addr) (known bool, running bool)
@@ -198,7 +218,7 @@ func (l *Localizer) Localize(evidence []Evidence, healthy []Observation) []Verdi
 			})
 		}
 	}
-	return dedupeVerdicts(verdicts)
+	return MergeVerdicts(verdicts)
 }
 
 // overlayReachability is Algorithm 1's OverlayReachability: walk the
@@ -670,7 +690,12 @@ func (l *Localizer) validateRNICs(ev Evidence) (Verdict, bool) {
 	return Verdict{}, false
 }
 
-func dedupeVerdicts(vs []Verdict) []Verdict {
+// MergeVerdicts collapses verdicts naming the same (layer, component
+// set) into one, summing the explained-pair counts and keeping first-
+// seen order. Localize applies it within a batch; the sharded analyzer
+// applies it again across shard outputs, so two tasks blaming the same
+// switch still yield a single verdict per round.
+func MergeVerdicts(vs []Verdict) []Verdict {
 	type key string
 	seen := map[key]int{}
 	var out []Verdict

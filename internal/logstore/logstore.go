@@ -77,6 +77,26 @@ func RNICKey(host, rail int) string { return fmt.Sprintf("h%d/r%d", host, rail) 
 func (s *Store) Append(rec probe.Record) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.append(rec)
+}
+
+// AppendBatch stores a probing round's records under one lock
+// acquisition — the per-round ingest path agents feed. Records are
+// copied into the ring, so callers may reuse the batch's backing
+// array.
+func (s *Store) AppendBatch(recs []probe.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range recs {
+		s.append(rec)
+	}
+}
+
+// append stores one record; the caller holds s.mu.
+func (s *Store) append(rec probe.Record) {
 	s.seq++
 	s.slots[s.next] = slot{rec: rec, seq: s.seq}
 	s.next = (s.next + 1) % s.capacity

@@ -147,3 +147,33 @@ func TestZeroCapacityFloor(t *testing.T) {
 		t.Fatalf("len = %d", s.Len())
 	}
 }
+
+func TestAppendBatchMatchesAppend(t *testing.T) {
+	a, b := New(100), New(100)
+	var batch []probe.Record
+	for i := 0; i < 10; i++ {
+		r := rec("t1", i, i+1, time.Duration(i)*time.Second, "nic/h0/r1--tor/p0/r1")
+		a.Append(r)
+		batch = append(batch, r)
+	}
+	b.AppendBatch(batch)
+	b.AppendBatch(nil) // no-op
+	if got, want := b.Len(), a.Len(); got != want {
+		t.Fatalf("AppendBatch stored %d records, Append stored %d", got, want)
+	}
+	ra, rb := a.ByTask("t1", 0), b.ByTask("t1", 0)
+	if len(ra) != len(rb) {
+		t.Fatalf("ByTask: %d vs %d records", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].At != rb[i].At || ra[i].SrcContainer != rb[i].SrcContainer {
+			t.Fatalf("record %d differs: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	// The caller may reuse the batch's backing array: mutating it after
+	// AppendBatch must not corrupt the store.
+	batch[0].SrcContainer = 999
+	if b.ByTask("t1", 0)[0].SrcContainer == 999 {
+		t.Fatal("store aliases the caller's batch slice")
+	}
+}

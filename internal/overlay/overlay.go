@@ -182,6 +182,18 @@ func (n *Network) VSwitch(host int) *VSwitch {
 	return v
 }
 
+// vswitchRO returns the host's vswitch without instantiating one: the
+// read-only accessor the concurrent localization shards go through.
+// A host that never attached an endpoint gets an empty stand-in whose
+// lookups all miss — the same observable behaviour as a fresh vswitch,
+// with no write to the vswitch map.
+func (n *Network) vswitchRO(host int) *VSwitch {
+	if v, ok := n.vswitches[host]; ok {
+		return v
+	}
+	return &VSwitch{Host: host}
+}
+
 // Hosts returns the hosts that currently have a vswitch instantiated,
 // sorted ascending.
 func (n *Network) Hosts() []int {
@@ -320,6 +332,11 @@ var ErrUnknownEndpoint = errors.New("overlay: unknown endpoint")
 // vswitch)* → vport, following the installed flow entries wherever they
 // point — including into loops, which it detects via a visited set,
 // exactly as Algorithm 1's overlay reachability does.
+//
+// TraceForward is read-only and safe to call from concurrent analysis
+// shards, provided nothing mutates the overlay concurrently (in this
+// repo the single-threaded simulation engine guarantees that: shards
+// only fan out inside one engine event).
 func (n *Network) TraceForward(src Addr, dstIP string) (Trace, error) {
 	if _, ok := n.Endpoint(src.VNI, src.IP); !ok {
 		return Trace{}, ErrUnknownEndpoint
@@ -340,7 +357,7 @@ func (n *Network) TraceForward(src Addr, dstIP string) (Trace, error) {
 	// A forwarding chain in a healthy overlay is at most a handful of
 	// components; the bound only guards against pathological rule sets.
 	for hops := 0; hops < 64; hops++ {
-		vsw := n.VSwitch(host)
+		vsw := n.vswitchRO(host)
 		if !visit(VSwitchComponent(host)) {
 			tr.Outcome = Looped
 			return tr, nil
@@ -421,7 +438,7 @@ type OffloadDump struct {
 // is just a scan.
 func (n *Network) DumpOffload(host, rail int) OffloadDump {
 	d := OffloadDump{Host: host, Rail: rail}
-	vsw := n.VSwitch(host)
+	vsw := n.vswitchRO(host)
 	for _, k := range vsw.Keys() {
 		e, _ := vsw.Lookup(k)
 		if e.Action.Rail != rail {

@@ -37,8 +37,19 @@ type Record struct {
 	Path []topology.LinkID
 }
 
-// Sink consumes probe records.
+// Sink consumes probe records one at a time.
 type Sink func(Record)
+
+// Batch is the records of one probing round from one agent. All
+// records of a batch share the agent's task, and each target pair's
+// probes are contiguous — the layout the analyzer's batched ingest
+// exploits.
+type Batch []Record
+
+// BatchSink consumes a whole probing round at once. The slice is only
+// valid for the duration of the call: the agent reuses its backing
+// array across rounds, so a sink that retains records must copy them.
+type BatchSink func(Batch)
 
 // OverlayAgent probes on behalf of one container. One agent exists per
 // training container (sidecar); it queries the controller each round so
@@ -50,7 +61,13 @@ type OverlayAgent struct {
 	Controller *controller.Controller
 	Task       *cluster.Task
 	Container  *cluster.Container
-	Sink       Sink
+	// Sink, when set, receives every record as it is produced. The
+	// batch path below is the hot one; Sink remains for tools that
+	// want a per-record tap.
+	Sink Sink
+	// BatchSink, when set, receives each round's records in one call —
+	// the per-round path the analyzer and log store ingest through.
+	BatchSink BatchSink
 	// Interval is the probing round period (default 1 s).
 	Interval time.Duration
 	// ProbesPerTarget is how many probes (with distinct ECMP entropy)
@@ -60,6 +77,7 @@ type OverlayAgent struct {
 	ticker  *sim.Ticker
 	rounds  int
 	entropy uint64
+	batch   Batch // reused across rounds
 }
 
 // Start registers the agent with the controller and begins periodic
@@ -99,6 +117,7 @@ func (a *OverlayAgent) round(now time.Duration) {
 		return
 	}
 	targets := a.Controller.PingList(a.Task.ID, a.Container.Index)
+	a.batch = a.batch[:0]
 	for _, tg := range targets {
 		dst := a.Task.Containers[tg.DstContainer]
 		src := a.Container.Addrs[tg.SrcRail]
@@ -119,7 +138,13 @@ func (a *OverlayAgent) round(now time.Duration) {
 			if a.Sink != nil {
 				a.Sink(rec)
 			}
+			if a.BatchSink != nil {
+				a.batch = append(a.batch, rec)
+			}
 		}
+	}
+	if a.BatchSink != nil && len(a.batch) > 0 {
+		a.BatchSink(a.batch)
 	}
 	a.rounds++
 }

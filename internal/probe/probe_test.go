@@ -201,3 +201,46 @@ func TestResourceModelConvergence(t *testing.T) {
 		t.Fatal("ping-list size has no CPU effect")
 	}
 }
+
+func TestBatchSinkDeliversWholeRounds(t *testing.T) {
+	r := newRig(t)
+	var perRecord []Record
+	var batches []int
+	var firstTask cluster.TaskID
+	for _, c := range r.task.Containers {
+		a := &OverlayAgent{
+			Engine: r.eng, Net: r.net, Controller: r.ctl,
+			Task: r.task, Container: c,
+			Sink: func(rec Record) { perRecord = append(perRecord, rec) },
+			BatchSink: func(b Batch) {
+				if len(b) == 0 {
+					t.Fatal("empty batch delivered")
+				}
+				for _, rec := range b {
+					if rec.Task != b[0].Task {
+						t.Fatal("batch mixes tasks")
+					}
+				}
+				// The batch slice is reused across rounds; count, don't retain.
+				batches = append(batches, len(b))
+				firstTask = b[0].Task
+			},
+		}
+		a.Start()
+	}
+	r.eng.RunUntil(r.eng.Now() + 90*time.Second)
+	if len(batches) == 0 {
+		t.Fatal("no batches delivered")
+	}
+	if firstTask != r.task.ID {
+		t.Fatalf("batch task = %s, want %s", firstTask, r.task.ID)
+	}
+	total := 0
+	for _, n := range batches {
+		total += n
+	}
+	// The per-record tap and the batch path must see the same stream.
+	if total != len(perRecord) {
+		t.Fatalf("batch path delivered %d records, per-record sink %d", total, len(perRecord))
+	}
+}

@@ -28,6 +28,7 @@ type Event struct {
 	name string
 	fn   func(now time.Duration)
 
+	eng      *Engine
 	index    int // heap index; -1 once popped or cancelled
 	canceled bool
 }
@@ -40,7 +41,17 @@ func (e *Event) Name() string { return e.name }
 
 // Cancel prevents a pending event from firing. Cancelling an event that
 // already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	// Still queued: account for it so Pending stays truthful without a
+	// heap sweep; the zombie entry is reaped when it reaches the top.
+	if e.index >= 0 && e.eng != nil {
+		e.eng.cancelled++
+	}
+}
 
 type eventHeap []*Event
 
@@ -76,11 +87,12 @@ func (h *eventHeap) Pop() any {
 // (concurrency in the modeled system is expressed as interleaved events,
 // which is what makes runs reproducible).
 type Engine struct {
-	now    time.Duration
-	queue  eventHeap
-	seq    uint64
-	seed   int64
-	stream map[string]*rand.Rand
+	now       time.Duration
+	queue     eventHeap
+	seq       uint64
+	seed      int64
+	stream    map[string]*rand.Rand
+	cancelled int // cancelled-but-unreaped events still in the heap
 
 	// Processed counts events that have fired, for introspection.
 	Processed uint64
@@ -127,7 +139,7 @@ func (e *Engine) Schedule(at time.Duration, name string, fn func(now time.Durati
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, name: name, fn: fn}
+	ev := &Event{at: at, seq: e.seq, name: name, fn: fn, eng: e}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -186,6 +198,7 @@ func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.canceled {
+			e.cancelled--
 			continue
 		}
 		e.now = ev.at
@@ -205,6 +218,7 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 		next := e.queue[0]
 		if next.canceled {
 			heap.Pop(&e.queue)
+			e.cancelled--
 			continue
 		}
 		if next.at > deadline {
@@ -225,6 +239,7 @@ func (e *Engine) Run() {
 	}
 }
 
-// Pending returns the number of events still queued (including
-// cancelled events not yet reaped).
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending returns the number of live events still queued. Cancelled
+// events linger in the heap until they surface (lazy reaping), but are
+// subtracted here so the count is truthful.
+func (e *Engine) Pending() int { return e.queue.Len() - e.cancelled }

@@ -168,3 +168,48 @@ func TestPendingCount(t *testing.T) {
 		t.Fatalf("pending = %d, want 3", e.Pending())
 	}
 }
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine(1)
+	var evs []*Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs, e.Schedule(time.Duration(i)*time.Second, "x", func(time.Duration) {}))
+	}
+	evs[1].Cancel()
+	evs[3].Cancel()
+	evs[3].Cancel() // double cancel must not double-count
+	if e.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3 (cancelled events must not count)", e.Pending())
+	}
+	// Stepping reaps zombies without disturbing the count of live events.
+	e.Step() // fires ev 0
+	if e.Pending() != 2 {
+		t.Fatalf("pending after step = %d, want 2", e.Pending())
+	}
+	e.Step() // skips cancelled ev 1, fires ev 2
+	if e.Pending() != 1 {
+		t.Fatalf("pending after second step = %d, want 1", e.Pending())
+	}
+	// Cancelling an already-fired event is a no-op on the count.
+	evs[0].Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("pending after cancelling fired event = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after drain = %d, want 0", e.Pending())
+	}
+}
+
+func TestPendingWithTicker(t *testing.T) {
+	e := NewEngine(1)
+	tk := e.Every(time.Second, time.Second, "tick", func(time.Duration) {})
+	e.RunUntil(3 * time.Second)
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (next ticker firing)", e.Pending())
+	}
+	tk.Stop()
+	if e.Pending() != 0 {
+		t.Fatalf("pending after ticker stop = %d, want 0", e.Pending())
+	}
+}
