@@ -11,9 +11,12 @@ test:
 	$(GO) test ./...
 
 # Certifies the analyzer's concurrent shard fan-out under the race
-# detector (tier-1 acceptance for the sharded analysis plane).
+# detector (tier-1 acceptance for the sharded analysis plane). The
+# race detector slows the figure generators and the multi-hour
+# telemetry-fault campaign well past go test's default 10m per-package
+# timeout on small machines.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 vet:
 	$(GO) vet ./...

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"skeletonhunter/internal/cluster"
@@ -36,15 +37,57 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "analysis-round worker pool size (0 = GOMAXPROCS); alarms are identical at any value")
 	verbose := flag.Bool("v", false, "print every alarm")
+	stats := flag.Bool("stats", false, "print the monitoring plane's self-monitoring counters and stage timings at exit")
+	telDrop := flag.Float64("tel-drop", 0, "telemetry fault: probability an agent batch is dropped before ingest")
+	telDup := flag.Float64("tel-dup", 0, "telemetry fault: probability a batch is delivered twice")
+	telReorder := flag.Float64("tel-reorder", 0, "telemetry fault: probability a batch is held and delivered out of order")
+	telDelay := flag.Float64("tel-delay", 0, "telemetry fault: probability an analysis round is withheld")
+	telStale := flag.Bool("tel-stale", false, "telemetry fault: freeze controller ping lists (agents probe stale lists)")
+	telStorm := flag.Float64("tel-storm", 0, "telemetry fault: fraction of sidecar agents killed (and restarted 30s later) after steady state")
 	flag.Parse()
 
-	if err := run(*hosts, parallelism.Config{TP: *tp, PP: *pp, DP: *dp, EP: *ep}, faults.IssueType(*issue), *seed, *workers, *verbose); err != nil {
+	cfg := runConfig{
+		hosts:   *hosts,
+		par:     parallelism.Config{TP: *tp, PP: *pp, DP: *dp, EP: *ep},
+		issue:   faults.IssueType(*issue),
+		seed:    *seed,
+		workers: *workers,
+		verbose: *verbose,
+		stats:   *stats,
+		telemetry: faults.TelemetryOptions{
+			DropBatchProb:      *telDrop,
+			DuplicateBatchProb: *telDup,
+			ReorderBatchProb:   *telReorder,
+			DelayRoundProb:     *telDelay,
+			StalePingLists:     *telStale,
+		},
+		stormFrac: *telStorm,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "skeletonhunter:", err)
 		os.Exit(1)
 	}
 }
 
-func run(hosts int, par parallelism.Config, issue faults.IssueType, seed int64, workers int, verbose bool) error {
+type runConfig struct {
+	hosts     int
+	par       parallelism.Config
+	issue     faults.IssueType
+	seed      int64
+	workers   int
+	verbose   bool
+	stats     bool
+	telemetry faults.TelemetryOptions
+	stormFrac float64
+}
+
+func (c runConfig) telemetryEnabled() bool {
+	return c.telemetry != (faults.TelemetryOptions{})
+}
+
+func run(cfg runConfig) error {
+	hosts, par, issue, seed, workers, verbose :=
+		cfg.hosts, cfg.par, cfg.issue, cfg.seed, cfg.workers, cfg.verbose
 	d, err := hunter.New(hunter.Options{
 		Seed:    seed,
 		Hosts:   hosts,
@@ -81,11 +124,26 @@ func run(hosts int, par parallelism.Config, issue faults.IssueType, seed int64, 
 	fmt.Printf("ping list: now %d targets (%.1f%% below full mesh)\n",
 		st.CurrentTargets, 100*(1-float64(st.CurrentTargets)/float64(st.FullMeshTargets)))
 
+	if cfg.telemetryEnabled() {
+		d.SetTelemetryFaults(cfg.telemetry)
+		fmt.Printf("telemetry faults on: drop=%.2f dup=%.2f reorder=%.2f delay=%.2f stale=%v\n",
+			cfg.telemetry.DropBatchProb, cfg.telemetry.DuplicateBatchProb,
+			cfg.telemetry.ReorderBatchProb, cfg.telemetry.DelayRoundProb,
+			cfg.telemetry.StalePingLists)
+	}
+	if cfg.stormFrac > 0 {
+		killed := d.AgentRestartStorm(cfg.stormFrac, 30*time.Second)
+		fmt.Printf("agent restart storm: %d sidecar agents killed, restarting in 30s\n", killed)
+	}
+
 	d.Run(5 * time.Minute) // detector history on the skeleton list
 
 	if issue == 0 {
 		d.Run(5 * time.Minute)
 		fmt.Printf("healthy run: %d alarms\n", len(d.Analyzer.Alarms()))
+		if cfg.stats {
+			fmt.Printf("self-monitoring stats:\n%s", indent(d.Stats().String()))
+		}
 		return nil
 	}
 
@@ -128,7 +186,18 @@ func run(hosts int, par parallelism.Config, issue faults.IssueType, seed int64, 
 	if verbose {
 		fmt.Printf("pipeline: %s over %d task shard(s)\n", d.Analyzer.Stats(), d.Analyzer.Shards())
 	}
+	if cfg.stats {
+		fmt.Printf("self-monitoring stats:\n%s", indent(d.Stats().String()))
+	}
 	return nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func pickTarget(d *hunter.Deployment, task *cluster.Task, issue faults.IssueType) (faults.Target, error) {

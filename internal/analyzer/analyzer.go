@@ -27,6 +27,7 @@ import (
 	"skeletonhunter/internal/component"
 	"skeletonhunter/internal/detect"
 	"skeletonhunter/internal/localize"
+	"skeletonhunter/internal/obs"
 	"skeletonhunter/internal/overlay"
 	"skeletonhunter/internal/pipeline"
 	"skeletonhunter/internal/probe"
@@ -74,6 +75,17 @@ type Config struct {
 	// (default: GOMAXPROCS). Results are identical at any value; this
 	// only trades wall-clock for cores.
 	Workers int
+	// InboxLimit bounds each shard's inbox — records waiting for the
+	// next analysis round. When rounds fall behind (an injected delay,
+	// a real stall) the inbox fills and further records are shed with
+	// a counter bump instead of growing memory without bound: a
+	// telemetry storm degrades recall gracefully rather than taking
+	// the analyzer down with it. Default 65536 records per shard;
+	// negative means unbounded.
+	InboxLimit int
+	// Obs receives the analyzer's self-monitoring counters and stage
+	// timings. Nil disables collection at negligible cost.
+	Obs *obs.Stats
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +100,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = pipeline.DefaultWorkers()
+	}
+	if c.InboxLimit == 0 {
+		c.InboxLimit = 65536
 	}
 	return c
 }
@@ -120,6 +135,25 @@ func newShard(task string, cfg Config) *shard {
 		s.pending = append(s.pending, a)
 	})
 	return s
+}
+
+// enqueue admits records into the inbox up to the configured bound,
+// shedding (and counting) the overflow. Newest records are shed first:
+// the retained prefix preserves sample ordering, which the detector's
+// windowing assumes.
+func (s *shard) enqueue(recs ...probe.Record) (accepted int) {
+	if limit := s.cfg.InboxLimit; limit > 0 {
+		if room := limit - len(s.inbox); room < len(recs) {
+			if room < 0 {
+				room = 0
+			}
+			s.cfg.Obs.Add(obs.RecordsShed, uint64(len(recs)-room))
+			recs = recs[:room]
+		}
+	}
+	s.inbox = append(s.inbox, recs...)
+	s.cfg.Obs.Add(obs.RecordsIngested, uint64(len(recs)))
+	return len(recs)
 }
 
 // drain runs the window/detect stage: every inbox record flows through
@@ -209,7 +243,7 @@ func (s *shard) localizeRound(loc *localize.Localizer) ([]detect.Anomaly, []loca
 	for key := range byPair {
 		keys = append(keys, key)
 	}
-	sort.Slice(keys, func(i, j int) bool { return lessPairKey(keys[i], keys[j]) })
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 	var evidence []localize.Evidence
 	for _, key := range keys {
 		pi, ok := s.pairs[key]
@@ -223,22 +257,6 @@ func (s *shard) localizeRound(loc *localize.Localizer) ([]detect.Anomaly, []loca
 	return anomalies, loc.Localize(evidence, s.healthy)
 }
 
-func lessPairKey(a, b detect.PairKey) bool {
-	if a.Task != b.Task {
-		return a.Task < b.Task
-	}
-	if a.SrcContainer != b.SrcContainer {
-		return a.SrcContainer < b.SrcContainer
-	}
-	if a.SrcRail != b.SrcRail {
-		return a.SrcRail < b.SrcRail
-	}
-	if a.DstContainer != b.DstContainer {
-		return a.DstContainer < b.DstContainer
-	}
-	return a.DstRail < b.DstRail
-}
-
 // Analyzer is the sharded streaming pipeline.
 type Analyzer struct {
 	Engine *sim.Engine
@@ -250,6 +268,13 @@ type Analyzer struct {
 	Localizer *localize.Localizer
 	// OnAlarm receives every alarm as it is raised.
 	OnAlarm func(Alarm)
+	// Gate, when set, is consulted at the top of every analysis round;
+	// returning true withholds the round (telemetry-fault injection:
+	// the streaming job falling behind its schedule). A withheld
+	// round's records keep accumulating in the bounded shard inboxes,
+	// so a long gate degrades into counted shedding, not unbounded
+	// memory.
+	Gate func(now time.Duration) bool
 
 	cfg    Config
 	shards *pipeline.Sharded[shard]
@@ -291,8 +316,8 @@ func (an *Analyzer) Stop() {
 // entry point (tests, replay tools). Agents use IngestBatch.
 func (an *Analyzer) Ingest(rec probe.Record) {
 	sh := an.shards.Get(string(rec.Task))
-	sh.inbox = append(sh.inbox, rec)
-	an.stats.Add(pipeline.StageIngest, 1)
+	n := sh.enqueue(rec)
+	an.stats.Add(pipeline.StageIngest, uint64(n))
 }
 
 // IngestBatch consumes one agent round's records at once — the ingest
@@ -305,8 +330,8 @@ func (an *Analyzer) IngestBatch(batch probe.Batch) {
 		return
 	}
 	sh := an.shards.Get(string(batch[0].Task))
-	sh.inbox = append(sh.inbox, batch...)
-	an.stats.Add(pipeline.StageIngest, uint64(len(batch)))
+	n := sh.enqueue(batch...)
+	an.stats.Add(pipeline.StageIngest, uint64(n))
 }
 
 // shardResult is one shard's round output, merged in task-key order.
@@ -320,13 +345,37 @@ type shardResult struct {
 // fan back in by ascending task key, raise one alarm, update the
 // blacklist.
 func (an *Analyzer) Round(now time.Duration) {
-	results := pipeline.FanOut(an.shards, an.cfg.Workers, func(task string, s *shard) shardResult {
+	if an.Gate != nil && an.Gate(now) {
+		an.cfg.Obs.Inc(obs.RoundsDelayed)
+		return
+	}
+	o := an.cfg.Obs
+	o.Inc(obs.RoundsRun)
+	roundStart := time.Now()
+	defer func() { o.ObserveDuration("analysis-round-ms", time.Since(roundStart)) }()
+
+	// Wall-clock stage timings are observability only: they are
+	// recorded after the shard's work completes and never feed back
+	// into the simulation, so alarms stay bit-identical with or
+	// without an observer.
+	var observe func(string, time.Duration)
+	if o != nil {
+		observe = func(task string, d time.Duration) { o.ObserveDuration("shard-round-ms", d) }
+	}
+	results := pipeline.FanOutTimed(an.shards, an.cfg.Workers, func(task string, s *shard) shardResult {
+		evalBefore := s.detector.Evaluated
+		detectStart := time.Now()
 		n := s.drain()
+		o.ObserveDuration("stage-detect-ms", time.Since(detectStart))
 		an.stats.Add(pipeline.StageDetect, uint64(n))
+		localizeStart := time.Now()
 		anomalies, verdicts := s.localizeRound(an.Localizer)
+		o.ObserveDuration("stage-localize-ms", time.Since(localizeStart))
 		an.stats.Add(pipeline.StageLocalize, uint64(len(anomalies)))
+		o.Add(obs.WindowsEvaluated, uint64(s.detector.Evaluated-evalBefore))
+		o.Add(obs.AnomaliesDetected, uint64(len(anomalies)))
 		return shardResult{anomalies: anomalies, verdicts: verdicts}
-	})
+	}, observe)
 
 	// Deterministic merge: FanOut returns results in ascending task-key
 	// order; concatenation preserves it. Cross-shard duplicates (two
@@ -346,6 +395,7 @@ func (an *Analyzer) Round(now time.Duration) {
 	alarm := Alarm{At: now, Anomalies: anomalies, Verdicts: verdicts}
 	an.alarms = append(an.alarms, alarm)
 	an.stats.Add(pipeline.StageAlarm, 1)
+	o.Inc(obs.AlarmsRaised)
 	for _, c := range alarm.Components() {
 		if _, ok := an.blacklist[c]; !ok {
 			an.blacklist[c] = now
@@ -362,9 +412,11 @@ func (an *Analyzer) Flush(now time.Duration) {
 	// close the windows; Round would drain too, but by then the flush
 	// must already have evaluated the half-open windows.
 	an.shards.Each(func(task string, s *shard) {
+		evalBefore := s.detector.Evaluated
 		n := s.drain()
 		an.stats.Add(pipeline.StageDetect, uint64(n))
 		s.detector.Flush(now)
+		an.cfg.Obs.Add(obs.WindowsEvaluated, uint64(s.detector.Evaluated-evalBefore))
 	})
 	an.Round(now)
 }

@@ -60,6 +60,18 @@ type taskState struct {
 type Controller struct {
 	mu    sync.Mutex
 	tasks map[cluster.TaskID]*taskState
+
+	// frozen serves stale ping lists: while set, each (task, source)
+	// query is answered from cache, so registration, skeleton, and
+	// lifecycle changes stop propagating to agents — the injected
+	// "controller stopped updating" telemetry fault.
+	frozen bool
+	cache  map[frozenKey][]Target
+}
+
+type frozenKey struct {
+	task cluster.TaskID
+	src  int
 }
 
 // New returns an empty controller. Wire it to a control plane with
@@ -139,12 +151,52 @@ func (c *Controller) Registered(id cluster.TaskID, containerIdx int) bool {
 	return ok && ts.registered[containerIdx]
 }
 
+// SetFrozen freezes (true) or thaws (false) ping-list serving — the
+// stale-controller telemetry fault. The first frozen query per
+// (task, source) computes and caches the list; every later query
+// returns that snapshot unchanged, however the underlying state moves.
+// Thawing drops the cache so fresh lists flow again.
+func (c *Controller) SetFrozen(frozen bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.frozen = frozen
+	if frozen {
+		if c.cache == nil {
+			c.cache = make(map[frozenKey][]Target)
+		}
+	} else {
+		c.cache = nil
+	}
+}
+
+// Frozen reports whether ping-list serving is frozen.
+func (c *Controller) Frozen() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frozen
+}
+
 // PingList returns the active probe targets for one source container:
 // the current-phase list filtered to registered destinations (and a
-// registered source — an unregistered agent probes nothing).
+// registered source — an unregistered agent probes nothing). While
+// frozen (SetFrozen) the caller gets the snapshot cached at its first
+// frozen query instead.
 func (c *Controller) PingList(id cluster.TaskID, srcContainer int) []Target {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.frozen {
+		k := frozenKey{task: id, src: srcContainer}
+		if list, ok := c.cache[k]; ok {
+			return list
+		}
+		list := c.pingListLocked(id, srcContainer)
+		c.cache[k] = list
+		return list
+	}
+	return c.pingListLocked(id, srcContainer)
+}
+
+func (c *Controller) pingListLocked(id cluster.TaskID, srcContainer int) []Target {
 	ts, ok := c.tasks[id]
 	if !ok || !ts.registered[srcContainer] {
 		return nil

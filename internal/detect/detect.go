@@ -37,6 +37,26 @@ func (k PairKey) String() string {
 	return fmt.Sprintf("%s:c%d/r%d→c%d/r%d", k.Task, k.SrcContainer, k.SrcRail, k.DstContainer, k.DstRail)
 }
 
+// Less orders pair keys lexicographically by (task, src container, src
+// rail, dst container, dst rail) — the canonical order every
+// deterministic iteration over pairs uses (analyzer evidence assembly,
+// Flush).
+func (k PairKey) Less(o PairKey) bool {
+	if k.Task != o.Task {
+		return k.Task < o.Task
+	}
+	if k.SrcContainer != o.SrcContainer {
+		return k.SrcContainer < o.SrcContainer
+	}
+	if k.SrcRail != o.SrcRail {
+		return k.SrcRail < o.SrcRail
+	}
+	if k.DstContainer != o.DstContainer {
+		return k.DstContainer < o.DstContainer
+	}
+	return k.DstRail < o.DstRail
+}
+
 // AnomalyType classifies what the detector saw.
 type AnomalyType int
 
@@ -208,9 +228,18 @@ func (d *Detector) observe(key PairKey, st *pairState, s Sample) {
 	st.longRTTs = append(st.longRTTs, us)
 }
 
-// Flush closes all open windows at the given time.
+// Flush closes all open windows at the given time. Pairs are visited
+// in sorted key order so the flush-path anomaly emission sequence is a
+// pure function of detector state, not of map iteration order — the
+// same determinism contract the analyzer's evidence assembly keeps.
 func (d *Detector) Flush(at time.Duration) {
-	for key, st := range d.pairs {
+	keys := make([]PairKey, 0, len(d.pairs))
+	for key := range d.pairs {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	for _, key := range keys {
+		st := d.pairs[key]
 		d.closeShort(key, st, at)
 		if at >= st.longStart+d.cfg.LongWindow {
 			d.closeLong(key, st, at)

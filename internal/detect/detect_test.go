@@ -294,6 +294,67 @@ func TestObserveManyEmpty(t *testing.T) {
 	}
 }
 
+// TestFlushEmitsInSortedPairOrder is the regression for nondeterministic
+// flush: anomalies from a final Flush must arrive in canonical pair-key
+// order regardless of the (random) map insertion order.
+func TestFlushEmitsInSortedPairOrder(t *testing.T) {
+	run := func(insertion []int) []PairKey {
+		out, emit := collect()
+		d := New(Config{}, emit)
+		// Every pair loses all probes of one window → unconnectivity on
+		// flush, one anomaly per pair.
+		for _, c := range insertion {
+			key := PairKey{Task: "t1", SrcContainer: c, DstContainer: c + 1}
+			for i := 0; i < 10; i++ {
+				d.Observe(key, time.Duration(i)*time.Second, 0, true)
+			}
+		}
+		d.Flush(time.Minute)
+		keys := make([]PairKey, 0, len(*out))
+		for _, a := range *out {
+			keys = append(keys, a.Key)
+		}
+		return keys
+	}
+	want := run([]int{0, 2, 4, 6, 8, 10, 12, 14})
+	if len(want) != 8 {
+		t.Fatalf("flush emitted %d anomalies, want 8", len(want))
+	}
+	for i := 1; i < len(want); i++ {
+		if !want[i-1].Less(want[i]) {
+			t.Fatalf("flush emission not sorted: %v before %v", want[i-1], want[i])
+		}
+	}
+	for rep := 0; rep < 5; rep++ {
+		got := run([]int{14, 6, 0, 10, 2, 12, 4, 8}) // different insertion order
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rep %d: emission order depends on insertion: got %v want %v", rep, got, want)
+			}
+		}
+	}
+}
+
+func TestPairKeyLess(t *testing.T) {
+	a := PairKey{Task: "a", SrcContainer: 1, SrcRail: 2, DstContainer: 3, DstRail: 4}
+	if a.Less(a) {
+		t.Fatal("key less than itself")
+	}
+	ordered := []PairKey{
+		{Task: "a"},
+		{Task: "a", SrcContainer: 1},
+		{Task: "a", SrcContainer: 1, SrcRail: 1},
+		{Task: "a", SrcContainer: 1, SrcRail: 1, DstContainer: 1},
+		{Task: "a", SrcContainer: 1, SrcRail: 1, DstContainer: 1, DstRail: 1},
+		{Task: "b"},
+	}
+	for i := 1; i < len(ordered); i++ {
+		if !ordered[i-1].Less(ordered[i]) || ordered[i].Less(ordered[i-1]) {
+			t.Fatalf("ordering broken between %v and %v", ordered[i-1], ordered[i])
+		}
+	}
+}
+
 func TestPairKeyString(t *testing.T) {
 	got := testKey.String()
 	if got != "t1:c0/r0→c1/r0" {

@@ -54,6 +54,10 @@ func runFingerprint(t *testing.T, workers int) string {
 		t.Fatal(err)
 	}
 	d.Run(3 * time.Minute)
+	// End the run in a Flush: half-open windows across many pairs close
+	// at once, exercising the detector's sorted flush-path emission —
+	// historically a map-iteration nondeterminism source.
+	d.Analyzer.Flush(d.Engine.Now())
 
 	var sb strings.Builder
 	for _, al := range d.Analyzer.Alarms() {

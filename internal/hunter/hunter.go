@@ -19,8 +19,10 @@ import (
 	"skeletonhunter/internal/localize"
 	"skeletonhunter/internal/logstore"
 	"skeletonhunter/internal/netsim"
+	"skeletonhunter/internal/obs"
 	"skeletonhunter/internal/overlay"
 	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/pipeline"
 	"skeletonhunter/internal/probe"
 	"skeletonhunter/internal/sim"
 	"skeletonhunter/internal/skeleton"
@@ -61,6 +63,10 @@ type Options struct {
 	// on them. Used by impact comparisons ("what would the month have
 	// looked like without SkeletonHunter acting").
 	DisableFeedback bool
+	// InboxLimit bounds each analyzer shard's inbox; overflow records
+	// are shed and counted (see analyzer.Config.InboxLimit). 0 takes
+	// the analyzer default, negative means unbounded.
+	InboxLimit int
 }
 
 // Deployment is a wired SkeletonHunter instance over a simulated cloud.
@@ -76,6 +82,10 @@ type Deployment struct {
 	// Log retains recent probe records indexed by task/container/RNIC/
 	// switch (§6's log service) for operator queries.
 	Log *logstore.Store
+	// Obs is the deployment-wide self-monitoring surface: one Stats
+	// shared by the agents, the log store, and the analyzer. Read it
+	// via Stats(), which folds in the pipeline's per-stage counts.
+	Obs *obs.Stats
 
 	// OnAlarm, when set, receives every alarm after the deployment's
 	// own feedback handling (blacklist propagation, auto-migration).
@@ -84,6 +94,7 @@ type Deployment struct {
 	probeInterval time.Duration
 	autoMigrate   bool
 	feedbackOff   bool
+	telemetry     *faults.TelemetryInjector
 	agents        map[cluster.ContainerID]*probe.OverlayAgent
 	stopped       map[cluster.TaskID]int
 	blockedHosts  map[int]bool
@@ -120,18 +131,24 @@ func New(opts Options) (*Deployment, error) {
 	ctl := controller.New()
 	ctl.Attach(cp)
 	loc := localize.NewWithControlPlane(net, cp)
+	st := obs.New()
 	an := analyzer.New(eng, loc, analyzer.Config{
 		Detect:           opts.Detect,
 		AnalysisInterval: opts.AnalysisInterval,
 		Workers:          opts.Workers,
+		InboxLimit:       opts.InboxLimit,
+		Obs:              st,
 	})
 	an.Start()
+	log := logstore.New(1 << 16)
+	log.Obs = st
 
 	d := &Deployment{
 		Engine: eng, Fabric: fab, Overlay: ovl, Net: net,
 		CP: cp, Controller: ctl, Analyzer: an,
 		Injector:      faults.NewInjector(net, cp),
-		Log:           logstore.New(1 << 16),
+		Log:           log,
+		Obs:           st,
 		probeInterval: opts.ProbeInterval,
 		autoMigrate:   opts.AutoMigrate,
 		feedbackOff:   opts.DisableFeedback,
@@ -150,12 +167,73 @@ func New(opts Options) (*Deployment, error) {
 	return d, nil
 }
 
+// deliverBatch is what agents emit into: the telemetry-fault injector
+// (when installed) sits between the agent and ingest, dropping,
+// duplicating, or reordering round batches. A nil injector delivers
+// verbatim.
+func (d *Deployment) deliverBatch(b probe.Batch) {
+	d.telemetry.Deliver(b, d.ingestBatch)
+}
+
 // ingestBatch is the per-round probe sink: each agent round's records
 // land in the retained log and the analyzer's shard inbox in one call
 // apiece, instead of once per record.
 func (d *Deployment) ingestBatch(b probe.Batch) {
+	d.Obs.Inc(obs.BatchesIngested)
 	d.Log.AppendBatch(b)
 	d.Analyzer.IngestBatch(b)
+}
+
+// SetTelemetryFaults installs (or, with zero options, effectively
+// clears) telemetry-plane fault injection: batch drop/duplication/
+// reordering on the ingest path, probabilistic analysis-round delays,
+// and frozen controller ping lists. Safe to call mid-run; campaigns
+// typically enable it after the deployment reaches steady state.
+func (d *Deployment) SetTelemetryFaults(opts faults.TelemetryOptions) {
+	d.telemetry = faults.NewTelemetryInjector(d.Engine, opts, d.Obs)
+	d.Analyzer.Gate = d.telemetry.GateRound
+	d.Controller.SetFrozen(opts.StalePingLists)
+}
+
+// AgentRestartStorm kills the given fraction of live sidecar agents
+// and schedules each for restart downFor later — the crash/restart
+// storm of a bad agent rollout. Selection draws from a named engine
+// stream over sorted container IDs, so storms replay deterministically.
+// The containers themselves keep running: peers still probe their
+// endpoints successfully, so a storm costs probing coverage without
+// manufacturing network alarms. An agent is only restarted if its
+// container is still Running and no newer agent exists. Returns the
+// number of agents killed.
+func (d *Deployment) AgentRestartStorm(frac float64, downFor time.Duration) int {
+	ids := make([]cluster.ContainerID, 0, len(d.agents))
+	for id := range d.agents {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	rng := d.Engine.Rand("telemetry/agent-storm")
+	killed := 0
+	for _, id := range ids {
+		if rng.Float64() >= frac {
+			continue
+		}
+		a := d.agents[id]
+		a.Kill()
+		delete(d.agents, id)
+		d.Obs.Inc(obs.AgentCrashes)
+		killed++
+		task, ct := a.Task, a.Container
+		d.Engine.After(downFor, "agent-restart", func(time.Duration) {
+			if ct.State != cluster.Running {
+				return
+			}
+			if _, live := d.agents[ct.ID]; live {
+				return
+			}
+			d.startAgent(task, ct)
+			d.Obs.Inc(obs.AgentRestarts)
+		})
+	}
+	return killed
 }
 
 // handleAlarm propagates verdicts into the scheduling blacklist and,
@@ -207,21 +285,29 @@ func (d *Deployment) UnblockHost(h int) { delete(d.blockedHosts, h) }
 // Migrations returns the number of auto-migrations performed.
 func (d *Deployment) Migrations() int { return d.migrations }
 
+// startAgent deploys a sidecar agent for a running container — both
+// the with-container path (EvContainerRunning) and the restart path
+// after an agent-only crash.
+func (d *Deployment) startAgent(task *cluster.Task, ct *cluster.Container) {
+	a := &probe.OverlayAgent{
+		Engine:     d.Engine,
+		Net:        d.Net,
+		Controller: d.Controller,
+		Task:       task,
+		Container:  ct,
+		BatchSink:  d.deliverBatch,
+		Interval:   d.probeInterval,
+		Obs:        d.Obs,
+	}
+	a.Start()
+	d.agents[ct.ID] = a
+}
+
 // onClusterEvent starts/stops sidecar agents with their containers.
 func (d *Deployment) onClusterEvent(ev cluster.Event) {
 	switch ev.Kind {
 	case cluster.EvContainerRunning:
-		a := &probe.OverlayAgent{
-			Engine:     d.Engine,
-			Net:        d.Net,
-			Controller: d.Controller,
-			Task:       ev.Task,
-			Container:  ev.Container,
-			BatchSink:  d.ingestBatch,
-			Interval:   d.probeInterval,
-		}
-		a.Start()
-		d.agents[ev.Container.ID] = a
+		d.startAgent(ev.Task, ev.Container)
 	case cluster.EvContainerStopped:
 		if a, ok := d.agents[ev.Container.ID]; ok {
 			a.Stop()
@@ -242,10 +328,17 @@ func (d *Deployment) onClusterEvent(ev cluster.Event) {
 	}
 }
 
+// countStopped tracks container departures and tears a task's
+// monitoring state down once every container is gone — however it
+// went. A task whose containers all crash never flips Finished, so
+// gating cleanup on it leaked the stopped-count entry, the analyzer's
+// per-pair detector shard, and the controller's registry entry for
+// every crashed-out task.
 func (d *Deployment) countStopped(ev cluster.Event) {
 	d.stopped[ev.Task.ID]++
-	if ev.Task.Finished && d.stopped[ev.Task.ID] == len(ev.Task.Containers) {
+	if d.stopped[ev.Task.ID] == len(ev.Task.Containers) {
 		d.Analyzer.ForgetTask(string(ev.Task.ID))
+		d.Controller.RemoveTask(ev.Task.ID)
 		delete(d.stopped, ev.Task.ID)
 	}
 }
@@ -338,3 +431,19 @@ func (d *Deployment) RevalidateSkeleton(task *cluster.Task, obsWindow time.Durat
 
 // Agents returns the number of live sidecar agents.
 func (d *Deployment) Agents() int { return len(d.agents) }
+
+// Stats snapshots the deployment's self-monitoring state: every obs
+// counter and histogram, with the analyzer's per-stage pipeline counts
+// folded in under "pipeline-<stage>" keys and the log-store index size
+// under "logstore-index-keys"/"logstore-index-entries".
+func (d *Deployment) Stats() obs.Snapshot {
+	snap := d.Obs.Snapshot()
+	pc := d.Analyzer.Stats()
+	for _, s := range pipeline.Stages() {
+		snap.Counters["pipeline-"+s.String()] = pc.Get(s)
+	}
+	keys, entries := d.Log.IndexStats()
+	snap.Counters["logstore-index-keys"] = uint64(keys)
+	snap.Counters["logstore-index-entries"] = uint64(entries)
+	return snap
+}

@@ -5,10 +5,13 @@
 // can pull the evidence trail for any suspicious element.
 //
 // The store is deliberately bounded: production keeps a retention
-// window, not history forever. Eviction is FIFO and indexes are pruned
-// lazily (entries pointing at overwritten slots are skipped and
-// dropped at query time), which keeps Append O(#index keys) without a
-// global sweep.
+// window, not history forever. Eviction is FIFO and index maintenance
+// rides it: when a slot is overwritten, the evicted record's seq is
+// removed from every key it was filed under, and a key whose last
+// entry evicts is deleted outright. Total index size is therefore
+// bounded by the retained records' key fan-out — keys for dead
+// containers and finished tasks cannot accumulate under churn — and
+// Append stays O(#index keys of one record) without a global sweep.
 package logstore
 
 import (
@@ -17,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"skeletonhunter/internal/obs"
 	"skeletonhunter/internal/probe"
 	"skeletonhunter/internal/topology"
 )
@@ -44,11 +48,15 @@ type slot struct {
 // Store is a bounded, indexed probe-record log. Safe for concurrent
 // use: agents append from their rounds while operators query.
 type Store struct {
+	// Obs, when set before the first append, receives self-monitoring
+	// counters (records retained, index keys dropped on eviction).
+	Obs *obs.Stats
+
 	mu    sync.RWMutex
 	slots []slot
 	next  int
 	seq   uint64
-	index map[indexKey][]uint64 // key → seqs (ascending)
+	index map[indexKey][]uint64 // key → live seqs (ascending)
 	// lookup from seq to slot position for O(1) retrieval.
 	capacity int
 }
@@ -97,6 +105,12 @@ func (s *Store) AppendBatch(recs []probe.Record) {
 
 // append stores one record; the caller holds s.mu.
 func (s *Store) append(rec probe.Record) {
+	// Evict first: the record this slot holds can never be served again,
+	// so its index entries go now — and keys that empty are deleted —
+	// rather than lingering for dead tasks and containers.
+	if old := s.slots[s.next]; old.seq != 0 {
+		s.unindex(old)
+	}
 	s.seq++
 	s.slots[s.next] = slot{rec: rec, seq: s.seq}
 	s.next = (s.next + 1) % s.capacity
@@ -104,19 +118,49 @@ func (s *Store) append(rec probe.Record) {
 	add := func(dim dimension, key string) {
 		k := indexKey{dim, key}
 		s.index[k] = append(s.index[k], s.seq)
-		// Prune the index head opportunistically once it outgrows the
-		// retention window (evicted seqs can never be served again).
-		if len(s.index[k]) > 2*s.capacity {
-			s.index[k] = append([]uint64(nil), s.index[k][len(s.index[k])-s.capacity:]...)
-		}
 	}
-	add(dimTask, string(rec.Task))
-	add(dimContainer, ContainerKey(string(rec.Task), rec.SrcContainer))
-	add(dimContainer, ContainerKey(string(rec.Task), rec.DstContainer))
-	add(dimRNIC, RNICKey(rec.Src.Host, rec.Src.Rail))
-	add(dimRNIC, RNICKey(rec.Dst.Host, rec.Dst.Rail))
+	eachKey(rec, add)
+	s.Obs.Inc(obs.RecordsLogged)
+}
+
+// unindex removes an evicted slot's entries from every key its record
+// was filed under. Eviction is FIFO, so the evicted seq is the oldest
+// live entry of each of its keys: removal is an O(1) head drop by
+// re-slicing. The dropped prefix stays in the backing array until a
+// later append outgrows the shrunken capacity and reallocates — the
+// standard slice-queue trade, keeping per-key memory proportional to
+// live entries while avoiding a per-eviction shift of the whole slice
+// (which would make every append O(capacity) once the ring is full).
+func (s *Store) unindex(old slot) {
+	eachKey(old.rec, func(dim dimension, key string) {
+		k := indexKey{dim, key}
+		seqs := s.index[k]
+		i := 0
+		for i < len(seqs) && seqs[i] <= old.seq {
+			i++
+		}
+		switch {
+		case i == 0:
+			// Already removed (a record indexed under the same key twice,
+			// e.g. src == dst container, unindexes both entries at once).
+		case i == len(seqs):
+			delete(s.index, k)
+			s.Obs.Inc(obs.IndexKeysDropped)
+		default:
+			s.index[k] = seqs[i:]
+		}
+	})
+}
+
+// eachKey visits every index key a record is filed under.
+func eachKey(rec probe.Record, fn func(dim dimension, key string)) {
+	fn(dimTask, string(rec.Task))
+	fn(dimContainer, ContainerKey(string(rec.Task), rec.SrcContainer))
+	fn(dimContainer, ContainerKey(string(rec.Task), rec.DstContainer))
+	fn(dimRNIC, RNICKey(rec.Src.Host, rec.Src.Rail))
+	fn(dimRNIC, RNICKey(rec.Dst.Host, rec.Dst.Rail))
 	for _, sw := range uplinkSwitches(rec.Path) {
-		add(dimSwitch, string(sw))
+		fn(dimSwitch, string(sw))
 	}
 }
 
@@ -199,6 +243,20 @@ func (s *Store) ByRNIC(host, rail int, since time.Duration) []probe.Record {
 // BySwitch returns records whose underlay path traversed the switch.
 func (s *Store) BySwitch(node topology.NodeID, since time.Duration) []probe.Record {
 	return s.query(dimSwitch, string(node), since)
+}
+
+// IndexStats reports the index's live size — distinct keys and total
+// seq entries — the quantities eviction-driven pruning bounds: entries
+// never exceed the retained records' key fan-out, whatever churned
+// through before.
+func (s *Store) IndexStats() (keys, entries int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, seqs := range s.index {
+		keys++
+		entries += len(seqs)
+	}
+	return keys, entries
 }
 
 // Len returns the number of retained records.

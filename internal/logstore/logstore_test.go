@@ -140,6 +140,69 @@ func TestRetentionProperty(t *testing.T) {
 	}
 }
 
+// TestIndexStaysBoundedUnderTaskChurn is the regression test for the
+// index leak: keys for dead containers and tasks used to accumulate
+// forever because eviction never touched the index. After capacity×N
+// appends spread across many short-lived tasks, the index must hold
+// only the retained records' keys.
+func TestIndexStaysBoundedUnderTaskChurn(t *testing.T) {
+	const capacity = 64
+	s := New(capacity)
+	for task := 0; task < 50; task++ {
+		for i := 0; i < capacity; i++ {
+			s.Append(rec(fmt.Sprintf("task-%d", task), i%8, (i+1)%8,
+				time.Duration(task*capacity+i)*time.Second,
+				fmt.Sprintf("nic/h%d/r1--tor/p0/r1", i%8)))
+		}
+	}
+	keys, entries := s.IndexStats()
+	// Only the last task's records are retained: its task key, at most
+	// 8 container keys ×1... plus RNIC and switch keys for 8 hosts. The
+	// exact fan-out is small; the leak produced ~50× this.
+	if keys > 64 {
+		t.Fatalf("index keys = %d after churn; pruning is not working", keys)
+	}
+	// Every record contributes a fixed number of index entries (task,
+	// 2×container, 2×RNIC, switches); entries must be proportional to
+	// capacity, not to total appends.
+	if entries > capacity*8 {
+		t.Fatalf("index entries = %d after %d appends; want O(capacity)", entries, 50*capacity)
+	}
+	// Dead tasks yield nothing; the live task still serves.
+	if got := s.ByTask("task-0", 0); len(got) != 0 {
+		t.Fatalf("dead task served %d records", len(got))
+	}
+	if got := s.ByTask("task-49", 0); len(got) != capacity {
+		t.Fatalf("live task served %d records, want %d", len(got), capacity)
+	}
+}
+
+// TestIndexEmptiesWhenOverwritten: a key whose last record evicts is
+// deleted from the index map entirely.
+func TestIndexKeyDeletedOnLastEviction(t *testing.T) {
+	s := New(4)
+	s.Append(rec("t-old", 0, 1, time.Second))
+	for i := 0; i < 4; i++ {
+		s.Append(rec("t-new", 2, 3, time.Duration(2+i)*time.Second))
+	}
+	keys, _ := s.IndexStats()
+	for _, probeKey := range []struct {
+		dim dimension
+		key string
+	}{
+		{dimTask, "t-old"},
+		{dimContainer, ContainerKey("t-old", 0)},
+		{dimContainer, ContainerKey("t-old", 1)},
+	} {
+		if _, ok := s.index[indexKey{probeKey.dim, probeKey.key}]; ok {
+			t.Fatalf("evicted key %q still indexed (total keys %d)", probeKey.key, keys)
+		}
+	}
+	if got := s.ByTask("t-new", 0); len(got) != 4 {
+		t.Fatalf("live task served %d records", len(got))
+	}
+}
+
 func TestZeroCapacityFloor(t *testing.T) {
 	s := New(0)
 	s.Append(rec("t", 0, 1, 0))

@@ -4,11 +4,13 @@
 // latency.
 //
 // Matching rules: an alarm is a true positive when at least one
-// injection was active at (or shortly before) its timestamp; an
-// injection counts as detected when any alarm fires inside its active
-// window (plus grace); a detected injection is correctly localized when
-// some in-window alarm names one of the injection's ground-truth
-// components.
+// injection was active at its timestamp, or had cleared no more than
+// grace before it (detection lags onset, so a just-cleared fault's
+// anomalies may flush late); alarms raised before a fault's onset
+// never match it. An injection counts as detected when any alarm fires
+// inside its active window (plus the trailing grace); a detected
+// injection is correctly localized when some in-window alarm names one
+// of the injection's ground-truth components.
 package metrics
 
 import (
@@ -60,12 +62,19 @@ func (r Report) LocalizationAccuracy() float64 {
 }
 
 // Score matches alarms against injections. grace extends each
-// injection's window on both ends: detection windows lag fault onset
-// (a 30 s aggregation window plus analysis round), and anomalies from
-// a just-cleared fault may still flush afterwards.
+// injection's window past its *cleared* end only — detection lags
+// fault onset (a 30 s aggregation window plus an analysis round), so
+// anomalies from a just-cleared fault may still flush up to grace
+// afterwards and count as true positives. The onset end is exact: an
+// alarm raised before a fault exists cannot have detected it, so
+// pre-onset alarms are always false positives. An injection is active
+// for an alarm at time t iff in.At ≤ t ≤ in.ClearedAt+grace (with no
+// upper bound while uncleared), both boundaries inclusive.
 func Score(injections []*faults.Injection, alarms []analyzer.Alarm, grace time.Duration) Report {
 	r := Report{Injections: len(injections), Alarms: len(alarms)}
 
+	// active implements the matching window above: exact at onset,
+	// grace-extended at the cleared end.
 	active := func(in *faults.Injection, at time.Duration) bool {
 		if at < in.At {
 			return false

@@ -102,6 +102,43 @@ func TestScoreGraceWindow(t *testing.T) {
 	}
 }
 
+// TestScoreWindowBoundariesExact pins the matching window's exact
+// semantics (the regression for the code/doc divergence): the window is
+// [At, ClearedAt+grace], inclusive on both boundaries, with NO grace
+// before onset — an alarm cannot have detected a fault that did not yet
+// exist.
+func TestScoreWindowBoundariesExact(t *testing.T) {
+	c := component.RNIC(1, 2)
+	const (
+		onset = 10 * time.Second
+		clear = 60 * time.Second
+		grace = 10 * time.Second
+	)
+	injections := []*faults.Injection{injection(onset, clear, c)}
+	cases := []struct {
+		name string
+		at   time.Duration
+		tp   bool
+	}{
+		{"exactly at onset", onset, true},
+		{"1ns before onset", onset - time.Nanosecond, false},
+		{"onset minus grace (no leading grace)", onset - grace, false},
+		{"exactly at clear", clear, true},
+		{"exactly at ClearedAt+grace", clear + grace, true},
+		{"1ns past ClearedAt+grace", clear + grace + time.Nanosecond, false},
+	}
+	for _, tc := range cases {
+		r := Score(injections, []analyzer.Alarm{alarm(tc.at, c)}, grace)
+		if got := r.TruePositiveAlarms == 1; got != tc.tp {
+			t.Errorf("%s: alarm@%v TP=%v, want %v", tc.name, tc.at, got, tc.tp)
+		}
+		// Detection mirrors the alarm-side window.
+		if got := r.DetectedInjections == 1; got != tc.tp {
+			t.Errorf("%s: alarm@%v detected=%v, want %v", tc.name, tc.at, got, tc.tp)
+		}
+	}
+}
+
 func TestScoreUnclearedInjectionStaysActive(t *testing.T) {
 	c := component.Container("task-1/c3")
 	injections := []*faults.Injection{injection(10*time.Second, 0, c)} // never cleared

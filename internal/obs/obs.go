@@ -1,0 +1,315 @@
+// Package obs is the monitoring plane's self-observability substrate:
+// counters and histograms that let SkeletonHunter report on its own
+// health the same way it reports on the network's. The paper's deployed
+// value rests on the telemetry plane staying correct while ~2K
+// containers/min churn under it (§6, §7.3); that property is only
+// checkable if the plane counts what it ingests, what it sheds, and how
+// long each analysis stage takes.
+//
+// One Stats value is shared by every layer of a deployment's ingest
+// path (agents → batches → log store → shards → detector → localizer).
+// Counters are lock-free atomics; histograms take a short mutex per
+// observation. Recording wall-clock timings into histograms never feeds
+// back into the simulation, so alarms stay bit-identical whether or not
+// stats are collected.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter names one self-monitoring event class.
+type Counter int
+
+const (
+	// ProbeRounds counts completed agent probing rounds.
+	ProbeRounds Counter = iota
+	// ProbesSent counts individual probes executed by agents.
+	ProbesSent
+	// BatchesIngested counts agent round batches that reached the
+	// deployment's ingest path (after telemetry-fault filtering).
+	BatchesIngested
+	// BatchesDropped counts batches lost to injected telemetry faults.
+	BatchesDropped
+	// BatchesDuplicated counts batches delivered twice by injected
+	// telemetry faults.
+	BatchesDuplicated
+	// BatchesReordered counts batches delivered out of order by
+	// injected telemetry faults.
+	BatchesReordered
+	// RecordsIngested counts probe records accepted into shard inboxes.
+	RecordsIngested
+	// RecordsShed counts probe records refused by a full shard inbox —
+	// the analyzer's counted load-shedding under telemetry storms.
+	RecordsShed
+	// RecordsLogged counts records retained by the log store.
+	RecordsLogged
+	// IndexKeysDropped counts log-store index keys removed when their
+	// last retained record was evicted.
+	IndexKeysDropped
+	// WindowsEvaluated counts detector windows closed with enough
+	// samples to evaluate.
+	WindowsEvaluated
+	// AnomaliesDetected counts anomalies emitted by the detectors.
+	AnomaliesDetected
+	// RoundsRun counts completed analysis rounds.
+	RoundsRun
+	// RoundsDelayed counts analysis rounds withheld by an injected
+	// delay (the round's work waits for the next tick).
+	RoundsDelayed
+	// AlarmsRaised counts alarms raised by the analyzer.
+	AlarmsRaised
+	// AgentCrashes counts sidecar agents killed by injected crash
+	// storms.
+	AgentCrashes
+	// AgentRestarts counts sidecar agents brought back after a crash.
+	AgentRestarts
+
+	numCounters
+)
+
+func (c Counter) String() string {
+	switch c {
+	case ProbeRounds:
+		return "probe-rounds"
+	case ProbesSent:
+		return "probes-sent"
+	case BatchesIngested:
+		return "batches-ingested"
+	case BatchesDropped:
+		return "batches-dropped"
+	case BatchesDuplicated:
+		return "batches-duplicated"
+	case BatchesReordered:
+		return "batches-reordered"
+	case RecordsIngested:
+		return "records-ingested"
+	case RecordsShed:
+		return "records-shed"
+	case RecordsLogged:
+		return "records-logged"
+	case IndexKeysDropped:
+		return "index-keys-dropped"
+	case WindowsEvaluated:
+		return "windows-evaluated"
+	case AnomaliesDetected:
+		return "anomalies-detected"
+	case RoundsRun:
+		return "rounds-run"
+	case RoundsDelayed:
+		return "rounds-delayed"
+	case AlarmsRaised:
+		return "alarms-raised"
+	case AgentCrashes:
+		return "agent-crashes"
+	case AgentRestarts:
+		return "agent-restarts"
+	default:
+		return fmt.Sprintf("counter(%d)", int(c))
+	}
+}
+
+// Counters enumerates every counter in declaration order.
+func Counters() []Counter {
+	out := make([]Counter, numCounters)
+	for i := range out {
+		out[i] = Counter(i)
+	}
+	return out
+}
+
+// Histogram accumulates positive float64 observations into
+// exponentially sized buckets (powers of two, in the observation's own
+// unit). It is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	buckets map[int]uint64 // bucket exponent → count
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]uint64)}
+}
+
+// Observe records one value. Non-positive values count toward count/sum
+// but land in the lowest bucket.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	exp := math.MinInt32
+	if v > 0 {
+		exp = int(math.Ceil(math.Log2(v)))
+	}
+	h.buckets[exp]++
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's summary.
+type HistogramSnapshot struct {
+	Count         uint64
+	Sum, Min, Max float64
+}
+
+// Mean returns the mean observation, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot copies the histogram's summary.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+}
+
+// Stats is the shared self-monitoring surface: a fixed counter vector
+// plus named histograms. The zero value is NOT usable; call New. A nil
+// *Stats is safe to record into (every method no-ops), so layers can
+// thread an optional Stats without nil checks at each call site.
+type Stats struct {
+	counters [numCounters]atomic.Uint64
+
+	mu    sync.Mutex
+	hists map[string]*Histogram
+}
+
+// New returns an empty Stats.
+func New() *Stats {
+	return &Stats{hists: make(map[string]*Histogram)}
+}
+
+// Inc adds one to a counter.
+func (s *Stats) Inc(c Counter) { s.Add(c, 1) }
+
+// Add adds n to a counter.
+func (s *Stats) Add(c Counter, n uint64) {
+	if s == nil {
+		return
+	}
+	s.counters[c].Add(n)
+}
+
+// Get returns a counter's value.
+func (s *Stats) Get(c Counter) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.counters[c].Load()
+}
+
+// Histogram returns (creating if needed) the named histogram. Returns
+// nil on a nil Stats; *Histogram methods must then not be called, so
+// use ObserveDuration/Observe on Stats instead when the receiver may be
+// nil.
+func (s *Stats) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hists[name]
+	if !ok {
+		h = NewHistogram()
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Observe records a value into the named histogram.
+func (s *Stats) Observe(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.Histogram(name).Observe(v)
+}
+
+// ObserveDuration records a duration (in milliseconds) into the named
+// histogram.
+func (s *Stats) ObserveDuration(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Histogram(name).ObserveDuration(d)
+}
+
+// Snapshot is a point-in-time copy of every counter and histogram.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies the current state. Extra counters (e.g. pipeline
+// stage counts a caller wants folded in) can be merged into the
+// returned maps by the caller.
+func (s *Stats) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   make(map[string]uint64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if s == nil {
+		return snap
+	}
+	for _, c := range Counters() {
+		snap.Counters[c.String()] = s.Get(c)
+	}
+	s.mu.Lock()
+	hists := make(map[string]*Histogram, len(s.hists))
+	for name, h := range s.hists {
+		hists[name] = h
+	}
+	s.mu.Unlock()
+	for name, h := range hists {
+		snap.Histograms[name] = h.Snapshot()
+	}
+	return snap
+}
+
+// String renders the snapshot sorted by name, one entry per line —
+// counters first, then histogram summaries.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%-22s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&sb, "%-22s n=%d mean=%.3fms min=%.3fms max=%.3fms\n",
+			n, h.Count, h.Mean(), h.Min, h.Max)
+	}
+	return sb.String()
+}

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stage names one stage of the analysis pipeline.
@@ -61,6 +62,16 @@ func (s Stage) String() string {
 	default:
 		return fmt.Sprintf("stage(%d)", int(s))
 	}
+}
+
+// Stages enumerates every pipeline stage in order, for callers folding
+// per-stage counts into a wider stats surface.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
 }
 
 // Counters tracks per-stage event counts. Safe for concurrent use:
@@ -158,7 +169,26 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // interleaving. workers <= 0 selects DefaultWorkers; a single shard or
 // a single worker runs inline with no goroutines.
 func FanOut[S, R any](m *Sharded[S], workers int, fn func(key string, s *S) R) []R {
+	return FanOutTimed(m, workers, fn, nil)
+}
+
+// FanOutTimed is FanOut with a per-shard wall-clock observer: observe
+// (when non-nil) receives each shard's key and the time fn spent on it.
+// The observer runs on the worker that processed the shard, so it must
+// be safe for concurrent use (obs histograms are). Timings flow only
+// into observability — the result slice is the same deterministic merge
+// FanOut produces.
+func FanOutTimed[S, R any](m *Sharded[S], workers int, fn func(key string, s *S) R, observe func(key string, d time.Duration)) []R {
 	keys := m.keys
+	run := fn
+	if observe != nil {
+		run = func(key string, s *S) R {
+			start := time.Now()
+			r := fn(key, s)
+			observe(key, time.Since(start))
+			return r
+		}
+	}
 	out := make([]R, len(keys))
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -168,7 +198,7 @@ func FanOut[S, R any](m *Sharded[S], workers int, fn func(key string, s *S) R) [
 	}
 	if workers <= 1 {
 		for i, k := range keys {
-			out[i] = fn(k, m.shards[k])
+			out[i] = run(k, m.shards[k])
 		}
 		return out
 	}
@@ -183,7 +213,7 @@ func FanOut[S, R any](m *Sharded[S], workers int, fn func(key string, s *S) R) [
 				if i >= len(keys) {
 					return
 				}
-				out[i] = fn(keys[i], m.shards[keys[i]])
+				out[i] = run(keys[i], m.shards[keys[i]])
 			}
 		}()
 	}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
+	"time"
 )
 
 type shard struct {
@@ -109,6 +111,33 @@ func TestFanOutTouchesEachShardOnce(t *testing.T) {
 			t.Fatalf("shard %s visited %d times", key, s.seen)
 		}
 	})
+}
+
+func TestFanOutTimedObservesEveryShard(t *testing.T) {
+	m := NewSharded(func(key string) *shard { return &shard{key: key} })
+	for i := 0; i < 17; i++ {
+		m.Get(fmt.Sprintf("t%02d", i))
+	}
+	var mu sync.Mutex
+	timed := map[string]int{}
+	got := FanOutTimed(m, 4, func(key string, s *shard) string {
+		return key
+	}, func(key string, d time.Duration) {
+		if d < 0 {
+			t.Errorf("negative duration for %s", key)
+		}
+		mu.Lock()
+		timed[key]++
+		mu.Unlock()
+	})
+	if !reflect.DeepEqual(got, m.Keys()) {
+		t.Fatalf("timed fan-out changed the merge: %v", got)
+	}
+	for _, k := range m.Keys() {
+		if timed[k] != 1 {
+			t.Fatalf("shard %s observed %d times", k, timed[k])
+		}
+	}
 }
 
 func TestFanOutEmpty(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 	"skeletonhunter/internal/cluster"
 	"skeletonhunter/internal/controller"
 	"skeletonhunter/internal/netsim"
+	"skeletonhunter/internal/obs"
 	"skeletonhunter/internal/overlay"
 	"skeletonhunter/internal/sim"
 	"skeletonhunter/internal/topology"
@@ -73,6 +74,8 @@ type OverlayAgent struct {
 	// ProbesPerTarget is how many probes (with distinct ECMP entropy)
 	// each target gets per round (default 1; >1 widens path coverage).
 	ProbesPerTarget int
+	// Obs, when set, counts probing rounds and probes sent. Nil-safe.
+	Obs *obs.Stats
 
 	ticker  *sim.Ticker
 	rounds  int
@@ -118,12 +121,14 @@ func (a *OverlayAgent) round(now time.Duration) {
 	}
 	targets := a.Controller.PingList(a.Task.ID, a.Container.Index)
 	a.batch = a.batch[:0]
+	sent := 0
 	for _, tg := range targets {
 		dst := a.Task.Containers[tg.DstContainer]
 		src := a.Container.Addrs[tg.SrcRail]
 		dstAddr := dst.Addrs[tg.DstRail]
 		for p := 0; p < a.ProbesPerTarget; p++ {
 			a.entropy++
+			sent++
 			res := a.Net.Probe(src, dstAddr, a.entropy)
 			rec := Record{
 				Task:         a.Task.ID,
@@ -147,6 +152,8 @@ func (a *OverlayAgent) round(now time.Duration) {
 		a.BatchSink(a.batch)
 	}
 	a.rounds++
+	a.Obs.Inc(obs.ProbeRounds)
+	a.Obs.Add(obs.ProbesSent, uint64(sent))
 }
 
 // HostAgent is the per-host underlay agent: it resolves the physical
