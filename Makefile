@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench
+.PHONY: all build test race vet fmt-check bench bench-all
 
 all: build vet test
 
@@ -27,5 +27,13 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Runs the analyzer-round benchmarks and writes a machine-readable
+# summary (name → ns/op, B/op, allocs/op) for CI to archive, so
+# analysis-plane perf regressions show up as an artifact diff.
 bench:
+	$(GO) test -run xxx -bench Analyzer -benchmem . | tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -o BENCH_analyzer.json
+
+# Full benchmark sweep (every figure/table generator), human-readable.
+bench-all:
 	$(GO) test -run xxx -bench . -benchmem ./...

@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON summary, so CI can archive benchmark results
+// as an artifact and regressions can be diffed across commits.
+//
+// Usage:
+//
+//	go test -run xxx -bench Analyzer -benchmem . | benchjson -o BENCH_analyzer.json
+//
+// The output maps benchmark name (GOMAXPROCS suffix stripped) to its
+// measurements:
+//
+//	{"AnalyzerRoundSerial": {"ns_per_op": 123456, "allocs_per_op": 789, ...}}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkAnalyzerRoundSerial-8  100  11897536 ns/op  524288 B/op  1000 allocs/op
+//
+// returning ok=false for non-benchmark lines (headers, PASS, ok ...).
+func parseLine(line string) (name string, r Result, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name = strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	r.Iterations = iters
+	// The rest is value/unit pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		}
+	}
+	if r.NsPerOp == 0 && r.BytesPerOp == nil && r.AllocsPerOp == nil {
+		return "", Result{}, false
+	}
+	return name, r, true
+}
+
+func run(in *bufio.Scanner, outPath string) error {
+	results := make(map[string]Result)
+	for in.Scan() {
+		if name, r, ok := parseLine(in.Text()); ok {
+			results[name] = r
+		}
+	}
+	if err := in.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+	// Canonical key order for diff-friendly artifacts.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString("{\n")
+	for i, n := range names {
+		b, err := json.Marshal(results[n])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&sb, "  %q: %s", n, b)
+		if i < len(names)-1 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	if outPath == "" || outPath == "-" {
+		_, err := os.Stdout.WriteString(sb.String())
+		return err
+	}
+	return os.WriteFile(outPath, []byte(sb.String()), 0o644)
+}
+
+func main() {
+	out := flag.String("o", "-", "output file (default stdout)")
+	flag.Parse()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if err := run(sc, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

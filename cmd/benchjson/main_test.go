@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkAnalyzerRoundSerial-8  \t 100\t  11897536 ns/op\t  524288 B/op\t  1000 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not parsed")
+	}
+	if name != "AnalyzerRoundSerial" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix not stripped?)", name)
+	}
+	if r.Iterations != 100 || r.NsPerOp != 11897536 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 524288 {
+		t.Fatalf("bytes = %v", r.BytesPerOp)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 1000 {
+		t.Fatalf("allocs = %v", r.AllocsPerOp)
+	}
+
+	// Without -benchmem only ns/op appears.
+	name, r, ok = parseLine("BenchmarkFig02ContainerLifetime-4   50  22000000 ns/op")
+	if !ok || name != "Fig02ContainerLifetime" || r.NsPerOp != 22000000 {
+		t.Fatalf("plain line: ok=%v name=%q r=%+v", ok, name, r)
+	}
+	if r.BytesPerOp != nil || r.AllocsPerOp != nil {
+		t.Fatal("memory stats invented")
+	}
+
+	// A sub-benchmark name keeps its slash path; only the trailing
+	// -GOMAXPROCS goes.
+	name, _, ok = parseLine("BenchmarkX/size-1024-16  10  5 ns/op")
+	if !ok || name != "X/size-1024" {
+		t.Fatalf("sub-benchmark name = %q", name)
+	}
+
+	// Non-result lines are skipped.
+	for _, l := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tskeletonhunter\t12.3s",
+		"BenchmarkBroken-8 notanumber ns/op",
+		"",
+	} {
+		if _, _, ok := parseLine(l); ok {
+			t.Fatalf("non-result line parsed: %q", l)
+		}
+	}
+}
+
+func TestRunWritesSortedJSON(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkZeta-8 10 200 ns/op 32 B/op 2 allocs/op",
+		"BenchmarkAlpha-8 20 100 ns/op 16 B/op 1 allocs/op",
+		"PASS",
+	}, "\n")
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run(bufio.NewScanner(strings.NewReader(in)), out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]Result
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(got) != 2 || got["Alpha"].NsPerOp != 100 || got["Zeta"].NsPerOp != 200 {
+		t.Fatalf("artifact = %+v", got)
+	}
+	if strings.Index(string(raw), "Alpha") > strings.Index(string(raw), "Zeta") {
+		t.Fatal("keys not in sorted order")
+	}
+
+	// Empty input is an error, not an empty artifact.
+	if err := run(bufio.NewScanner(strings.NewReader("PASS\n")), filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}

@@ -44,6 +44,9 @@ func main() {
 	telDelay := flag.Float64("tel-delay", 0, "telemetry fault: probability an analysis round is withheld")
 	telStale := flag.Bool("tel-stale", false, "telemetry fault: freeze controller ping lists (agents probe stale lists)")
 	telStorm := flag.Float64("tel-storm", 0, "telemetry fault: fraction of sidecar agents killed (and restarted 30s later) after steady state")
+	crashAt := flag.Duration("crash-at", 0, "crash the monitoring controller at this sim time (0 = never); it recovers from its last checkpoint")
+	crashDown := flag.Duration("crash-down", 90*time.Second, "how long a crashed controller stays down before recovering")
+	ckptInterval := flag.Duration("checkpoint-interval", 2*time.Minute, "control-plane checkpoint period (0 = no periodic checkpoints)")
 	flag.Parse()
 
 	cfg := runConfig{
@@ -61,7 +64,10 @@ func main() {
 			DelayRoundProb:     *telDelay,
 			StalePingLists:     *telStale,
 		},
-		stormFrac: *telStorm,
+		stormFrac:    *telStorm,
+		crashAt:      *crashAt,
+		crashDown:    *crashDown,
+		ckptInterval: *ckptInterval,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "skeletonhunter:", err)
@@ -70,15 +76,18 @@ func main() {
 }
 
 type runConfig struct {
-	hosts     int
-	par       parallelism.Config
-	issue     faults.IssueType
-	seed      int64
-	workers   int
-	verbose   bool
-	stats     bool
-	telemetry faults.TelemetryOptions
-	stormFrac float64
+	hosts        int
+	par          parallelism.Config
+	issue        faults.IssueType
+	seed         int64
+	workers      int
+	verbose      bool
+	stats        bool
+	telemetry    faults.TelemetryOptions
+	stormFrac    float64
+	crashAt      time.Duration
+	crashDown    time.Duration
+	ckptInterval time.Duration
 }
 
 func (c runConfig) telemetryEnabled() bool {
@@ -89,12 +98,19 @@ func run(cfg runConfig) error {
 	hosts, par, issue, seed, workers, verbose :=
 		cfg.hosts, cfg.par, cfg.issue, cfg.seed, cfg.workers, cfg.verbose
 	d, err := hunter.New(hunter.Options{
-		Seed:    seed,
-		Hosts:   hosts,
-		Workers: workers,
+		Seed:               seed,
+		Hosts:              hosts,
+		Workers:            workers,
+		CheckpointInterval: cfg.ckptInterval,
 	})
 	if err != nil {
 		return err
+	}
+	var crash *faults.ControllerCrash
+	if cfg.crashAt > 0 {
+		crash = d.ScheduleControllerCrash(cfg.crashAt, cfg.crashDown)
+		fmt.Printf("controller crash scheduled at t=%v (down %v, recovering from last checkpoint)\n",
+			cfg.crashAt, cfg.crashDown)
 	}
 	fmt.Printf("fabric: %d hosts × %d rails, %d physical links\n",
 		d.Fabric.Hosts(), d.Fabric.Spec.Rails, d.Fabric.NumLinks())
@@ -141,6 +157,7 @@ func run(cfg runConfig) error {
 	if issue == 0 {
 		d.Run(5 * time.Minute)
 		fmt.Printf("healthy run: %d alarms\n", len(d.Analyzer.Alarms()))
+		reportCrash(d, crash)
 		if cfg.stats {
 			fmt.Printf("self-monitoring stats:\n%s", indent(d.Stats().String()))
 		}
@@ -183,6 +200,7 @@ func run(cfg runConfig) error {
 		}
 	}
 	fmt.Printf("blacklist: %d components\n", len(d.Analyzer.Blacklist()))
+	reportCrash(d, crash)
 	if verbose {
 		fmt.Printf("pipeline: %s over %d task shard(s)\n", d.Analyzer.Stats(), d.Analyzer.Shards())
 	}
@@ -190,6 +208,27 @@ func run(cfg runConfig) error {
 		fmt.Printf("self-monitoring stats:\n%s", indent(d.Stats().String()))
 	}
 	return nil
+}
+
+// reportCrash summarizes an injected controller crash: when it died
+// and recovered, the epoch it came back on, and how the recovery
+// machinery behaved.
+func reportCrash(d *hunter.Deployment, crash *faults.ControllerCrash) {
+	if crash == nil {
+		return
+	}
+	if !crash.Crashed {
+		fmt.Printf("controller crash: scheduled at t=%v but the run ended first\n", crash.At)
+		return
+	}
+	status := "still down"
+	if crash.Restored {
+		status = fmt.Sprintf("recovered at t=%v on epoch %d", crash.RestoredAt.Round(time.Second), d.Controller.Epoch())
+	}
+	snap := d.Stats()
+	fmt.Printf("controller crash: died at t=%v, %s; checkpoints=%d re-registrations=%d\n",
+		crash.CrashedAt.Round(time.Second), status,
+		snap.Counters["checkpoints-taken"], snap.Counters["agent-reregisters"])
 }
 
 func indent(s string) string {

@@ -293,10 +293,17 @@ func New(eng *sim.Engine, loc *localize.Localizer, cfg Config) *Analyzer {
 		cfg:       cfg.withDefaults(),
 		blacklist: make(map[component.ID]time.Duration),
 	}
-	an.shards = pipeline.NewSharded(func(task string) *shard {
+	an.shards = newShardMap(an)
+	return an
+}
+
+// newShardMap builds an empty shard map bound to the analyzer's
+// config; used at construction and again when crash recovery resets
+// the shards before a logstore replay.
+func newShardMap(an *Analyzer) *pipeline.Sharded[shard] {
+	return pipeline.NewSharded(func(task string) *shard {
 		return newShard(task, an.cfg)
 	})
-	return an
 }
 
 // Start begins periodic analysis rounds.

@@ -12,16 +12,33 @@
 //   - runtime: once the analyzer has inferred the traffic skeleton from
 //     burst cycles, the list is pruned to skeleton pairs (>95 % total
 //     reduction versus the full mesh).
+//
+// The controller is an always-on service, so it must survive its own
+// restarts: registrations are held as epoch-stamped leases, and the
+// full registry state round-trips through a versioned Snapshot (see
+// snapshot.go). A restarted controller serves restored registrations
+// under a bumped epoch; agents notice the epoch change and re-register,
+// converting their stale leases into current ones before the stale
+// grace window expires.
 package controller
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"skeletonhunter/internal/cluster"
 	"skeletonhunter/internal/skeleton"
 )
+
+// DefaultRecoveryGrace is how long a restored (stale-epoch) lease keeps
+// serving after a Restore before it expires. It must comfortably exceed
+// the agents' probing interval: a live agent re-registers at its next
+// round, while a lease nobody renews (the agent died with the
+// controller down, so its Deregister was lost) ages out instead of
+// polluting ping lists forever.
+const DefaultRecoveryGrace = 2 * time.Minute
 
 // Target is one probing assignment for an agent: probe the endpoint
 // (DstContainer, DstRail) from (SrcContainer, SrcRail). Indices are
@@ -46,11 +63,22 @@ func (p Phase) String() string {
 	return "preload"
 }
 
+// lease is one container agent's registration. Epoch records which
+// controller incarnation granted it. expires is zero for leases granted
+// live (they last until Deregister — expiry would blind unconnectivity
+// detection of crashed containers, whose peers must keep probing them);
+// restored leases get a grace deadline instead, so registrations whose
+// owners died during the outage age out.
+type lease struct {
+	epoch   uint64
+	expires time.Duration // 0 = no expiry
+}
+
 type taskState struct {
 	task       *cluster.Task
-	registered map[int]bool // container index → agent registered
-	basic      []Target     // rail-pruned full mesh
-	skeleton   []Target     // skeleton-pruned list (when inferred)
+	registered map[int]lease // container index → agent lease
+	basic      []Target      // rail-pruned full mesh
+	skeleton   []Target      // skeleton-pruned list (when inferred)
 	phase      Phase
 }
 
@@ -60,6 +88,21 @@ type taskState struct {
 type Controller struct {
 	mu    sync.Mutex
 	tasks map[cluster.TaskID]*taskState
+
+	// epoch counts controller incarnations; it starts at 1 and bumps on
+	// every Restore. Leases remember the epoch that granted them, which
+	// is how a restarted controller tells live registrations from
+	// restored ones.
+	epoch uint64
+	// down models the crashed window between Crash and Restore: every
+	// mutation is dropped and PingList serves nothing, like a dead
+	// process.
+	down bool
+
+	// now, when set, supplies the virtual clock used for lease expiry.
+	// Without a clock, restored leases never expire.
+	now           func() time.Duration
+	recoveryGrace time.Duration
 
 	// frozen serves stale ping lists: while set, each (task, source)
 	// query is answered from cache, so registration, skeleton, and
@@ -74,10 +117,59 @@ type frozenKey struct {
 	src  int
 }
 
-// New returns an empty controller. Wire it to a control plane with
-// Attach, or drive AddTask/Register manually.
+// New returns an empty controller on epoch 1. Wire it to a control
+// plane with Attach, or drive AddTask/Register manually.
 func New() *Controller {
-	return &Controller{tasks: make(map[cluster.TaskID]*taskState)}
+	return &Controller{
+		tasks:         make(map[cluster.TaskID]*taskState),
+		epoch:         1,
+		recoveryGrace: DefaultRecoveryGrace,
+	}
+}
+
+// UseClock wires a virtual-time source (e.g. sim.Engine.Now) used for
+// stale-lease expiry after a Restore.
+func (c *Controller) UseClock(now func() time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+}
+
+// SetRecoveryGrace overrides how long restored stale-epoch leases keep
+// serving before they expire.
+func (c *Controller) SetRecoveryGrace(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recoveryGrace = d
+}
+
+// Epoch returns the controller incarnation counter. Agents compare it
+// against the epoch they last registered under and re-register when it
+// moves.
+func (c *Controller) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Down reports whether the controller is in its crashed window.
+func (c *Controller) Down() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down
+}
+
+// Crash models the controller process dying: all in-memory state is
+// lost and the controller stops serving until Restore brings it back
+// from a checkpoint. The epoch does not move yet — the dead process has
+// no epoch to speak of; Restore stamps the new incarnation.
+func (c *Controller) Crash() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down = true
+	c.tasks = make(map[cluster.TaskID]*taskState)
+	c.cache = nil
+	c.frozen = false
 }
 
 // Attach subscribes the controller to a control plane's lifecycle
@@ -104,12 +196,15 @@ func (c *Controller) Attach(cp *cluster.ControlPlane) {
 func (c *Controller) AddTask(task *cluster.Task) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.down {
+		return
+	}
 	if _, ok := c.tasks[task.ID]; ok {
 		return
 	}
 	c.tasks[task.ID] = &taskState{
 		task:       task,
-		registered: make(map[int]bool),
+		registered: make(map[int]lease),
 		basic:      BasicPingList(task.NumContainers(), task.GPUsPerContainer),
 	}
 }
@@ -118,16 +213,37 @@ func (c *Controller) AddTask(task *cluster.Task) {
 func (c *Controller) RemoveTask(id cluster.TaskID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.down {
+		return
+	}
 	delete(c.tasks, id)
 }
 
+// TaskIDs returns the registered task IDs in sorted order.
+func (c *Controller) TaskIDs() []cluster.TaskID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cluster.TaskID, 0, len(c.tasks))
+	for id := range c.tasks {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Register marks a container's agent as up (the data-plane activation
-// step of §5.1): its endpoints become valid probe destinations.
+// step of §5.1): its endpoints become valid probe destinations. The
+// lease is stamped with the current epoch; re-registering after a
+// controller restart upgrades a restored stale lease to a current one
+// and clears its expiry.
 func (c *Controller) Register(id cluster.TaskID, containerIdx int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.down {
+		return
+	}
 	if ts, ok := c.tasks[id]; ok {
-		ts.registered[containerIdx] = true
+		ts.registered[containerIdx] = lease{epoch: c.epoch}
 	}
 }
 
@@ -135,6 +251,9 @@ func (c *Controller) Register(id cluster.TaskID, containerIdx int) {
 func (c *Controller) Deregister(id cluster.TaskID, containerIdx int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.down {
+		return
+	}
 	if ts, ok := c.tasks[id]; ok {
 		delete(ts.registered, containerIdx)
 		if len(ts.registered) == 0 && ts.task.Finished {
@@ -143,12 +262,76 @@ func (c *Controller) Deregister(id cluster.TaskID, containerIdx int) {
 	}
 }
 
-// Registered reports whether a container's agent is registered.
+// Registered reports whether a container's agent holds a live lease.
 func (c *Controller) Registered(id cluster.TaskID, containerIdx int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.down {
+		return false
+	}
 	ts, ok := c.tasks[id]
-	return ok && ts.registered[containerIdx]
+	if !ok {
+		return false
+	}
+	l, ok := ts.registered[containerIdx]
+	return ok && c.leaseLive(l)
+}
+
+// Registration describes one lease for introspection (tests, the
+// -stats CLI output).
+type Registration struct {
+	Container int
+	Epoch     uint64
+	Expires   time.Duration // zero for non-expiring (live-granted) leases
+}
+
+// Registrations returns a task's leases sorted by container index.
+// Expired leases are excluded.
+func (c *Controller) Registrations(id cluster.TaskID) []Registration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts, ok := c.tasks[id]
+	if !ok || c.down {
+		return nil
+	}
+	out := make([]Registration, 0, len(ts.registered))
+	for idx, l := range ts.registered {
+		if !c.leaseLive(l) {
+			continue
+		}
+		out = append(out, Registration{Container: idx, Epoch: l.epoch, Expires: l.expires})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Container < out[j].Container })
+	return out
+}
+
+// StaleRegistrations counts a task's live leases granted by an earlier
+// controller incarnation — registrations restored from a checkpoint
+// that their agents have not yet renewed.
+func (c *Controller) StaleRegistrations(id cluster.TaskID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts, ok := c.tasks[id]
+	if !ok || c.down {
+		return 0
+	}
+	n := 0
+	for _, l := range ts.registered {
+		if c.leaseLive(l) && l.epoch < c.epoch {
+			n++
+		}
+	}
+	return n
+}
+
+// leaseLive reports whether a lease still serves; the caller holds
+// c.mu. Leases without an expiry (granted live) never lapse; restored
+// leases lapse once the virtual clock passes their grace deadline.
+func (c *Controller) leaseLive(l lease) bool {
+	if l.expires == 0 || c.now == nil {
+		return true
+	}
+	return c.now() <= l.expires
 }
 
 // SetFrozen freezes (true) or thaws (false) ping-list serving — the
@@ -177,13 +360,16 @@ func (c *Controller) Frozen() bool {
 }
 
 // PingList returns the active probe targets for one source container:
-// the current-phase list filtered to registered destinations (and a
-// registered source — an unregistered agent probes nothing). While
-// frozen (SetFrozen) the caller gets the snapshot cached at its first
-// frozen query instead.
+// the current-phase list filtered to leased destinations (and a leased
+// source — an unregistered agent probes nothing). While frozen
+// (SetFrozen) the caller gets the snapshot cached at its first frozen
+// query instead. A crashed (down) controller serves nothing.
 func (c *Controller) PingList(id cluster.TaskID, srcContainer int) []Target {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.down {
+		return nil
+	}
 	if c.frozen {
 		k := frozenKey{task: id, src: srcContainer}
 		if list, ok := c.cache[k]; ok {
@@ -198,7 +384,11 @@ func (c *Controller) PingList(id cluster.TaskID, srcContainer int) []Target {
 
 func (c *Controller) pingListLocked(id cluster.TaskID, srcContainer int) []Target {
 	ts, ok := c.tasks[id]
-	if !ok || !ts.registered[srcContainer] {
+	if !ok {
+		return nil
+	}
+	src, ok := ts.registered[srcContainer]
+	if !ok || !c.leaseLive(src) {
 		return nil
 	}
 	list := ts.basic
@@ -207,7 +397,11 @@ func (c *Controller) pingListLocked(id cluster.TaskID, srcContainer int) []Targe
 	}
 	var out []Target
 	for _, t := range list {
-		if t.SrcContainer == srcContainer && ts.registered[t.DstContainer] {
+		if t.SrcContainer != srcContainer {
+			continue
+		}
+		dst, ok := ts.registered[t.DstContainer]
+		if ok && c.leaseLive(dst) {
 			out = append(out, t)
 		}
 	}
@@ -221,6 +415,9 @@ func (c *Controller) pingListLocked(id cluster.TaskID, srcContainer int) []Targe
 func (c *Controller) ApplySkeleton(id cluster.TaskID, inf skeleton.Inference) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.down {
+		return fmt.Errorf("controller: down")
+	}
 	ts, ok := c.tasks[id]
 	if !ok {
 		return fmt.Errorf("controller: unknown task %s", id)
@@ -252,6 +449,9 @@ func (c *Controller) ApplySkeleton(id cluster.TaskID, inf skeleton.Inference) er
 func (c *Controller) RevertToBasic(id cluster.TaskID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.down {
+		return
+	}
 	if ts, ok := c.tasks[id]; ok {
 		ts.phase = PhasePreload
 		ts.skeleton = nil

@@ -1,0 +1,142 @@
+// Checkpoint/restore for the controller registry (crash recovery).
+//
+// A Snapshot is a plain, JSON-marshalable value capturing everything a
+// restarted controller needs to resume serving ping lists: task IDs and
+// shapes, per-agent leases, phases, and applied skeleton lists. The
+// basic (rail-pruned) list is NOT serialized — it is a pure function of
+// the task shape and is rebuilt deterministically on Restore.
+//
+// The epoch/lease protocol: Restore stamps the controller with
+// snapshot-epoch+1 and re-grants every snapshotted lease under its
+// *original* epoch with a grace-window expiry. A lease whose agent is
+// still alive gets renewed (Register stamps the new epoch, clears the
+// expiry) as soon as the agent notices the epoch moved; a lease whose
+// agent died while the controller was down — its Deregister fell into
+// the outage — simply ages out. Live-granted leases never expire:
+// expiring them would stop peers from probing a silently crashed
+// container, which is exactly the unconnectivity signal the paper's
+// detector needs.
+package controller
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+)
+
+// SnapshotVersion is the current checkpoint format version.
+const SnapshotVersion = 1
+
+// LeaseSnapshot is one registration at snapshot time.
+type LeaseSnapshot struct {
+	Container int
+	Epoch     uint64
+}
+
+// TaskSnapshot captures one task's registry entry.
+type TaskSnapshot struct {
+	ID               cluster.TaskID
+	NumContainers    int
+	GPUsPerContainer int
+	Phase            Phase
+	Skeleton         []Target // nil unless Phase == PhaseSkeleton
+	Leases           []LeaseSnapshot
+}
+
+// Snapshot is a versioned, serializable image of the registry. Tasks
+// and leases are in sorted order, so equal states produce byte-equal
+// encodings (the determinism fingerprint relies on this).
+type Snapshot struct {
+	Version int
+	Epoch   uint64
+	Tasks   []TaskSnapshot
+}
+
+// Fingerprint returns a stable digest of the snapshot contents.
+func (s Snapshot) Fingerprint() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "unmarshalable"
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b))
+}
+
+// Snapshot captures the registry under the current epoch. It is safe
+// to call concurrently with serving; the returned value shares no
+// memory with live state.
+func (c *Controller) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := Snapshot{Version: SnapshotVersion, Epoch: c.epoch}
+	for id, ts := range c.tasks {
+		t := TaskSnapshot{
+			ID:               id,
+			NumContainers:    ts.task.NumContainers(),
+			GPUsPerContainer: ts.task.GPUsPerContainer,
+			Phase:            ts.phase,
+		}
+		if len(ts.skeleton) > 0 {
+			t.Skeleton = append([]Target(nil), ts.skeleton...)
+		}
+		for idx, l := range ts.registered {
+			if !c.leaseLive(l) {
+				continue
+			}
+			t.Leases = append(t.Leases, LeaseSnapshot{Container: idx, Epoch: l.epoch})
+		}
+		sort.Slice(t.Leases, func(i, j int) bool { return t.Leases[i].Container < t.Leases[j].Container })
+		snap.Tasks = append(snap.Tasks, t)
+	}
+	sort.Slice(snap.Tasks, func(i, j int) bool { return snap.Tasks[i].ID < snap.Tasks[j].ID })
+	return snap
+}
+
+// Restore rebuilds the registry from a snapshot, bringing a crashed
+// controller back up under a new epoch (snapshot epoch + 1). resolve
+// maps a task ID to its live *cluster.Task (normally the cluster
+// control plane's view — the paper's §6 controller resynchronizes
+// against the database on startup); tasks it cannot resolve were torn
+// down during the outage and are dropped. Restored leases keep their
+// original (now stale) epoch and get a RecoveryGrace expiry. Returns
+// the number of tasks dropped because resolve failed.
+func (c *Controller) Restore(snap Snapshot, resolve func(cluster.TaskID) (*cluster.Task, bool)) (dropped int, err error) {
+	if snap.Version != SnapshotVersion {
+		return 0, fmt.Errorf("controller: snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down = false
+	c.frozen = false
+	c.cache = nil
+	c.epoch = snap.Epoch + 1
+	c.tasks = make(map[cluster.TaskID]*taskState, len(snap.Tasks))
+	var expires time.Duration
+	if c.now != nil {
+		expires = c.now() + c.recoveryGrace
+	}
+	for _, t := range snap.Tasks {
+		task, ok := resolve(t.ID)
+		if !ok {
+			dropped++
+			continue
+		}
+		ts := &taskState{
+			task:       task,
+			registered: make(map[int]lease, len(t.Leases)),
+			basic:      BasicPingList(task.NumContainers(), task.GPUsPerContainer),
+			phase:      t.Phase,
+		}
+		if len(t.Skeleton) > 0 {
+			ts.skeleton = append([]Target(nil), t.Skeleton...)
+		}
+		for _, l := range t.Leases {
+			ts.registered[l.Container] = lease{epoch: l.Epoch, expires: expires}
+		}
+		c.tasks[t.ID] = ts
+	}
+	return dropped, nil
+}

@@ -1,0 +1,47 @@
+// Control-plane fault injection: the monitoring system's own
+// controller crashing mid-campaign. Unlike the data-plane issues of
+// the catalog (issues.go) and the telemetry faults (telemetry.go),
+// this fault targets SkeletonHunter itself — the always-on service of
+// §8 must come back from a checkpoint without erasing probing state or
+// blinding the localizer.
+package faults
+
+import (
+	"time"
+
+	"skeletonhunter/internal/sim"
+)
+
+// ControllerCrash describes one injected control-plane crash: the
+// controller process dies with total amnesia at At and restarts from
+// its last durable checkpoint after Downtime.
+type ControllerCrash struct {
+	At       time.Duration // when the process dies
+	Downtime time.Duration // how long it stays dead
+
+	Crashed    bool
+	CrashedAt  time.Duration
+	Restored   bool
+	RestoredAt time.Duration
+}
+
+// ScheduleControllerCrash schedules a controller crash at `at` and its
+// recovery `downtime` later on the engine. The crash and restore
+// callbacks do the actual work (hunter wires them to
+// Deployment.CrashController/RecoverFromLast); the returned record
+// tracks what fired, for campaign scoring and assertions.
+func ScheduleControllerCrash(eng *sim.Engine, at, downtime time.Duration,
+	crash func(now time.Duration), restore func(now time.Duration)) *ControllerCrash {
+	cc := &ControllerCrash{At: at, Downtime: downtime}
+	eng.Schedule(at, "controller-crash", func(now time.Duration) {
+		cc.Crashed = true
+		cc.CrashedAt = now
+		crash(now)
+	})
+	eng.Schedule(at+downtime, "controller-restore", func(now time.Duration) {
+		cc.Restored = true
+		cc.RestoredAt = now
+		restore(now)
+	})
+	return cc
+}

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -375,5 +376,123 @@ func TestClearAllAndBookkeeping(t *testing.T) {
 	// Double-clear is safe.
 	for _, in := range r.inj.Injections() {
 		r.inj.Clear(in)
+	}
+}
+
+// flowTableImage copies every entry of a host's vswitch by value, so
+// later mutations can be compared against it.
+func flowTableImage(r *rig, host int) map[overlay.FlowKey]overlay.FlowEntry {
+	vsw := r.net.Overlay.VSwitch(host)
+	img := make(map[overlay.FlowKey]overlay.FlowEntry, vsw.Len())
+	for _, k := range vsw.Keys() {
+		e, _ := vsw.Lookup(k)
+		img[k] = *e
+	}
+	return img
+}
+
+// TestClearRestoresFlowTable pins the undo path of every overlay-
+// mutating issue: Clear must return the vswitch flow table — keys,
+// actions, offload and staleness bits — to exactly its pre-injection
+// image, and clearing again must not disturb it.
+func TestClearRestoresFlowTable(t *testing.T) {
+	r := newRig(t)
+	a, _ := r.pair()
+	for _, tc := range []struct {
+		issue IssueType
+		tgt   Target
+	}{
+		{OffloadingFailure, Target{Host: a.Host, Rail: a.Rail}},
+		{RepetitiveFlowOffloading, Target{Host: a.Host}},
+		{SuboptimalFlowOffloading, Target{Host: a.Host}},
+		{NotUsingRDMA, Target{Host: a.Host}},
+	} {
+		before := flowTableImage(r, a.Host)
+		in, err := r.inj.Inject(tc.issue, tc.tgt)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.issue, err)
+		}
+		if reflect.DeepEqual(flowTableImage(r, a.Host), before) {
+			t.Fatalf("%v: injection left the flow table untouched", tc.issue)
+		}
+		r.inj.Clear(in)
+		if got := flowTableImage(r, a.Host); !reflect.DeepEqual(got, before) {
+			t.Fatalf("%v: Clear did not round-trip the flow table", tc.issue)
+		}
+		r.inj.Clear(in) // double-clear: still the original image
+		if got := flowTableImage(r, a.Host); !reflect.DeepEqual(got, before) {
+			t.Fatalf("%v: double Clear disturbed the flow table", tc.issue)
+		}
+	}
+}
+
+// TestDoubleClearDoesNotRerunUndo: a cleared injection's undo must not
+// fire again — re-running it would clobber state that changed since
+// (e.g. a later fault staling the same entries would be silently
+// "repaired" by a stale undo).
+func TestDoubleClearDoesNotRerunUndo(t *testing.T) {
+	r := newRig(t)
+	a, _ := r.pair()
+	in, err := r.inj.Inject(OffloadingFailure, Target{Host: a.Host, Rail: a.Rail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.inj.Clear(in)
+	if !in.Cleared {
+		t.Fatal("Cleared flag not set")
+	}
+	// A key the injection touched goes stale again, independently.
+	vsw := r.net.Overlay.VSwitch(a.Host)
+	var touched *overlay.FlowEntry
+	for _, k := range vsw.Keys() {
+		if e, _ := vsw.Lookup(k); e.Offloaded && e.Action.Rail == a.Rail {
+			touched = e
+			break
+		}
+	}
+	if touched == nil {
+		t.Fatal("no offloaded entry on the faulted rail")
+	}
+	touched.OffloadStale = true
+	r.inj.Clear(in) // no-op: must not restore the entry
+	if !touched.OffloadStale {
+		t.Fatal("double Clear re-ran the undo and un-staled the entry")
+	}
+}
+
+// TestClearAllRestoresFlowTables: concurrent overlay faults on
+// different hosts all round-trip through one ClearAll, and a second
+// ClearAll is a no-op.
+func TestClearAllRestoresFlowTables(t *testing.T) {
+	r := newRig(t)
+	a, _ := r.pair()
+	hostB := r.task.Containers[1].Host
+	beforeA := flowTableImage(r, a.Host)
+	beforeB := flowTableImage(r, hostB)
+
+	if _, err := r.inj.Inject(RepetitiveFlowOffloading, Target{Host: a.Host}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.inj.Inject(NotUsingRDMA, Target{Host: hostB}); err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(flowTableImage(r, a.Host), beforeA) ||
+		reflect.DeepEqual(flowTableImage(r, hostB), beforeB) {
+		t.Fatal("injections left a flow table untouched")
+	}
+
+	r.inj.ClearAll()
+	if got := flowTableImage(r, a.Host); !reflect.DeepEqual(got, beforeA) {
+		t.Fatal("ClearAll did not round-trip host A's flow table")
+	}
+	if got := flowTableImage(r, hostB); !reflect.DeepEqual(got, beforeB) {
+		t.Fatal("ClearAll did not round-trip host B's flow table")
+	}
+	if got := len(r.inj.Active()); got != 0 {
+		t.Fatalf("active after ClearAll = %d", got)
+	}
+	r.inj.ClearAll() // idempotent
+	if got := flowTableImage(r, a.Host); !reflect.DeepEqual(got, beforeA) {
+		t.Fatal("second ClearAll disturbed the flow table")
 	}
 }

@@ -67,6 +67,15 @@ type Options struct {
 	// are shed and counted (see analyzer.Config.InboxLimit). 0 takes
 	// the analyzer default, negative means unbounded.
 	InboxLimit int
+	// CheckpointInterval enables periodic control-plane checkpoints on
+	// the sim engine (0 disables; checkpoints can still be taken
+	// explicitly with Deployment.Checkpoint). An injected controller
+	// crash recovers from the most recent one.
+	CheckpointInterval time.Duration
+	// RecoveryGrace overrides how long restored (stale-epoch) agent
+	// leases keep serving after a recovery before they expire (default
+	// controller.DefaultRecoveryGrace).
+	RecoveryGrace time.Duration
 }
 
 // Deployment is a wired SkeletonHunter instance over a simulated cloud.
@@ -102,6 +111,7 @@ type Deployment struct {
 	overrides     map[cluster.TaskID]parallelism.Config
 	inferences    map[cluster.TaskID]skeleton.Inference
 	secrets       map[cluster.TaskID]string
+	lastCkpt      *Checkpoint
 }
 
 // New builds and wires a deployment.
@@ -130,6 +140,10 @@ func New(opts Options) (*Deployment, error) {
 	net.TransientCongestionProb = opts.TransientCongestionProb
 	ctl := controller.New()
 	ctl.Attach(cp)
+	ctl.UseClock(eng.Now)
+	if opts.RecoveryGrace > 0 {
+		ctl.SetRecoveryGrace(opts.RecoveryGrace)
+	}
 	loc := localize.NewWithControlPlane(net, cp)
 	st := obs.New()
 	an := analyzer.New(eng, loc, analyzer.Config{
@@ -164,6 +178,10 @@ func New(opts Options) (*Deployment, error) {
 	// optionally, trigger live migration off them.
 	cp.HostSchedulable = func(h int) bool { return !d.blockedHosts[h] }
 	an.OnAlarm = d.handleAlarm
+	if opts.CheckpointInterval > 0 {
+		eng.Every(opts.CheckpointInterval, opts.CheckpointInterval, "checkpoint",
+			func(time.Duration) { d.Checkpoint() })
+	}
 	return d, nil
 }
 

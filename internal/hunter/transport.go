@@ -50,6 +50,12 @@ func (b *transportBackend) SecretOf(task string) (transport.Secret, bool) {
 	return b.dep().TaskSecret(cluster.TaskID(task))
 }
 
+// Epoch implements transport.Backend: responses carry the controller
+// incarnation so wire agents can detect a restart and re-register.
+func (b *transportBackend) Epoch() uint64 {
+	return b.dep().Controller.Epoch()
+}
+
 // Register implements transport.Backend.
 func (b *transportBackend) Register(task string, container int) error {
 	d := b.dep()

@@ -70,6 +70,16 @@ const (
 	AgentCrashes
 	// AgentRestarts counts sidecar agents brought back after a crash.
 	AgentRestarts
+	// CheckpointsTaken counts control-plane checkpoints written by the
+	// periodic checkpointer (or taken explicitly).
+	CheckpointsTaken
+	// ControllerCrashes counts injected controller-process crashes.
+	ControllerCrashes
+	// ControllerRestores counts controller recoveries from a checkpoint.
+	ControllerRestores
+	// AgentReregisters counts agents that noticed a controller epoch
+	// change and re-registered under the new incarnation.
+	AgentReregisters
 
 	numCounters
 )
@@ -110,6 +120,14 @@ func (c Counter) String() string {
 		return "agent-crashes"
 	case AgentRestarts:
 		return "agent-restarts"
+	case CheckpointsTaken:
+		return "checkpoints-taken"
+	case ControllerCrashes:
+		return "controller-crashes"
+	case ControllerRestores:
+		return "controller-restores"
+	case AgentReregisters:
+		return "agent-reregisters"
 	default:
 		return fmt.Sprintf("counter(%d)", int(c))
 	}

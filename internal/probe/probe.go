@@ -80,7 +80,8 @@ type OverlayAgent struct {
 	ticker  *sim.Ticker
 	rounds  int
 	entropy uint64
-	batch   Batch // reused across rounds
+	epoch   uint64 // controller epoch the agent last registered under
+	batch   Batch  // reused across rounds
 }
 
 // Start registers the agent with the controller and begins periodic
@@ -93,6 +94,7 @@ func (a *OverlayAgent) Start() {
 		a.ProbesPerTarget = 1
 	}
 	a.Controller.Register(a.Task.ID, a.Container.Index)
+	a.epoch = a.Controller.Epoch()
 	a.ticker = a.Engine.Every(a.Engine.Now()+a.Interval, a.Interval, "probe-round", a.round)
 }
 
@@ -118,6 +120,16 @@ func (a *OverlayAgent) Rounds() int { return a.rounds }
 func (a *OverlayAgent) round(now time.Duration) {
 	if a.Container.State != cluster.Running {
 		return
+	}
+	// Lease renewal: a restarted controller comes back on a new epoch
+	// serving restored (stale) leases on borrowed time. Re-registering
+	// here converts the agent's lease to the current incarnation before
+	// the stale grace window expires. A down controller keeps its old
+	// epoch, so agents stay quiet until the restore actually lands.
+	if ep := a.Controller.Epoch(); ep != a.epoch {
+		a.Controller.Register(a.Task.ID, a.Container.Index)
+		a.epoch = ep
+		a.Obs.Inc(obs.AgentReregisters)
 	}
 	targets := a.Controller.PingList(a.Task.ID, a.Container.Index)
 	a.batch = a.batch[:0]

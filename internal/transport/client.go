@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -10,46 +11,107 @@ import (
 	"time"
 )
 
+// Config tunes a client's timeouts and failure handling.
+type Config struct {
+	// Timeout bounds each request/response exchange (default
+	// DefaultTimeout).
+	Timeout time.Duration
+	// Retry governs redial and retransmission on connection failures;
+	// zero fields take DefaultRetryPolicy values.
+	Retry RetryPolicy
+}
+
+// RejectedError is an application-level refusal: the server answered
+// and said no (bad MAC, unknown task, replayed nonce, backend error).
+// Unlike connection failures these are never retried — the same bytes
+// would be refused again.
+type RejectedError struct {
+	Op     Op
+	Reason string
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("transport: %s rejected: %s", e.Op, e.Reason)
+}
+
 // Client is an agent-side connection to the controller. It is safe for
 // concurrent use; requests serialize over the single connection (an
 // agent's request rate is one ping-list fetch and one report batch per
 // probing round, so multiplexing would be over-engineering).
+//
+// The client survives controller restarts: a failed exchange redials
+// with capped exponential backoff, and if the agent had registered, the
+// fresh connection re-registers before resuming the interrupted op —
+// the restarted controller may be a new incarnation holding the agent's
+// registration only as a stale lease. Epoch changes observed on a live
+// connection trigger the same re-registration.
 type Client struct {
+	addr      string
 	task      string
 	container int
 	secret    Secret
 	timeout   time.Duration
+	retry     RetryPolicy
 
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
-	rng  *rand.Rand
+	mu         sync.Mutex
+	conn       net.Conn
+	dec        *json.Decoder
+	enc        *json.Encoder
+	rng        *rand.Rand
+	seq        uint64
+	registered bool
+	epoch      uint64 // last controller epoch observed (0 = none yet)
+	closed     bool
 }
 
-// Dial connects an agent identity to a controller address.
+// Dial connects an agent identity to a controller address with default
+// timeouts and retry policy.
 func Dial(addr, task string, container int, secret Secret) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, DefaultTimeout)
-	if err != nil {
-		return nil, err
+	return DialConfig(addr, task, container, secret, Config{})
+}
+
+// DialConfig is Dial with explicit configuration. The initial dial is
+// a single attempt — an agent that cannot reach the controller at all
+// should fail fast at startup; the retry machinery covers failures
+// after that.
+func DialConfig(addr, task string, container int, secret Secret, cfg Config) (*Client, error) {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultTimeout
 	}
-	return &Client{
+	c := &Client{
+		addr:      addr,
 		task:      task,
 		container: container,
 		secret:    secret,
-		timeout:   DefaultTimeout,
-		conn:      conn,
-		dec:       json.NewDecoder(bufio.NewReader(conn)),
-		enc:       json.NewEncoder(conn),
+		timeout:   cfg.Timeout,
+		retry:     cfg.Retry.withDefaults(),
 		rng:       rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(container))),
-	}, nil
+	}
+	if err := c.redialLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
-// Close tears down the connection.
+// Close tears down the connection. Further calls fail immediately.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn.Close()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Epoch returns the last controller epoch the client observed (0
+// before the first successful exchange).
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
 }
 
 func (c *Client) call(req Request) (Response, error) {
@@ -57,22 +119,140 @@ func (c *Client) call(req Request) (Response, error) {
 	defer c.mu.Unlock()
 	req.Task = c.task
 	req.Container = c.container
-	authenticate(c.secret, &req, fmt.Sprintf("%x", c.rng.Uint64()))
+	var lastErr error
+	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(c.retry.Delay(attempt-1, c.rng))
+		}
+		if c.closed {
+			return Response{}, net.ErrClosed
+		}
+		if c.conn == nil {
+			if err := c.redialLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+			// The fresh connection may face a restarted controller
+			// incarnation: re-establish the registration before
+			// resuming the interrupted op.
+			if c.registered && req.Op != OpRegister && req.Op != OpDeregister {
+				if err := c.reRegisterLocked(); err != nil {
+					lastErr = err
+					c.dropConnLocked()
+					continue
+				}
+			}
+		}
+		resp, sent, err := c.exchange(&req)
+		if err == nil {
+			c.noteSuccessLocked(req.Op, resp)
+			return resp, nil
+		}
+		var rej *RejectedError
+		if errors.As(err, &rej) {
+			// A rejection carrying a new epoch may just mean our
+			// registration died with the old controller incarnation:
+			// renew the lease and spend one attempt retrying the op.
+			if resp.Epoch != 0 && resp.Epoch != c.epoch && c.registered &&
+				req.Op != OpRegister && req.Op != OpDeregister {
+				c.epoch = resp.Epoch
+				if rerr := c.reRegisterLocked(); rerr == nil {
+					lastErr = err
+					continue
+				}
+			}
+			return resp, err
+		}
+		c.dropConnLocked()
+		lastErr = err
+		if sent && !req.Op.Idempotent() && !c.retry.RetryNonIdempotent {
+			// The request may have reached the backend before the
+			// connection died; retransmitting would double-deliver.
+			return Response{}, fmt.Errorf("transport: %s interrupted after send (non-idempotent, not retried): %w", req.Op, err)
+		}
+	}
+	return Response{}, lastErr
+}
+
+// exchange performs one signed request/response round trip on the
+// current connection. sent reports whether the request bytes went out
+// (the ambiguity window for non-idempotent ops). Each attempt signs a
+// fresh nonce — the server's replay window would refuse a verbatim
+// retransmission.
+func (c *Client) exchange(req *Request) (resp Response, sent bool, err error) {
+	c.seq++
+	authenticate(c.secret, req, fmt.Sprintf("%d-%x", c.seq, c.rng.Uint64()))
 	deadline := time.Now().Add(c.timeout)
 	if err := c.conn.SetDeadline(deadline); err != nil {
-		return Response{}, err
+		return Response{}, false, err
 	}
-	if err := c.enc.Encode(&req); err != nil {
-		return Response{}, fmt.Errorf("transport: send %s: %w", req.Op, err)
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, false, fmt.Errorf("transport: send %s: %w", req.Op, err)
 	}
-	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return Response{}, fmt.Errorf("transport: recv %s: %w", req.Op, err)
+		return Response{}, true, fmt.Errorf("transport: recv %s: %w", req.Op, err)
 	}
 	if !resp.OK {
-		return resp, fmt.Errorf("transport: %s rejected: %s", req.Op, resp.Error)
+		return resp, true, &RejectedError{Op: req.Op, Reason: resp.Error}
 	}
-	return resp, nil
+	return resp, true, nil
+}
+
+// noteSuccessLocked updates registration/epoch tracking after a
+// successful exchange. Seeing the epoch move on a live connection
+// means the controller restarted from a checkpoint underneath us: the
+// agent's lease is stale, so renew it right away.
+func (c *Client) noteSuccessLocked(op Op, resp Response) {
+	switch op {
+	case OpRegister:
+		c.registered = true
+	case OpDeregister:
+		c.registered = false
+	}
+	if resp.Epoch == 0 || resp.Epoch == c.epoch {
+		return
+	}
+	prev := c.epoch
+	c.epoch = resp.Epoch
+	if prev != 0 && c.registered && op != OpRegister {
+		// Best effort: a failure here surfaces on the next call, which
+		// redials and re-registers anyway.
+		_ = c.reRegisterLocked()
+	}
+}
+
+// reRegisterLocked re-announces the agent on the current connection
+// (after a redial or an observed epoch bump).
+func (c *Client) reRegisterLocked() error {
+	reg := Request{Op: OpRegister, Task: c.task, Container: c.container}
+	resp, _, err := c.exchange(&reg)
+	if err != nil {
+		return err
+	}
+	if resp.Epoch != 0 {
+		c.epoch = resp.Epoch
+	}
+	return nil
+}
+
+func (c *Client) redialLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.dec = json.NewDecoder(bufio.NewReader(conn))
+	c.enc = json.NewEncoder(conn)
+	return nil
+}
+
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.dec = nil
+	c.enc = nil
 }
 
 // Register announces this agent as up.

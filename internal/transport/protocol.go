@@ -39,6 +39,15 @@ const (
 	OpStats Op = "stats"
 )
 
+// Idempotent reports whether retrying the op after an ambiguous
+// failure (request sent, reply lost) is always safe. Registration and
+// reads are: re-registering or re-fetching twice converges to the same
+// state. OpReport is not — a retransmitted batch double-counts probe
+// samples downstream unless the analyzer tolerates duplicates — so the
+// client only retries it after a send failure, or when the RetryPolicy
+// explicitly opts in.
+func (o Op) Idempotent() bool { return o != OpReport }
+
 // Target mirrors controller.Target for the wire (kept separate so the
 // wire format does not pin internal types).
 type Target struct {
@@ -77,6 +86,12 @@ type Request struct {
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+
+	// Epoch is the controller incarnation serving the response. Agents
+	// track it across calls: a bump means the controller restarted from
+	// a checkpoint and holds their registration as a stale lease, so
+	// the client re-registers before its lease's grace window expires.
+	Epoch uint64 `json:"epoch,omitempty"`
 
 	Targets []Target `json:"targets,omitempty"`
 

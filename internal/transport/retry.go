@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy governs how the client survives connection failures:
+// capped exponential backoff with jitter between attempts, automatic
+// redial, and idempotency awareness for ops whose first attempt may
+// have reached the server before the connection died.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per call, the first included
+	// (default 5). 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default
+	// 25 ms); each further attempt multiplies it by Multiplier
+	// (default 2) up to MaxDelay (default 1 s).
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter/2 of its value
+	// (default 0.5, i.e. ±25 %), so a fleet of agents cut off by one
+	// controller restart does not redial in lockstep.
+	Jitter float64
+	// RetryNonIdempotent permits retrying a non-idempotent op (OpReport)
+	// even when the request may have been delivered — acceptable when
+	// the receiver deduplicates or tolerates duplicate batches.
+	RetryNonIdempotent bool
+}
+
+// DefaultRetryPolicy returns the client's standard policy: 5 attempts,
+// 25 ms → 1 s exponential backoff, ±25 % jitter, non-idempotent ops
+// not retried after an ambiguous send.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   25 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Multiplier:  2,
+		Jitter:      0.5,
+	}
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy, so callers
+// can override only what they care about.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = def.BaseDelay
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = def.MaxDelay
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = def.Multiplier
+	}
+	if p.Jitter == 0 {
+		p.Jitter = def.Jitter
+	}
+	return p
+}
+
+// Delay returns the jittered backoff before retry number retry (1 =
+// the delay preceding the second attempt).
+func (p RetryPolicy) Delay(retry int, rng *rand.Rand) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d *= 1 + p.Jitter*(rng.Float64()-0.5)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

@@ -1,0 +1,438 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps test wall-clock low while still exercising the
+// backoff machinery.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 8, BaseDelay: 5 * time.Millisecond, MaxDelay: 40 * time.Millisecond, Multiplier: 2, Jitter: 0.2}
+}
+
+func TestRetryPolicyDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.5}.withDefaults()
+	// Exponential growth up to the cap, with jitter bounded to ±25%.
+	for retry, base := range map[int]time.Duration{
+		1: 100 * time.Millisecond,
+		2: 200 * time.Millisecond,
+		3: 400 * time.Millisecond,
+		4: 800 * time.Millisecond,
+		5: time.Second, // capped: 1.6s > MaxDelay
+		9: time.Second,
+	} {
+		for i := 0; i < 50; i++ {
+			d := p.Delay(retry, rng)
+			lo := time.Duration(float64(base) * 0.75)
+			hi := time.Duration(float64(base) * 1.25)
+			if d < lo || d > hi {
+				t.Fatalf("Delay(%d) = %v, want within [%v, %v]", retry, d, lo, hi)
+			}
+		}
+	}
+	// Zero-value policy picks up every default.
+	def := RetryPolicy{}.withDefaults()
+	if def.MaxAttempts != 5 || def.BaseDelay != 25*time.Millisecond || def.MaxDelay != time.Second {
+		t.Fatalf("defaults = %+v", def)
+	}
+}
+
+func TestClientSurvivesControllerRestart(t *testing.T) {
+	// The acceptance scenario in miniature: the controller process dies
+	// and a new incarnation (fresh registry, bumped epoch) comes back on
+	// the same address. The agent's next call must succeed through
+	// redial + automatic re-registration alone.
+	b1 := newFakeBackend()
+	s1, err := NewServer("127.0.0.1:0", b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Logf = nil
+	addr := s1.Addr()
+
+	c, err := DialConfig(addr, "task-1", 0, Secret("s3cret"), Config{Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch(); got != 1 {
+		t.Fatalf("epoch before crash = %d", got)
+	}
+
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2 := newFakeBackend()
+	b2.epoch = 2 // new incarnation, empty registry
+	s2, err := NewServer(addr, b2)
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	s2.Logf = nil
+	defer s2.Close()
+
+	targets, err := c.PingList()
+	if err != nil {
+		t.Fatalf("ping list across restart: %v", err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("targets = %+v", targets)
+	}
+	if got := c.Epoch(); got != 2 {
+		t.Fatalf("epoch after restart = %d, want 2", got)
+	}
+	b2.mu.Lock()
+	defer b2.mu.Unlock()
+	if !b2.registered["task-1"][0] {
+		t.Fatal("client did not re-register with the new incarnation")
+	}
+	if b2.registers != 1 {
+		t.Fatalf("registers on new incarnation = %d, want 1", b2.registers)
+	}
+}
+
+func TestEpochBumpRejectionTriggersReRegister(t *testing.T) {
+	// A controller restored behind the same server process: the
+	// connection stays up but the registry was rebuilt from stale leases
+	// that may have lapsed. An app-level rejection carrying the new
+	// epoch must trigger lease renewal and a transparent retry.
+	s, b := startServer(t)
+	c, err := DialConfig(s.Addr(), "task-1", 0, Secret("s3cret"), Config{Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	b.epoch = 2
+	b.registered["task-1"] = map[int]bool{} // registration died with epoch 1
+	b.mu.Unlock()
+
+	if _, err := c.PingList(); err != nil {
+		t.Fatalf("ping list across epoch bump: %v", err)
+	}
+	if got := c.Epoch(); got != 2 {
+		t.Fatalf("epoch = %d, want 2", got)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.registered["task-1"][0] {
+		t.Fatal("registration not renewed on the new epoch")
+	}
+}
+
+func TestIdleConnectionReaped(t *testing.T) {
+	// Regression (ISSUE satellite): serve() used to read with no
+	// deadline, so a half-open connection from a crashed agent pinned a
+	// goroutine and a conns-map entry until server Close.
+	b := newFakeBackend()
+	s, err := NewServerWithConfig("127.0.0.1:0", b, ServerConfig{IdleTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Logf = nil
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.NumConns() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.NumConns() == 0 {
+		t.Fatal("connection never tracked")
+	}
+	for s.NumConns() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := s.NumConns(); n != 0 {
+		t.Fatalf("idle connection not reaped, NumConns = %d", n)
+	}
+	if s.IdleCloses() == 0 {
+		t.Fatal("idle close not counted")
+	}
+	// The reaped socket really is closed server-side.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server side still open after idle reap")
+	}
+
+	// An agent chatting more often than the deadline is untouched: the
+	// deadline resets per request.
+	c, err := Dial(s.Addr(), "task-1", 0, Secret("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ { // 8 × 20ms spans several idle windows
+		time.Sleep(20 * time.Millisecond)
+		if _, err := c.PingList(); err != nil {
+			t.Fatalf("active connection reaped at iteration %d: %v", i, err)
+		}
+	}
+}
+
+func TestReplayedRequestRejected(t *testing.T) {
+	// Regression (ISSUE satellite): the MAC covers op|task|container|
+	// nonce but the server never tracked nonces, so any captured
+	// authenticated frame — e.g. a stale Deregister — replayed verbatim.
+	s, b := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	send := func(req *Request) Response {
+		t.Helper()
+		if err := enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	reg := Request{Op: OpRegister, Task: "task-1", Container: 0}
+	authenticate(Secret("s3cret"), &reg, "nonce-reg")
+	if resp := send(&reg); !resp.OK {
+		t.Fatalf("register rejected: %s", resp.Error)
+	}
+	// The exact same signed frame again: refused.
+	if resp := send(&reg); resp.OK || !strings.Contains(resp.Error, "replay") {
+		t.Fatalf("verbatim replay answered %+v", resp)
+	}
+	if s.ReplayDrops() != 1 {
+		t.Fatalf("replay drops = %d", s.ReplayDrops())
+	}
+
+	// The attack from the issue: capture a legitimate Deregister, wait
+	// for the agent to come back, replay the capture to knock it off.
+	dereg := Request{Op: OpDeregister, Task: "task-1", Container: 0}
+	authenticate(Secret("s3cret"), &dereg, "nonce-dereg")
+	if resp := send(&dereg); !resp.OK {
+		t.Fatalf("deregister rejected: %s", resp.Error)
+	}
+	reg2 := Request{Op: OpRegister, Task: "task-1", Container: 0}
+	authenticate(Secret("s3cret"), &reg2, "nonce-reg-2")
+	if resp := send(&reg2); !resp.OK {
+		t.Fatalf("re-register rejected: %s", resp.Error)
+	}
+	if resp := send(&dereg); resp.OK {
+		t.Fatal("replayed deregister accepted")
+	}
+	b.mu.Lock()
+	stillUp := b.registered["task-1"][0]
+	b.mu.Unlock()
+	if !stillUp {
+		t.Fatal("replayed deregister knocked the agent off")
+	}
+
+	// A fresh nonce from the same agent still works — the window
+	// refuses duplicates, not traffic.
+	pl := Request{Op: OpPingList, Task: "task-1", Container: 0}
+	authenticate(Secret("s3cret"), &pl, "nonce-pl")
+	if resp := send(&pl); !resp.OK {
+		t.Fatalf("fresh request after replays rejected: %s", resp.Error)
+	}
+}
+
+func TestReplayWindowEvictsOldest(t *testing.T) {
+	// The window is bounded: old nonces fall out FIFO, new ones are
+	// still refused while remembered.
+	w := &nonceWindow{seen: make(map[string]struct{})}
+	if !w.admit("a", 2) || !w.admit("b", 2) {
+		t.Fatal("fresh nonces refused")
+	}
+	if w.admit("a", 2) {
+		t.Fatal("remembered nonce admitted")
+	}
+	if !w.admit("c", 2) { // evicts "a"
+		t.Fatal("nonce refused with capacity available")
+	}
+	if !w.admit("a", 2) { // "a" was evicted, admissible again
+		t.Fatal("evicted nonce still refused")
+	}
+	if w.admit("c", 2) {
+		t.Fatal("in-window nonce admitted")
+	}
+	if len(w.seen) != 2 || len(w.order) != 2 {
+		t.Fatalf("window grew past capacity: %d/%d", len(w.seen), len(w.order))
+	}
+}
+
+func TestMaxConnsCap(t *testing.T) {
+	b := newFakeBackend()
+	s, err := NewServerWithConfig("127.0.0.1:0", b, ServerConfig{MaxConns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Logf = nil
+	defer s.Close()
+
+	c1, err := Dial(s.Addr(), "task-1", 0, Secret("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if err := c1.Register(); err != nil { // response received ⇒ conn tracked
+		t.Fatal(err)
+	}
+	c2, err := Dial(s.Addr(), "task-1", 1, Secret("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Register(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third connection: accepted by the kernel, closed by the server.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection over the cap was served")
+	}
+	if s.RejectedConns() == 0 {
+		t.Fatal("rejected connection not counted")
+	}
+	// Existing connections keep working.
+	if _, err := c1.PingList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flakyReportServer speaks just enough of the protocol to test the
+// non-idempotent ambiguity window: it kills the connection immediately
+// after reading the first Report — the request landed, the response
+// never left.
+type flakyReportServer struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	reports int
+}
+
+func newFlakyReportServer(t *testing.T) *flakyReportServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flakyReportServer{ln: ln}
+	t.Cleanup(func() { ln.Close() })
+	go f.acceptLoop()
+	return f
+}
+
+func (f *flakyReportServer) numReports() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reports
+}
+
+func (f *flakyReportServer) acceptLoop() {
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			dec := json.NewDecoder(bufio.NewReader(conn))
+			enc := json.NewEncoder(conn)
+			for {
+				var req Request
+				if err := dec.Decode(&req); err != nil {
+					conn.Close()
+					return
+				}
+				if req.Op == OpReport {
+					f.mu.Lock()
+					f.reports++
+					first := f.reports == 1
+					f.mu.Unlock()
+					if first {
+						conn.Close()
+						return
+					}
+				}
+				if err := enc.Encode(Response{OK: true, Epoch: 1}); err != nil {
+					conn.Close()
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+func TestNonIdempotentReportNotRetried(t *testing.T) {
+	f := newFlakyReportServer(t)
+	c, err := DialConfig(f.ln.Addr().String(), "task-1", 0, Secret("s3cret"), Config{Retry: fastRetry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(); err != nil {
+		t.Fatal(err)
+	}
+	err = c.Report([]ProbeReport{{SrcContainer: 0, DstContainer: 1, RTTNanos: 1}})
+	if err == nil {
+		t.Fatal("ambiguous report did not surface an error")
+	}
+	if !strings.Contains(err.Error(), "non-idempotent") {
+		t.Fatalf("error does not explain the abort: %v", err)
+	}
+	if got := f.numReports(); got != 1 {
+		t.Fatalf("report delivered %d times, want exactly 1", got)
+	}
+	// The client recovers on the next idempotent call.
+	if _, err := c.PingList(); err != nil {
+		t.Fatalf("client wedged after aborted report: %v", err)
+	}
+}
+
+func TestNonIdempotentReportRetriedWhenOptedIn(t *testing.T) {
+	f := newFlakyReportServer(t)
+	p := fastRetry()
+	p.RetryNonIdempotent = true
+	c, err := DialConfig(f.ln.Addr().String(), "task-1", 0, Secret("s3cret"), Config{Retry: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Report([]ProbeReport{{SrcContainer: 0, DstContainer: 1, RTTNanos: 1}}); err != nil {
+		t.Fatalf("opted-in retry failed: %v", err)
+	}
+	if got := f.numReports(); got != 2 {
+		t.Fatalf("report delivered %d times, want 2 (original + retry)", got)
+	}
+}

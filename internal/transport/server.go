@@ -9,6 +9,8 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Backend is what the server fronts: the controller-side operations an
@@ -17,6 +19,9 @@ import (
 type Backend interface {
 	// SecretOf returns the shared secret for a task ("" task unknown).
 	SecretOf(task string) (Secret, bool)
+	// Epoch returns the controller incarnation counter; it is stamped
+	// on every response so agents can detect a restart and re-register.
+	Epoch() uint64
 	// Register marks a container's agent as up.
 	Register(task string, container int) error
 	// Deregister marks it down.
@@ -29,15 +34,67 @@ type Backend interface {
 	Stats(task string) (full, basic, current int, phase string, err error)
 }
 
+// ServerConfig tunes the server's self-protection limits.
+type ServerConfig struct {
+	// IdleTimeout closes a connection that sends no request for this
+	// long (default DefaultIdleTimeout). A half-open connection from a
+	// crashed agent would otherwise pin a goroutine and a conns entry
+	// until Close. Negative disables.
+	IdleTimeout time.Duration
+	// MaxConns caps concurrent agent connections (default
+	// DefaultMaxConns); connections over the cap are closed at accept.
+	// Negative disables.
+	MaxConns int
+	// ReplayWindow is how many recent nonces are remembered per
+	// (task, container) to refuse replayed requests (default
+	// DefaultReplayWindow). A captured authenticated frame — say a
+	// stale Deregister — replays verbatim otherwise, since the MAC
+	// covers only op|task|container|nonce. Negative disables.
+	ReplayWindow int
+}
+
+const (
+	// DefaultIdleTimeout is generous against a 1 s probing cadence:
+	// only a truly dead peer stays silent for two minutes.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultMaxConns comfortably exceeds one connection per sidecar
+	// agent on the largest simulated deployments.
+	DefaultMaxConns = 1024
+	// DefaultReplayWindow remembers more nonces per agent than it can
+	// issue inside the idle timeout at its request cadence.
+	DefaultReplayWindow = 256
+)
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.MaxConns == 0 {
+		c.MaxConns = DefaultMaxConns
+	}
+	if c.ReplayWindow == 0 {
+		c.ReplayWindow = DefaultReplayWindow
+	}
+	return c
+}
+
 // Server accepts agent connections and dispatches authenticated
 // requests to the backend.
 type Server struct {
 	backend Backend
+	cfg     ServerConfig
 	ln      net.Listener
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+
+	replayMu sync.Mutex
+	replay   map[replayKey]*nonceWindow
+
+	idleCloses    atomic.Uint64
+	rejectedConns atomic.Uint64
+	replayDrops   atomic.Uint64
 
 	// Logf, when set, receives connection-level errors (defaults to
 	// log.Printf; tests silence it).
@@ -46,16 +103,52 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
-// NewServer starts a server on addr (e.g. "127.0.0.1:0").
+type replayKey struct {
+	task      string
+	container int
+}
+
+// nonceWindow is a bounded set of recently seen nonces: a ring for
+// FIFO eviction plus a set for O(1) membership.
+type nonceWindow struct {
+	order []string
+	seen  map[string]struct{}
+	next  int
+}
+
+func (w *nonceWindow) admit(nonce string, capacity int) bool {
+	if _, dup := w.seen[nonce]; dup {
+		return false
+	}
+	if len(w.order) < capacity {
+		w.order = append(w.order, nonce)
+	} else {
+		delete(w.seen, w.order[w.next])
+		w.order[w.next] = nonce
+		w.next = (w.next + 1) % capacity
+	}
+	w.seen[nonce] = struct{}{}
+	return true
+}
+
+// NewServer starts a server on addr (e.g. "127.0.0.1:0") with default
+// limits.
 func NewServer(addr string, backend Backend) (*Server, error) {
+	return NewServerWithConfig(addr, backend, ServerConfig{})
+}
+
+// NewServerWithConfig starts a server with explicit limits.
+func NewServerWithConfig(addr string, backend Backend, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		backend: backend,
+		cfg:     cfg.withDefaults(),
 		ln:      ln,
 		conns:   make(map[net.Conn]struct{}),
+		replay:  make(map[replayKey]*nonceWindow),
 		Logf:    log.Printf,
 	}
 	s.wg.Add(1)
@@ -65,6 +158,22 @@ func NewServer(addr string, backend Backend) (*Server, error) {
 
 // Addr returns the listening address (for agents to dial).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// NumConns returns the number of live agent connections.
+func (s *Server) NumConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// IdleCloses returns how many connections the idle deadline reaped.
+func (s *Server) IdleCloses() uint64 { return s.idleCloses.Load() }
+
+// RejectedConns returns how many connections the MaxConns cap refused.
+func (s *Server) RejectedConns() uint64 { return s.rejectedConns.Load() }
+
+// ReplayDrops returns how many requests the replay window refused.
+func (s *Server) ReplayDrops() uint64 { return s.replayDrops.Load() }
 
 // Close stops accepting, closes every live connection, and waits for
 // handler goroutines to drain.
@@ -97,6 +206,12 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.rejectedConns.Add(1)
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
@@ -115,14 +230,25 @@ func (s *Server) serve(conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+				return
+			}
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				s.idleCloses.Add(1)
+				return
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && s.Logf != nil {
 				s.Logf("transport: decode from %s: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
 		resp := s.dispatch(&req)
+		resp.Epoch = s.backend.Epoch()
 		if err := enc.Encode(resp); err != nil {
 			if s.Logf != nil {
 				s.Logf("transport: encode to %s: %v", conn.RemoteAddr(), err)
@@ -130,6 +256,23 @@ func (s *Server) serve(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// freshNonce records the request's nonce in its agent's replay window
+// and reports whether it was new.
+func (s *Server) freshNonce(req *Request) bool {
+	if s.cfg.ReplayWindow <= 0 {
+		return true
+	}
+	k := replayKey{task: req.Task, container: req.Container}
+	s.replayMu.Lock()
+	defer s.replayMu.Unlock()
+	w, ok := s.replay[k]
+	if !ok {
+		w = &nonceWindow{seen: make(map[string]struct{})}
+		s.replay[k] = w
+	}
+	return w.admit(req.Nonce, s.cfg.ReplayWindow)
 }
 
 func (s *Server) dispatch(req *Request) Response {
@@ -142,6 +285,12 @@ func (s *Server) dispatch(req *Request) Response {
 	// requirement).
 	if !Verify(secret, req) {
 		return Response{Error: "authentication failed"}
+	}
+	// Replay check only after the MAC verifies: unauthenticated junk
+	// must not be able to poison an agent's nonce window.
+	if !s.freshNonce(req) {
+		s.replayDrops.Add(1)
+		return Response{Error: "replayed nonce"}
 	}
 	switch req.Op {
 	case OpRegister:

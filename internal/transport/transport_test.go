@@ -11,14 +11,17 @@ import (
 // fakeBackend implements Backend in memory.
 type fakeBackend struct {
 	mu         sync.Mutex
+	epoch      uint64
 	secrets    map[string]Secret
 	registered map[string]map[int]bool
+	registers  int // total Register calls, renewals included
 	reports    []ProbeReport
 	targets    map[string][]Target
 }
 
 func newFakeBackend() *fakeBackend {
 	return &fakeBackend{
+		epoch:      1,
 		secrets:    map[string]Secret{"task-1": Secret("s3cret")},
 		registered: map[string]map[int]bool{"task-1": {}},
 		targets: map[string][]Target{
@@ -34,10 +37,17 @@ func (f *fakeBackend) SecretOf(task string) (Secret, bool) {
 	return s, ok
 }
 
+func (f *fakeBackend) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
 func (f *fakeBackend) Register(task string, c int) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.registered[task][c] = true
+	f.registers++
 	return nil
 }
 
