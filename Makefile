@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-all
+.PHONY: all build test race vet fmt-check bench bench-all cover smoke
 
 all: build vet test
 
@@ -27,13 +27,28 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Runs the analyzer-round benchmarks and writes a machine-readable
-# summary (name → ns/op, B/op, allocs/op) for CI to archive, so
-# analysis-plane perf regressions show up as an artifact diff.
+# Runs the analyzer-round and incident-correlator benchmarks and
+# writes machine-readable summaries (name → ns/op, B/op, allocs/op)
+# for CI to archive, so analysis- and incident-plane perf regressions
+# show up as an artifact diff.
 bench:
 	$(GO) test -run xxx -bench Analyzer -benchmem . | tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -o BENCH_analyzer.json
+	$(GO) test -run xxx -bench IncidentCorrelator -benchmem ./internal/incident | tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -o BENCH_incident.json
 
 # Full benchmark sweep (every figure/table generator), human-readable.
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem ./...
+
+# Test coverage profile + per-function summary; CI archives the
+# profile as an artifact.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# Runs the example walkthroughs end to end — the documented entry
+# points must keep working, not just compiling.
+smoke:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/incident_console

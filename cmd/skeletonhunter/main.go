@@ -47,6 +47,7 @@ func main() {
 	crashAt := flag.Duration("crash-at", 0, "crash the monitoring controller at this sim time (0 = never); it recovers from its last checkpoint")
 	crashDown := flag.Duration("crash-down", 90*time.Second, "how long a crashed controller stays down before recovering")
 	ckptInterval := flag.Duration("checkpoint-interval", 2*time.Minute, "control-plane checkpoint period (0 = no periodic checkpoints)")
+	httpAddr := flag.String("http", "", "serve the operator query API on this address (e.g. 127.0.0.1:8080) while the run executes")
 	flag.Parse()
 
 	cfg := runConfig{
@@ -68,6 +69,7 @@ func main() {
 		crashAt:      *crashAt,
 		crashDown:    *crashDown,
 		ckptInterval: *ckptInterval,
+		httpAddr:     *httpAddr,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "skeletonhunter:", err)
@@ -88,6 +90,7 @@ type runConfig struct {
 	crashAt      time.Duration
 	crashDown    time.Duration
 	ckptInterval time.Duration
+	httpAddr     string
 }
 
 func (c runConfig) telemetryEnabled() bool {
@@ -102,9 +105,14 @@ func run(cfg runConfig) error {
 		Hosts:              hosts,
 		Workers:            workers,
 		CheckpointInterval: cfg.ckptInterval,
+		HTTPAddr:           cfg.httpAddr,
 	})
 	if err != nil {
 		return err
+	}
+	if d.API != nil {
+		defer d.API.Close()
+		fmt.Printf("query API: http://%s/v1/incidents\n", d.API.Addr())
 	}
 	var crash *faults.ControllerCrash
 	if cfg.crashAt > 0 {
@@ -200,6 +208,7 @@ func run(cfg runConfig) error {
 		}
 	}
 	fmt.Printf("blacklist: %d components\n", len(d.Analyzer.Blacklist()))
+	reportIncidents(d)
 	reportCrash(d, crash)
 	if verbose {
 		fmt.Printf("pipeline: %s over %d task shard(s)\n", d.Analyzer.Stats(), d.Analyzer.Shards())
@@ -208,6 +217,23 @@ func run(cfg runConfig) error {
 		fmt.Printf("self-monitoring stats:\n%s", indent(d.Stats().String()))
 	}
 	return nil
+}
+
+// reportIncidents prints the incident ledger the correlator folded the
+// alarm stream into — the operator's view of the same run.
+func reportIncidents(d *hunter.Deployment) {
+	incs := d.Incidents.Incidents()
+	open, mit, res := d.Incidents.Counts()
+	fmt.Printf("incidents: %d (%d open, %d mitigating, %d resolved)\n", len(incs), open, mit, res)
+	for _, in := range incs {
+		fmt.Printf("  %s %-8s %-8s %s: %d alarms, %d evidence records, ttd=%s",
+			in.ID, in.Severity, in.State, in.Component,
+			in.AlarmCount, in.Evidence.TotalRecords, in.TimeToDetect.Round(time.Second))
+		if in.Mitigation != "" {
+			fmt.Printf(", mitigated by %s after %s", in.Mitigation, in.TimeToMitigate.Round(time.Second))
+		}
+		fmt.Println()
+	}
 }
 
 // reportCrash summarizes an injected controller crash: when it died

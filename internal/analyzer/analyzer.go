@@ -44,7 +44,10 @@ type Alarm struct {
 }
 
 // Components returns the union of component IDs named by the alarm's
-// verdicts.
+// verdicts, deduplicated and in ascending ID order. The ordering is
+// load-bearing: incident correlation keys off these IDs, so the fold
+// order must be a pure function of the alarm's contents — never of
+// merge accidents like worker count or verdict arrival order.
 func (a Alarm) Components() []component.ID {
 	var out []component.ID
 	seen := map[component.ID]bool{}
@@ -56,6 +59,7 @@ func (a Alarm) Components() []component.ID {
 			}
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

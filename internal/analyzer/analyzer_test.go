@@ -177,3 +177,40 @@ func TestAlarmComponentsDeduplicated(t *testing.T) {
 		t.Fatalf("components = %v, want deduplicated pair", got)
 	}
 }
+
+func TestAlarmComponentsSortedDeterministically(t *testing.T) {
+	// Incident correlation keys off the returned IDs in order, so the
+	// result must be a pure function of the set of named components —
+	// identical regardless of how verdicts happened to be arranged.
+	perms := [][]localize.Verdict{
+		{
+			{Components: []component.ID{"vswitch/h1", "rnic/h1/r0"}},
+			{Components: []component.ID{"link/a--b", "switch/tor/0/0"}},
+		},
+		{
+			{Components: []component.ID{"switch/tor/0/0", "link/a--b"}},
+			{Components: []component.ID{"rnic/h1/r0", "vswitch/h1", "link/a--b"}},
+		},
+		{
+			{Components: []component.ID{"switch/tor/0/0"}},
+			{Components: []component.ID{"vswitch/h1"}},
+			{Components: []component.ID{"rnic/h1/r0"}},
+			{Components: []component.ID{"link/a--b"}},
+		},
+	}
+	want := []component.ID{"link/a--b", "rnic/h1/r0", "switch/tor/0/0", "vswitch/h1"}
+	for i, vs := range perms {
+		got := Alarm{Verdicts: vs}.Components()
+		if len(got) != len(want) {
+			t.Fatalf("perm %d: %v, want %v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("perm %d: %v, want %v", i, got, want)
+			}
+		}
+	}
+	if got := (Alarm{}).Components(); len(got) != 0 {
+		t.Fatalf("empty alarm: %v", got)
+	}
+}

@@ -1,0 +1,455 @@
+// Package apiserver is the operator query plane over a running
+// SkeletonHunter deployment: a stdlib net/http read-only API serving
+// incidents, alarms, the component blacklist, and self-monitoring
+// stats as JSON.
+//
+// The serving model is snapshot-immutable: the deployment (on its
+// engine goroutine) periodically renders the monitoring state into a
+// set of pre-marshaled JSON resources and swaps them in atomically;
+// request handlers only ever read the current immutable view. That
+// keeps handlers allocation-light and completely free of locks against
+// the simulation — the shape that survives "heavy traffic from
+// millions of users" — and it makes HTTP caching exact: a resource's
+// ETag is a digest of its bytes, so If-None-Match revalidation returns
+// 304 precisely until the monitoring state actually changes.
+//
+// Self-protection mirrors the controller's transport server: a bounded
+// concurrent-request admission gate (503 + Retry-After when full) and
+// a per-client token-bucket rate limiter (429) keep one misbehaving
+// dashboard from starving the rest.
+package apiserver
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skeletonhunter/internal/analyzer"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/incident"
+	"skeletonhunter/internal/obs"
+)
+
+// Config tunes the server's self-protection. Zero values take the
+// defaults.
+type Config struct {
+	// RatePerSec is each client's sustained request budget (default
+	// 50/s) and Burst its bucket depth (default 100).
+	RatePerSec float64
+	Burst      float64
+	// MaxInFlight bounds concurrently admitted requests (default 128).
+	MaxInFlight int
+	// MaxClients bounds the rate-limiter table; when it fills, the
+	// table resets rather than growing without bound (default 4096).
+	MaxClients int
+
+	// now overrides the rate limiter's clock (tests).
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.RatePerSec == 0 {
+		c.RatePerSec = 50
+	}
+	if c.Burst == 0 {
+		c.Burst = 100
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 128
+	}
+	if c.MaxClients == 0 {
+		c.MaxClients = 4096
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// BlacklistEntry is one blacklisted component in the /v1/blacklist
+// response.
+type BlacklistEntry struct {
+	Component component.ID `json:"component"`
+	Class     string       `json:"class"`
+	SinceSec  float64      `json:"since_s"`
+}
+
+// Snapshot is the monitoring state the deployment renders into a view.
+// All fields are copies owned by the snapshot.
+type Snapshot struct {
+	Now       time.Duration
+	Incidents []incident.Incident
+	Alarms    []analyzer.Alarm
+	Blacklist []BlacklistEntry
+	Stats     obs.Snapshot
+}
+
+// resource is one pre-marshaled endpoint body.
+type resource struct {
+	body []byte
+	etag string
+}
+
+// view is one immutable generation of every served resource.
+type view struct {
+	resources map[string]resource // fixed paths
+	incidents map[string]resource // /v1/incidents/{id}
+}
+
+// Server is the HTTP read plane. Construct with New, feed with Update,
+// serve via Start or use it directly as an http.Handler.
+type Server struct {
+	cfg  Config
+	view atomic.Pointer[view]
+
+	admit chan struct{}
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	requests    atomic.Uint64
+	notModified atomic.Uint64
+	throttled   atomic.Uint64
+	rejected    atomic.Uint64
+
+	ln   net.Listener
+	http *http.Server
+}
+
+// New builds a server with no view yet; requests 503 until the first
+// Update.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		admit:   make(chan struct{}, cfg.MaxInFlight),
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// incidentView is the JSON shape of one incident. Durations serialize
+// as seconds: operators read curl output, not nanosecond integers.
+type incidentView struct {
+	ID             string       `json:"id"`
+	Component      component.ID `json:"component"`
+	Class          string       `json:"class"`
+	Severity       string       `json:"severity"`
+	State          string       `json:"state"`
+	OpenedSec      float64      `json:"opened_s"`
+	MitigatedSec   float64      `json:"mitigated_s,omitempty"`
+	ResolvedSec    float64      `json:"resolved_s,omitempty"`
+	LastAlarmSec   float64      `json:"last_alarm_s"`
+	TimeToDetect   float64      `json:"time_to_detect_s"`
+	TimeToMitigate float64      `json:"time_to_mitigate_s,omitempty"`
+	Mitigation     string       `json:"mitigation,omitempty"`
+	AlarmCount     int          `json:"alarm_count"`
+	Reopens        int          `json:"reopens"`
+}
+
+// incidentDetail adds the evidence bundle to the detail endpoint.
+type incidentDetail struct {
+	incidentView
+	Evidence evidenceView `json:"evidence"`
+}
+
+type evidenceView struct {
+	GatheredSec  float64      `json:"gathered_s"`
+	TotalRecords int          `json:"total_records"`
+	Records      []recordView `json:"records,omitempty"`
+	Queues       []queueView  `json:"queues,omitempty"`
+	Offload      *offloadView `json:"offload,omitempty"`
+	Verdicts     []string     `json:"verdicts,omitempty"`
+}
+
+type recordView struct {
+	Task  string  `json:"task"`
+	Src   string  `json:"src"`
+	Dst   string  `json:"dst"`
+	AtSec float64 `json:"at_s"`
+	RTTUs float64 `json:"rtt_us"`
+	Lost  bool    `json:"lost"`
+	Hops  int     `json:"path_hops"`
+}
+
+type queueView struct {
+	Node  string  `json:"node"`
+	Depth float64 `json:"depth_pkts"`
+}
+
+type offloadView struct {
+	Host         int `json:"host"`
+	Rail         int `json:"rail"`
+	Inconsistent int `json:"inconsistent_entries"`
+	NotOffloaded int `json:"not_offloaded_entries"`
+	Total        int `json:"total_entries"`
+}
+
+type alarmView struct {
+	AtSec     float64       `json:"at_s"`
+	Anomalies int           `json:"anomalies"`
+	Verdicts  []verdictView `json:"verdicts"`
+}
+
+type verdictView struct {
+	Layer      string         `json:"layer"`
+	Detail     string         `json:"detail"`
+	Components []component.ID `json:"components"`
+	Pairs      int            `json:"pairs"`
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+func toIncidentView(in incident.Incident) incidentView {
+	return incidentView{
+		ID:             in.ID,
+		Component:      in.Component,
+		Class:          in.Class.String(),
+		Severity:       in.Severity.String(),
+		State:          in.State.String(),
+		OpenedSec:      seconds(in.OpenedAt),
+		MitigatedSec:   seconds(in.MitigatedAt),
+		ResolvedSec:    seconds(in.ResolvedAt),
+		LastAlarmSec:   seconds(in.LastAlarmAt),
+		TimeToDetect:   seconds(in.TimeToDetect),
+		TimeToMitigate: seconds(in.TimeToMitigate),
+		Mitigation:     in.Mitigation,
+		AlarmCount:     in.AlarmCount,
+		Reopens:        in.Reopens,
+	}
+}
+
+func toDetail(in incident.Incident) incidentDetail {
+	ev := evidenceView{
+		GatheredSec:  seconds(in.Evidence.GatheredAt),
+		TotalRecords: in.Evidence.TotalRecords,
+		Verdicts:     in.Evidence.Verdicts,
+	}
+	for _, r := range in.Evidence.Records {
+		ev.Records = append(ev.Records, recordView{
+			Task:  string(r.Task),
+			Src:   fmt.Sprintf("c%d/r%d", r.SrcContainer, r.SrcRail),
+			Dst:   fmt.Sprintf("c%d/r%d", r.DstContainer, r.DstRail),
+			AtSec: seconds(r.At),
+			RTTUs: float64(r.RTT) / float64(time.Microsecond),
+			Lost:  r.Lost,
+			Hops:  len(r.Path),
+		})
+	}
+	for _, q := range in.Evidence.Queues {
+		ev.Queues = append(ev.Queues, queueView{Node: string(q.Node), Depth: q.Depth})
+	}
+	if od := in.Evidence.Offload; od != nil {
+		ev.Offload = &offloadView{
+			Host: od.Host, Rail: od.Rail,
+			Inconsistent: len(od.Inconsistent), NotOffloaded: len(od.NotOffloaded),
+			Total: od.Total,
+		}
+	}
+	return incidentDetail{incidentView: toIncidentView(in), Evidence: ev}
+}
+
+// mustResource marshals a body and stamps its ETag. Marshaling the
+// view types cannot fail (no channels/funcs/cycles), so errors are
+// programming bugs and panic.
+func mustResource(v any) resource {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("apiserver: marshal: %v", err))
+	}
+	b = append(b, '\n')
+	sum := sha256.Sum256(b)
+	return resource{body: b, etag: `"` + hex.EncodeToString(sum[:8]) + `"`}
+}
+
+// Update renders a snapshot into a fresh immutable view and swaps it
+// in. Called from the deployment's engine goroutine; handlers pick the
+// new view up on their next request.
+func (s *Server) Update(snap Snapshot) {
+	v := &view{
+		resources: make(map[string]resource, 5),
+		incidents: make(map[string]resource, len(snap.Incidents)),
+	}
+
+	summaries := make([]incidentView, 0, len(snap.Incidents))
+	for _, in := range snap.Incidents {
+		summaries = append(summaries, toIncidentView(in))
+		v.incidents[in.ID] = mustResource(map[string]any{
+			"now_s":    seconds(snap.Now),
+			"incident": toDetail(in),
+		})
+	}
+	v.resources["/v1/incidents"] = mustResource(map[string]any{
+		"now_s":     seconds(snap.Now),
+		"incidents": summaries,
+	})
+
+	alarms := make([]alarmView, 0, len(snap.Alarms))
+	for _, al := range snap.Alarms {
+		av := alarmView{AtSec: seconds(al.At), Anomalies: len(al.Anomalies)}
+		for _, vd := range al.Verdicts {
+			av.Verdicts = append(av.Verdicts, verdictView{
+				Layer: vd.Layer.String(), Detail: vd.Detail,
+				Components: vd.Components, Pairs: vd.Pairs,
+			})
+		}
+		alarms = append(alarms, av)
+	}
+	v.resources["/v1/alarms"] = mustResource(map[string]any{
+		"now_s":  seconds(snap.Now),
+		"alarms": alarms,
+	})
+
+	v.resources["/v1/blacklist"] = mustResource(map[string]any{
+		"now_s":     seconds(snap.Now),
+		"blacklist": snap.Blacklist,
+	})
+
+	v.resources["/v1/stats"] = mustResource(map[string]any{
+		"now_s":    seconds(snap.Now),
+		"counters": snap.Stats.Counters,
+	})
+
+	s.view.Store(v)
+}
+
+// ServeHTTP implements the read API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		jsonError(w, http.StatusMethodNotAllowed, "read-only API: GET/HEAD only")
+		return
+	}
+
+	// Admission: bounded concurrency, shed immediately when full.
+	select {
+	case s.admit <- struct{}{}:
+		defer func() { <-s.admit }()
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, http.StatusServiceUnavailable, "server at concurrent-request capacity")
+		return
+	}
+
+	if !s.allow(clientKey(r)) {
+		s.throttled.Add(1)
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, http.StatusTooManyRequests, "client rate limit exceeded")
+		return
+	}
+
+	v := s.view.Load()
+	if v == nil {
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, http.StatusServiceUnavailable, "no snapshot published yet")
+		return
+	}
+
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	res, ok := v.resources[path]
+	if !ok {
+		if id, found := strings.CutPrefix(path, "/v1/incidents/"); found {
+			res, ok = v.incidents[id]
+		}
+	}
+	if !ok {
+		jsonError(w, http.StatusNotFound, "unknown resource")
+		return
+	}
+
+	w.Header().Set("ETag", res.etag)
+	w.Header().Set("Cache-Control", "no-cache") // revalidate, don't assume fresh
+	if etagMatches(r.Header.Get("If-None-Match"), res.etag) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(res.body)
+}
+
+// etagMatches implements If-None-Match for strong ETags: "*", or any
+// member of the (possibly weak-prefixed) candidate list equal to the
+// resource's tag.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// clientKey identifies a client for rate limiting: the connection's
+// source IP (ports vary per connection; one client is one host).
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\": %q}\n", msg)
+}
+
+// Start listens on addr ("host:0" picks a free port) and serves until
+// Close. The listener address is available via Addr.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.http = &http.Server{Handler: s, ReadHeaderTimeout: 5 * time.Second}
+	go s.http.Serve(ln)
+	return nil
+}
+
+// Addr returns the listening address (empty before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s.http == nil {
+		return nil
+	}
+	return s.http.Close()
+}
+
+// Stats reports the server's own serving counters.
+func (s *Server) Stats() map[string]uint64 {
+	return map[string]uint64{
+		"api-requests":     s.requests.Load(),
+		"api-not-modified": s.notModified.Load(),
+		"api-throttled":    s.throttled.Load(),
+		"api-rejected":     s.rejected.Load(),
+	}
+}

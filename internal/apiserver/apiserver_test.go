@@ -1,0 +1,310 @@
+package apiserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/analyzer"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/incident"
+	"skeletonhunter/internal/localize"
+	"skeletonhunter/internal/obs"
+	"skeletonhunter/internal/probe"
+)
+
+func testSnapshot(now time.Duration) Snapshot {
+	return Snapshot{
+		Now: now,
+		Incidents: []incident.Incident{
+			{
+				ID:        "inc-0001",
+				Component: component.ID("switch/tor/0/0"),
+				Class:     component.ClassInterHostNetwork,
+				Severity:  incident.SevCritical,
+				State:     incident.Open,
+				OpenedAt:  10 * time.Minute,
+				Evidence: incident.Evidence{
+					GatheredAt:   10 * time.Minute,
+					TotalRecords: 2,
+					Records: []probe.Record{
+						{Task: "job", RTT: 150 * time.Microsecond},
+						{Task: "job", Lost: true},
+					},
+					Queues:   []incident.QueueSample{{Node: "tor/0/0", Depth: 33}},
+					Verdicts: []string{"[underlay] port down"},
+				},
+			},
+		},
+		Alarms: []analyzer.Alarm{
+			{At: 10 * time.Minute, Verdicts: []localize.Verdict{
+				{Components: []component.ID{"switch/tor/0/0"}, Layer: localize.LayerUnderlay, Detail: "port down", Pairs: 3},
+			}},
+		},
+		Blacklist: []BlacklistEntry{{Component: "switch/tor/0/0", Class: "inter-host network", SinceSec: 600}},
+		Stats:     obs.Snapshot{Counters: map[string]uint64{"alarms": 1}},
+	}
+}
+
+func get(t *testing.T, s *Server, path string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.RemoteAddr = "192.0.2.1:12345"
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func TestResourcesServeJSONWithETag(t *testing.T) {
+	s := New(Config{})
+	s.Update(testSnapshot(10 * time.Minute))
+
+	for _, path := range []string{"/v1/incidents", "/v1/incidents/inc-0001", "/v1/alarms", "/v1/blacklist", "/v1/stats"} {
+		w := get(t, s, path, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", path, w.Code)
+		}
+		if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s: content-type %q", path, ct)
+		}
+		etag := w.Header().Get("ETag")
+		if !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+			t.Fatalf("%s: malformed etag %q", path, etag)
+		}
+		var body map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", path, err)
+		}
+		if _, ok := body["now_s"]; !ok {
+			t.Fatalf("%s: missing now_s", path)
+		}
+	}
+
+	// Detail endpoint carries the evidence bundle.
+	w := get(t, s, "/v1/incidents/inc-0001", nil)
+	if !strings.Contains(w.Body.String(), "port down") ||
+		!strings.Contains(w.Body.String(), "total_records") {
+		t.Fatalf("detail missing evidence: %s", w.Body.String())
+	}
+}
+
+func TestETagRevalidation(t *testing.T) {
+	s := New(Config{})
+	s.Update(testSnapshot(10 * time.Minute))
+
+	w := get(t, s, "/v1/incidents", nil)
+	etag := w.Header().Get("ETag")
+
+	// Revalidation against the same view: 304, no body.
+	w = get(t, s, "/v1/incidents", map[string]string{"If-None-Match": etag})
+	if w.Code != http.StatusNotModified || w.Body.Len() != 0 {
+		t.Fatalf("revalidate: %d, %d body bytes", w.Code, w.Body.Len())
+	}
+	// Weak-prefixed and list forms match too.
+	for _, h := range []string{"W/" + etag, `"zzz", ` + etag, "*"} {
+		if w = get(t, s, "/v1/incidents", map[string]string{"If-None-Match": h}); w.Code != http.StatusNotModified {
+			t.Fatalf("If-None-Match %q: %d", h, w.Code)
+		}
+	}
+
+	// State changes → new ETag, stale tag gets a full 200.
+	snap := testSnapshot(11 * time.Minute)
+	snap.Incidents[0].State = incident.Mitigating
+	s.Update(snap)
+	w = get(t, s, "/v1/incidents", map[string]string{"If-None-Match": etag})
+	if w.Code != http.StatusOK {
+		t.Fatalf("stale etag: %d", w.Code)
+	}
+	if w.Header().Get("ETag") == etag {
+		t.Fatal("etag unchanged across state change")
+	}
+
+	if s.Stats()["api-not-modified"] != 4 {
+		t.Fatalf("not-modified counter: %v", s.Stats())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := New(Config{})
+
+	// No snapshot yet: 503 with Retry-After.
+	w := get(t, s, "/v1/incidents", nil)
+	if w.Code != http.StatusServiceUnavailable || w.Header().Get("Retry-After") == "" {
+		t.Fatalf("no view: %d", w.Code)
+	}
+
+	s.Update(testSnapshot(time.Minute))
+
+	// Unknown paths: 404.
+	for _, path := range []string{"/v1/incidents/inc-9999", "/v1/nope", "/"} {
+		if w = get(t, s, path, nil); w.Code != http.StatusNotFound {
+			t.Fatalf("%s: %d", path, w.Code)
+		}
+	}
+
+	// Write methods: 405 with Allow.
+	req := httptest.NewRequest(http.MethodPost, "/v1/incidents", strings.NewReader("{}"))
+	req.RemoteAddr = "192.0.2.1:1"
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed || rec.Header().Get("Allow") == "" {
+		t.Fatalf("POST: %d", rec.Code)
+	}
+
+	// HEAD: headers only.
+	req = httptest.NewRequest(http.MethodHead, "/v1/incidents", nil)
+	req.RemoteAddr = "192.0.2.1:1"
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Body.Len() != 0 || rec.Header().Get("ETag") == "" {
+		t.Fatalf("HEAD: %d, %d body bytes", rec.Code, rec.Body.Len())
+	}
+}
+
+func TestRateLimitPerClient(t *testing.T) {
+	clock := time.Unix(0, 0)
+	s := New(Config{RatePerSec: 1, Burst: 2, now: func() time.Time { return clock }})
+	s.Update(testSnapshot(time.Minute))
+
+	hit := func(addr string) int {
+		req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+		req.RemoteAddr = addr
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		return w.Code
+	}
+
+	// Burst of 2, then throttled.
+	if hit("192.0.2.1:1") != 200 || hit("192.0.2.1:2") != 200 {
+		t.Fatal("burst rejected")
+	}
+	if code := hit("192.0.2.1:3"); code != http.StatusTooManyRequests {
+		t.Fatalf("third request: %d", code)
+	}
+	// A different client has its own bucket.
+	if code := hit("192.0.2.2:1"); code != 200 {
+		t.Fatalf("other client throttled: %d", code)
+	}
+	// Refill after a second admits one more.
+	clock = clock.Add(time.Second)
+	if code := hit("192.0.2.1:4"); code != 200 {
+		t.Fatalf("post-refill: %d", code)
+	}
+	if s.Stats()["api-throttled"] != 1 {
+		t.Fatalf("throttled counter: %v", s.Stats())
+	}
+}
+
+func TestRateLimitTableBounded(t *testing.T) {
+	clock := time.Unix(0, 0)
+	s := New(Config{MaxClients: 4, now: func() time.Time { return clock }})
+	s.Update(testSnapshot(time.Minute))
+	for i := 0; i < 100; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+		req.RemoteAddr = fmt.Sprintf("192.0.2.%d:1", i+1)
+		s.ServeHTTP(httptest.NewRecorder(), req)
+	}
+	s.mu.Lock()
+	n := len(s.buckets)
+	s.mu.Unlock()
+	if n > 4 {
+		t.Fatalf("bucket table grew to %d entries", n)
+	}
+}
+
+func TestAdmissionShedsWhenFull(t *testing.T) {
+	s := New(Config{MaxInFlight: 2})
+	s.Update(testSnapshot(time.Minute))
+
+	// Occupy both admission slots as if two requests were in flight.
+	s.admit <- struct{}{}
+	s.admit <- struct{}{}
+	w := get(t, s, "/v1/stats", nil)
+	if w.Code != http.StatusServiceUnavailable || w.Header().Get("Retry-After") == "" {
+		t.Fatalf("saturated: %d", w.Code)
+	}
+	if s.Stats()["api-rejected"] != 1 {
+		t.Fatalf("rejected counter: %v", s.Stats())
+	}
+	<-s.admit
+	if w = get(t, s, "/v1/stats", nil); w.Code != http.StatusOK {
+		t.Fatalf("after drain: %d", w.Code)
+	}
+}
+
+// TestConcurrentClientsOverTCP exercises the real listener under
+// parallel load with revalidation and concurrent view swaps: every
+// response must be 200 or 304 with a well-formed body.
+func TestConcurrentClientsOverTCP(t *testing.T) {
+	s := New(Config{RatePerSec: 100000, Burst: 100000})
+	s.Update(testSnapshot(time.Minute))
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	stop := make(chan struct{})
+	go func() { // concurrent view churn while clients read
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Update(testSnapshot(time.Duration(i) * time.Second))
+			}
+		}
+	}()
+
+	const clients = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			etag := ""
+			for j := 0; j < 20; j++ {
+				req, _ := http.NewRequest(http.MethodGet, base+"/v1/incidents", nil)
+				if etag != "" {
+					req.Header.Set("If-None-Match", etag)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var v map[string]any
+					if err := json.Unmarshal(body, &v); err != nil {
+						errs <- fmt.Errorf("bad body: %v", err)
+						return
+					}
+					etag = resp.Header.Get("ETag")
+				case http.StatusNotModified:
+				default:
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

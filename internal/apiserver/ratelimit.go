@@ -1,0 +1,42 @@
+// Per-client token-bucket rate limiting. Buckets refill continuously
+// at RatePerSec up to Burst; each admitted request spends one token.
+// The table is bounded: when MaxClients distinct clients have buckets,
+// the table resets wholesale — a deliberate trade that briefly refills
+// every bucket rather than letting an address-spraying client grow the
+// map without bound.
+package apiserver
+
+import "time"
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// allow spends one token from the client's bucket, minting a full
+// bucket for first-seen clients.
+func (s *Server) allow(client string) bool {
+	now := s.cfg.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[client]
+	if !ok {
+		if len(s.buckets) >= s.cfg.MaxClients {
+			s.buckets = make(map[string]*bucket)
+		}
+		b = &bucket{tokens: s.cfg.Burst, last: now}
+		s.buckets[client] = b
+	}
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += s.cfg.RatePerSec * dt.Seconds()
+		if b.tokens > s.cfg.Burst {
+			b.tokens = s.cfg.Burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

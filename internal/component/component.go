@@ -7,6 +7,7 @@ package component
 
 import (
 	"fmt"
+	"strings"
 
 	"skeletonhunter/internal/topology"
 )
@@ -69,6 +70,93 @@ func HostConfig(host int) ID { return ID(fmt.Sprintf("config/h%d", host)) }
 
 // SwitchConfig names a switch-level configuration item.
 func SwitchConfig(n topology.NodeID) ID { return ID("config/" + string(n)) }
+
+// ClassOf maps a concrete component instance onto the paper's six
+// component classes (Table 1). Incident severity and routing key off
+// the class, so the mapping must cover every ID constructor above.
+// IDs outside the known namespaces fall into ClassConfiguration, the
+// paper's catch-all for issues without a hardware locus.
+func ClassOf(id ID) Class {
+	s := string(id)
+	switch {
+	case strings.HasPrefix(s, "link/"), strings.HasPrefix(s, "switch/"):
+		return ClassInterHostNetwork
+	case strings.HasPrefix(s, "rnic/"):
+		return ClassRNIC
+	case strings.HasPrefix(s, "hostboard/"):
+		return ClassHostBoard
+	case strings.HasPrefix(s, "vswitch/"):
+		return ClassVirtualSwitch
+	case strings.HasPrefix(s, "container/"):
+		return ClassContainerRuntime
+	default:
+		return ClassConfiguration
+	}
+}
+
+// RNICOf extracts the (host, rail) pair of an RNIC component.
+func RNICOf(id ID) (host, rail int, ok bool) {
+	if n, err := fmt.Sscanf(string(id), "rnic/h%d/r%d", &host, &rail); err == nil && n == 2 {
+		return host, rail, true
+	}
+	return 0, 0, false
+}
+
+// isSwitchName reports whether a name denotes an underlay switch node.
+func isSwitchName(s string) bool {
+	return strings.HasPrefix(s, "tor/") || strings.HasPrefix(s, "agg/") || strings.HasPrefix(s, "spine/")
+}
+
+// SwitchOf returns the underlay switch node a component is bound to:
+// the node itself for switch components, and the configured node for
+// switch-scoped configuration components (host configs report false).
+func SwitchOf(id ID) (topology.NodeID, bool) {
+	s := string(id)
+	if rest, ok := strings.CutPrefix(s, "switch/"); ok {
+		return topology.NodeID(rest), true
+	}
+	if rest, ok := strings.CutPrefix(s, "config/"); ok && isSwitchName(rest) {
+		return topology.NodeID(rest), true
+	}
+	return "", false
+}
+
+// LinkOf returns the underlay link of a link component.
+func LinkOf(id ID) (topology.LinkID, bool) {
+	if rest, ok := strings.CutPrefix(string(id), "link/"); ok {
+		return topology.LinkID(rest), true
+	}
+	return "", false
+}
+
+// LinkSwitches returns the switch endpoints of a link component's
+// underlay link (zero, one, or both ends may be switches).
+func LinkSwitches(id ID) []topology.NodeID {
+	l, ok := LinkOf(id)
+	if !ok {
+		return nil
+	}
+	s := string(l)
+	i := strings.Index(s, "--")
+	if i < 0 {
+		return nil
+	}
+	var out []topology.NodeID
+	for _, end := range []string{s[:i], s[i+2:]} {
+		if isSwitchName(end) {
+			out = append(out, topology.NodeID(end))
+		}
+	}
+	return out
+}
+
+// ContainerOf returns the container name of a container-runtime
+// component — the cluster ContainerID ("<task>/c<idx>") when the
+// localizer had control-plane access, or a raw "vni<N>/<ip>" overlay
+// coordinate when it did not.
+func ContainerOf(id ID) (string, bool) {
+	return strings.CutPrefix(string(id), "container/")
+}
 
 // HostOf extracts the host index a component is bound to, for
 // host-scoped components (RNICs, host boards, vswitches, host

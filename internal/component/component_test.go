@@ -82,3 +82,73 @@ func TestClassStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestClassOfCoversEveryConstructor(t *testing.T) {
+	cases := []struct {
+		id   ID
+		want Class
+	}{
+		{Link("tor/0/0--agg/0/1"), ClassInterHostNetwork},
+		{Switch("tor/0/0"), ClassInterHostNetwork},
+		{RNIC(3, 1), ClassRNIC},
+		{HostBoard(3), ClassHostBoard},
+		{VSwitch(3), ClassVirtualSwitch},
+		{Container("task-1/c2"), ClassContainerRuntime},
+		{HostConfig(3), ClassConfiguration},
+		{SwitchConfig("tor/0/0"), ClassConfiguration},
+		{ID("something-else"), ClassConfiguration},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.id); got != c.want {
+			t.Errorf("ClassOf(%s) = %v, want %v", c.id, got, c.want)
+		}
+	}
+}
+
+func TestEvidenceDispatchHelpers(t *testing.T) {
+	if h, r, ok := RNICOf(RNIC(5, 2)); !ok || h != 5 || r != 2 {
+		t.Fatalf("RNICOf: %d/%d/%v", h, r, ok)
+	}
+	if _, _, ok := RNICOf(VSwitch(5)); ok {
+		t.Fatal("RNICOf matched a vswitch")
+	}
+
+	if sw, ok := SwitchOf(Switch("agg/0/1")); !ok || sw != "agg/0/1" {
+		t.Fatalf("SwitchOf(switch): %s/%v", sw, ok)
+	}
+	if sw, ok := SwitchOf(SwitchConfig("spine/0")); !ok || sw != "spine/0" {
+		t.Fatalf("SwitchOf(config): %s/%v", sw, ok)
+	}
+	if _, ok := SwitchOf(HostConfig(1)); ok {
+		t.Fatal("SwitchOf matched a host config")
+	}
+
+	if l, ok := LinkOf(Link("a--b")); !ok || l != "a--b" {
+		t.Fatalf("LinkOf: %s/%v", l, ok)
+	}
+	if _, ok := LinkOf(Switch("tor/0/0")); ok {
+		t.Fatal("LinkOf matched a switch")
+	}
+
+	// Links: NIC--ToR has one switch end, ToR--agg has two, and a
+	// malformed link has none.
+	if got := LinkSwitches(Link("nic/h0/r3--tor/p0/r3")); len(got) != 1 || got[0] != "tor/p0/r3" {
+		t.Fatalf("LinkSwitches(nic--tor): %v", got)
+	}
+	if got := LinkSwitches(Link("tor/p0/r3--agg/p0/a1")); len(got) != 2 {
+		t.Fatalf("LinkSwitches(tor--agg): %v", got)
+	}
+	if got := LinkSwitches(ID("link/garbage")); got != nil {
+		t.Fatalf("LinkSwitches(garbage): %v", got)
+	}
+	if got := LinkSwitches(RNIC(0, 0)); got != nil {
+		t.Fatalf("LinkSwitches(non-link): %v", got)
+	}
+
+	if name, ok := ContainerOf(Container("task-1/c2")); !ok || name != "task-1/c2" {
+		t.Fatalf("ContainerOf: %s/%v", name, ok)
+	}
+	if _, ok := ContainerOf(RNIC(0, 0)); ok {
+		t.Fatal("ContainerOf matched an rnic")
+	}
+}

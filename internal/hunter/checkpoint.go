@@ -34,13 +34,17 @@ import (
 	"skeletonhunter/internal/component"
 	"skeletonhunter/internal/controller"
 	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/incident"
 	"skeletonhunter/internal/obs"
 	"skeletonhunter/internal/probe"
 	"skeletonhunter/internal/skeleton"
 )
 
 // CheckpointVersion is the deployment checkpoint format version.
-const CheckpointVersion = 1
+// Version 2 added the incident plane's state: incident records are
+// operator-durable artifacts, so they ride the checkpoint verbatim
+// rather than being rebuilt by replay.
+const CheckpointVersion = 2
 
 // Checkpoint is a durable image of the monitoring system's control
 // plane at one instant.
@@ -50,6 +54,7 @@ type Checkpoint struct {
 
 	Controller controller.Snapshot
 	Analyzer   analyzer.Snapshot
+	Incidents  incident.Snapshot
 
 	BlockedHosts []int
 	Migrations   int
@@ -71,10 +76,14 @@ func (d *Deployment) Checkpoint() *Checkpoint {
 		At:           d.Engine.Now(),
 		Controller:   d.Controller.Snapshot(),
 		Analyzer:     d.Analyzer.SnapshotState(),
+		Incidents:    incident.Snapshot{Version: incident.SnapshotVersion},
 		BlockedHosts: d.BlockedHosts(),
 		Migrations:   d.migrations,
 		Secrets:      copyTaskMap(d.secrets),
 		Inferences:   copyTaskMap(d.inferences),
+	}
+	if d.Incidents != nil {
+		ck.Incidents = d.Incidents.Snapshot()
 	}
 	d.lastCkpt = ck
 	d.Obs.Inc(obs.CheckpointsTaken)
@@ -94,12 +103,16 @@ func (d *Deployment) LastCheckpoint() *Checkpoint { return d.lastCkpt }
 func (d *Deployment) CrashController() {
 	d.Controller.Crash()
 	d.Analyzer.Crash()
+	if d.Incidents != nil {
+		d.Incidents.Crash()
+	}
 	d.blockedHosts = make(map[int]bool)
 	d.migrations = 0
 	d.stopped = make(map[cluster.TaskID]int)
 	d.inferences = make(map[cluster.TaskID]skeleton.Inference)
 	d.secrets = make(map[cluster.TaskID]string)
 	d.Obs.Inc(obs.ControllerCrashes)
+	d.refreshAPI()
 }
 
 // RecoverFrom restarts the control plane from a checkpoint: the
@@ -121,6 +134,11 @@ func (d *Deployment) RecoverFrom(ck *Checkpoint) error {
 		return err
 	}
 	d.Analyzer.RestoreState(ck.Analyzer)
+	if d.Incidents != nil {
+		if err := d.Incidents.Restore(ck.Incidents); err != nil {
+			return err
+		}
+	}
 
 	d.blockedHosts = make(map[int]bool, len(ck.BlockedHosts))
 	for _, h := range ck.BlockedHosts {
@@ -170,6 +188,7 @@ func (d *Deployment) RecoverFrom(ck *Checkpoint) error {
 		}
 	}
 	d.Obs.Inc(obs.ControllerRestores)
+	d.refreshAPI()
 	return nil
 }
 
@@ -186,6 +205,7 @@ func (d *Deployment) RecoverFromLast() error {
 				Version: controller.SnapshotVersion,
 				Epoch:   d.Controller.Epoch(),
 			},
+			Incidents: incident.Snapshot{Version: incident.SnapshotVersion},
 		}
 	}
 	return d.RecoverFrom(ck)
@@ -206,8 +226,9 @@ func (d *Deployment) ScheduleControllerCrash(at, downtime time.Duration) *faults
 		})
 }
 
-// Fingerprint digests the analyzer's alarms and blacklist into a
-// stable hash — the determinism probe: equal histories hash equal.
+// Fingerprint digests the analyzer's alarms and blacklist — and the
+// incident ledger derived from them — into a stable hash: the
+// determinism probe, equal histories hash equal.
 func (d *Deployment) Fingerprint() string {
 	h := sha256.New()
 	for _, al := range d.Analyzer.Alarms() {
@@ -227,6 +248,9 @@ func (d *Deployment) Fingerprint() string {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		fmt.Fprintf(h, "bl %s %d\n", id, bl[id])
+	}
+	if d.Incidents != nil {
+		fmt.Fprintf(h, "inc %s\n", d.Incidents.Fingerprint())
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -11,11 +11,13 @@ import (
 	"time"
 
 	"skeletonhunter/internal/analyzer"
+	"skeletonhunter/internal/apiserver"
 	"skeletonhunter/internal/cluster"
 	"skeletonhunter/internal/component"
 	"skeletonhunter/internal/controller"
 	"skeletonhunter/internal/detect"
 	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/incident"
 	"skeletonhunter/internal/localize"
 	"skeletonhunter/internal/logstore"
 	"skeletonhunter/internal/netsim"
@@ -76,6 +78,16 @@ type Options struct {
 	// leases keep serving after a recovery before they expire (default
 	// controller.DefaultRecoveryGrace).
 	RecoveryGrace time.Duration
+	// Incidents tunes the alarm→incident correlator (zero values take
+	// the incident package defaults). The correlator is on by default;
+	// DisableIncidents turns the incident plane off entirely.
+	Incidents        incident.Config
+	DisableIncidents bool
+	// HTTPAddr, when non-empty, serves the operator query API on that
+	// address ("127.0.0.1:0" picks a free port; read it back from
+	// Deployment.API.Addr()). API tunes the server's self-protection.
+	HTTPAddr string
+	API      apiserver.Config
 }
 
 // Deployment is a wired SkeletonHunter instance over a simulated cloud.
@@ -91,6 +103,12 @@ type Deployment struct {
 	// Log retains recent probe records indexed by task/container/RNIC/
 	// switch (§6's log service) for operator queries.
 	Log *logstore.Store
+	// Incidents folds alarms into long-lived operator incidents with
+	// evidence bundles (nil when Options.DisableIncidents).
+	Incidents *incident.Correlator
+	// API is the HTTP read plane over the deployment's monitoring
+	// state (nil unless Options.HTTPAddr was set).
+	API *apiserver.Server
 	// Obs is the deployment-wide self-monitoring surface: one Stats
 	// shared by the agents, the log store, and the analyzer. Read it
 	// via Stats(), which folds in the pipeline's per-stage counts.
@@ -182,6 +200,32 @@ func New(opts Options) (*Deployment, error) {
 		eng.Every(opts.CheckpointInterval, opts.CheckpointInterval, "checkpoint",
 			func(time.Duration) { d.Checkpoint() })
 	}
+	if !opts.DisableIncidents {
+		d.Incidents = incident.New(opts.Incidents, incident.Sources{
+			Records:     d.evidenceRecords,
+			QueueLength: net.QueueLength,
+			Offload:     ovl.DumpOffload,
+		})
+		d.Incidents.Obs = st
+		// Resolution sweeps ride the analysis-round cadence: incidents
+		// can only change on alarms or sweeps, so this is also where the
+		// API's published view refreshes.
+		sweep := opts.AnalysisInterval
+		if sweep == 0 {
+			sweep = 30 * time.Second
+		}
+		eng.Every(sweep, sweep, "incident-sweep", func(now time.Duration) {
+			d.Incidents.Sweep(now)
+			d.refreshAPI()
+		})
+	}
+	if opts.HTTPAddr != "" {
+		d.API = apiserver.New(opts.API)
+		d.refreshAPI()
+		if err := d.API.Start(opts.HTTPAddr); err != nil {
+			return nil, fmt.Errorf("hunter: query API: %w", err)
+		}
+	}
 	return d, nil
 }
 
@@ -254,34 +298,51 @@ func (d *Deployment) AgentRestartStorm(frac float64, downFor time.Duration) int 
 	return killed
 }
 
-// handleAlarm propagates verdicts into the scheduling blacklist and,
-// when enabled, migrates running containers off implicated hosts.
+// handleAlarm folds the alarm into the incident plane, propagates
+// verdicts into the scheduling blacklist and, when enabled, migrates
+// running containers off implicated hosts.
 func (d *Deployment) handleAlarm(al analyzer.Alarm) {
+	if d.Incidents != nil {
+		d.Incidents.ObserveAlarm(al)
+	}
 	if d.feedbackOff {
+		// Alarms are recorded (and incidents opened) but operations do
+		// not act, so nothing is ever marked mitigated.
+		d.refreshAPI()
 		if d.OnAlarm != nil {
 			d.OnAlarm(al)
 		}
 		return
 	}
 	for _, c := range al.Components() {
-		host, ok := component.HostOf(c)
-		if !ok {
-			continue
-		}
-		d.blockedHosts[host] = true
-		if !d.autoMigrate {
-			continue
-		}
-		for _, task := range d.CP.Tasks() {
-			for _, ct := range task.Containers {
-				if ct.Host == host && ct.State == cluster.Running {
-					if _, err := d.CP.MigrateContainer(ct.ID); err == nil {
-						d.migrations++
+		migrated := 0
+		if host, ok := component.HostOf(c); ok {
+			d.blockedHosts[host] = true
+			if d.autoMigrate {
+				for _, task := range d.CP.Tasks() {
+					for _, ct := range task.Containers {
+						if ct.Host == host && ct.State == cluster.Running {
+							if _, err := d.CP.MigrateContainer(ct.ID); err == nil {
+								d.migrations++
+								migrated++
+							}
+						}
 					}
 				}
 			}
 		}
+		// The analyzer put the component on the §8 blacklist the moment
+		// the alarm raised; that (plus any migration) is the mitigation
+		// the incident's SLO clock stops on.
+		if d.Incidents != nil {
+			how := "blacklist"
+			if migrated > 0 {
+				how = fmt.Sprintf("blacklist+migration(%d)", migrated)
+			}
+			d.Incidents.NoteMitigated(c, al.At, how)
+		}
 	}
+	d.refreshAPI()
 	if d.OnAlarm != nil {
 		d.OnAlarm(al)
 	}
@@ -463,5 +524,16 @@ func (d *Deployment) Stats() obs.Snapshot {
 	keys, entries := d.Log.IndexStats()
 	snap.Counters["logstore-index-keys"] = uint64(keys)
 	snap.Counters["logstore-index-entries"] = uint64(entries)
+	if d.Incidents != nil {
+		open, mitigating, resolved := d.Incidents.Counts()
+		snap.Counters["incidents-open"] = uint64(open)
+		snap.Counters["incidents-mitigating"] = uint64(mitigating)
+		snap.Counters["incidents-resolved-now"] = uint64(resolved)
+	}
+	if d.API != nil {
+		for k, v := range d.API.Stats() {
+			snap.Counters[k] = v
+		}
+	}
 	return snap
 }

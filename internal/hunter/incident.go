@@ -1,0 +1,154 @@
+// Incident-plane wiring: the deployment side of the alarm→incident
+// correlator (evidence-source taps into the log store, the network
+// simulator and the overlay) and the query API's snapshot refresh.
+package hunter
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"skeletonhunter/internal/analyzer"
+	"skeletonhunter/internal/apiserver"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/incident"
+	"skeletonhunter/internal/probe"
+)
+
+// evidenceRecords pulls the retained probe records supporting one
+// localized component — the correlator's Records source. Dispatch
+// follows the log store's index dimensions: RNICs and switches query
+// directly, links query their switch endpoints, containers their
+// task-local index, and host-scoped components (boards, vswitches,
+// host configs) fold every rail of the host.
+func (d *Deployment) evidenceRecords(c component.ID, since time.Duration) []probe.Record {
+	if host, rail, ok := component.RNICOf(c); ok {
+		return d.Log.ByRNIC(host, rail, since)
+	}
+	if sw, ok := component.SwitchOf(c); ok {
+		return d.Log.BySwitch(sw, since)
+	}
+	if sws := component.LinkSwitches(c); len(sws) > 0 {
+		var out []probe.Record
+		for _, sw := range sws {
+			out = mergeRecords(out, d.Log.BySwitch(sw, since))
+		}
+		return out
+	}
+	if name, ok := component.ContainerOf(c); ok {
+		// Cluster container IDs render "<task>/c<idx>"; overlay-only
+		// names ("vni…/ip") have no log index and yield no records.
+		if i := strings.LastIndex(name, "/c"); i > 0 {
+			if idx, err := strconv.Atoi(name[i+2:]); err == nil {
+				return d.Log.ByContainer(name[:i], idx, since)
+			}
+		}
+		return nil
+	}
+	if host, ok := component.HostOf(c); ok {
+		var out []probe.Record
+		for rail := 0; rail < d.Fabric.Spec.Rails; rail++ {
+			out = mergeRecords(out, d.Log.ByRNIC(host, rail, since))
+		}
+		return out
+	}
+	return nil
+}
+
+// recordIdent is the dedup identity of a probe record across merged
+// index queries (a record indexed under two matched keys must count
+// once in an evidence bundle). Path is excluded: it is not comparable,
+// and the remaining fields already pin the observation.
+type recordIdent struct {
+	task                   string
+	srcC, srcR, dstC, dstR int
+	at, rtt                time.Duration
+	lost                   bool
+}
+
+func identOf(r probe.Record) recordIdent {
+	return recordIdent{
+		task: string(r.Task),
+		srcC: r.SrcContainer, srcR: r.SrcRail,
+		dstC: r.DstContainer, dstR: r.DstRail,
+		at: r.At, rtt: r.RTT, lost: r.Lost,
+	}
+}
+
+// mergeRecords folds a second index query into an accumulated result,
+// dropping duplicates and restoring ascending observation order so the
+// merged stream is a pure function of the sets involved.
+func mergeRecords(acc, more []probe.Record) []probe.Record {
+	if len(acc) == 0 {
+		return append(acc, more...)
+	}
+	seen := make(map[recordIdent]bool, len(acc))
+	for _, r := range acc {
+		seen[identOf(r)] = true
+	}
+	for _, r := range more {
+		if !seen[identOf(r)] {
+			seen[identOf(r)] = true
+			acc = append(acc, r)
+		}
+	}
+	sort.SliceStable(acc, func(i, j int) bool {
+		a, b := identOf(acc[i]), identOf(acc[j])
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.task != b.task {
+			return a.task < b.task
+		}
+		if a.srcC != b.srcC {
+			return a.srcC < b.srcC
+		}
+		if a.srcR != b.srcR {
+			return a.srcR < b.srcR
+		}
+		if a.dstC != b.dstC {
+			return a.dstC < b.dstC
+		}
+		if a.dstR != b.dstR {
+			return a.dstR < b.dstR
+		}
+		return a.rtt < b.rtt
+	})
+	return acc
+}
+
+// refreshAPI re-renders the query API's published snapshot. Runs on
+// the engine goroutine wherever incident or alarm state can change
+// (alarm handling, sweeps, crash recovery); a cheap no-op without a
+// server.
+func (d *Deployment) refreshAPI() {
+	if d.API == nil {
+		return
+	}
+	bl := d.Analyzer.Blacklist()
+	ids := make([]component.ID, 0, len(bl))
+	for id := range bl {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	entries := make([]apiserver.BlacklistEntry, 0, len(ids))
+	for _, id := range ids {
+		entries = append(entries, apiserver.BlacklistEntry{
+			Component: id,
+			Class:     component.ClassOf(id).String(),
+			SinceSec:  bl[id].Seconds(),
+		})
+	}
+	var incs []incident.Incident
+	if d.Incidents != nil {
+		incs = d.Incidents.Incidents()
+	}
+	d.API.Update(apiserver.Snapshot{
+		Now:       d.Engine.Now(),
+		Incidents: incs,
+		Alarms:    append([]analyzer.Alarm(nil), d.Analyzer.Alarms()...),
+		Blacklist: entries,
+		Stats:     d.Stats(),
+	})
+}

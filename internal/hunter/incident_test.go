@@ -1,0 +1,293 @@
+package hunter
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/apiserver"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/incident"
+	"skeletonhunter/internal/topology"
+)
+
+// breakRail3 injects the standard campaign fault: the ToR-side port of
+// container 0's rail-3 link.
+func breakRail3(t *testing.T, d *Deployment) *faults.Injection {
+	t.Helper()
+	nic := topology.NIC{Host: 0, Rail: 3}
+	link := topology.MakeLinkID(nic.ID(), d.Fabric.ToR(0, 3))
+	in, err := d.Injector.Inject(faults.SwitchPortDown, faults.Target{Link: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestIncidentLifecycleEndToEnd is the acceptance path: a fault
+// campaign raises an incident whose evidence cites real retained probe
+// records with the correct component class, the incident rides the
+// automatic blacklist mitigation to resolved, and the query API serves
+// it to a crowd of revalidating clients.
+func TestIncidentLifecycleEndToEnd(t *testing.T) {
+	d, err := New(Options{
+		Seed:     11,
+		Spec:     topology.Spec{Pods: 1, HostsPerPod: 8, Rails: 8, AggPerPod: 2},
+		Lag:      fastLag(),
+		HTTPAddr: "127.0.0.1:0",
+		// Every test client shares the loopback source IP, so the
+		// per-client budget must absorb the whole crowd.
+		API: apiserver.Config{RatePerSec: 100000, Burst: 100000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.API.Close()
+	steadyTask(t, d)
+	d.Run(5 * time.Minute)
+
+	in := breakRail3(t, d)
+	d.Run(3 * time.Minute)
+
+	incs := d.Incidents.Incidents()
+	if len(incs) == 0 {
+		t.Fatal("campaign raised no incidents")
+	}
+	var linkInc *incident.Incident
+	for i := range incs {
+		if _, ok := component.LinkOf(incs[i].Component); ok {
+			linkInc = &incs[i]
+			break
+		}
+	}
+	if linkInc == nil {
+		t.Fatalf("no link-component incident among %+v", incs)
+	}
+	if linkInc.Class != component.ClassInterHostNetwork || linkInc.Severity != incident.SevCritical {
+		t.Fatalf("link incident class/severity: %v/%v", linkInc.Class, linkInc.Severity)
+	}
+	if linkInc.State != incident.Mitigating || !strings.Contains(linkInc.Mitigation, "blacklist") {
+		t.Fatalf("auto-mitigation missing: state=%v mitigation=%q", linkInc.State, linkInc.Mitigation)
+	}
+	if linkInc.TimeToDetect <= 0 || linkInc.TimeToMitigate < 0 {
+		t.Fatalf("SLO clocks: ttd=%v ttm=%v", linkInc.TimeToDetect, linkInc.TimeToMitigate)
+	}
+
+	// The evidence must cite real retained records: every cited record
+	// must still be present in the log store's per-task index.
+	ev := linkInc.Evidence
+	if ev.TotalRecords == 0 || len(ev.Records) == 0 {
+		t.Fatal("evidence bundle is empty")
+	}
+	if len(ev.Verdicts) == 0 {
+		t.Fatal("evidence carries no localization verdicts")
+	}
+	retained := d.Log.ByTask(string(ev.Records[0].Task), 0)
+	for _, cited := range ev.Records {
+		found := false
+		for _, r := range retained {
+			if identOf(r) == identOf(cited) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("evidence cites a record absent from the log store: %+v", cited)
+		}
+	}
+	// A switch-port-down link incident should carry queue context for
+	// its switch endpoints.
+	if len(ev.Queues) == 0 {
+		t.Fatal("link incident has no queue samples")
+	}
+
+	// Serve the incident under concurrent load with revalidation.
+	base := "http://" + d.API.Addr()
+	resp, err := http.Get(base + "/v1/incidents/" + linkInc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detail status %d", resp.StatusCode)
+	}
+	var detail struct {
+		Incident struct {
+			ID       string `json:"id"`
+			Class    string `json:"class"`
+			Evidence struct {
+				TotalRecords int `json:"total_records"`
+			} `json:"evidence"`
+		} `json:"incident"`
+	}
+	if err := json.Unmarshal(body, &detail); err != nil {
+		t.Fatalf("detail JSON: %v", err)
+	}
+	if detail.Incident.ID != linkInc.ID || detail.Incident.Class != component.ClassInterHostNetwork.String() {
+		t.Fatalf("served detail %+v", detail.Incident)
+	}
+	if detail.Incident.Evidence.TotalRecords != ev.TotalRecords {
+		t.Fatalf("served evidence count %d, want %d", detail.Incident.Evidence.TotalRecords, ev.TotalRecords)
+	}
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodGet, base+"/v1/incidents", nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("list status %d", resp.StatusCode)
+				return
+			}
+			if !strings.Contains(string(b), `"id": "`) {
+				errs <- fmt.Errorf("list body missing incidents: %s", b)
+				return
+			}
+			// Immediate revalidation must be a 304: the view only
+			// changes with simulation state, and the simulation is
+			// paused while we hammer it.
+			req, _ = http.NewRequest(http.MethodGet, base+"/v1/incidents", nil)
+			req.Header.Set("If-None-Match", resp.Header.Get("ETag"))
+			resp2, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp2.Body)
+			resp2.Body.Close()
+			if resp2.StatusCode != http.StatusNotModified {
+				errs <- fmt.Errorf("revalidation status %d", resp2.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Repair and wait out the quiet window: mitigating → resolved.
+	d.Injector.Clear(in)
+	d.Run(7 * time.Minute)
+	got, ok := d.Incidents.Incident(linkInc.ID)
+	if !ok || got.State != incident.Resolved || got.ResolvedAt == 0 {
+		t.Fatalf("incident did not resolve: %+v", got)
+	}
+
+	snap := d.Stats()
+	if snap.Counters["incidents-opened"] == 0 || snap.Counters["incidents-resolved"] == 0 {
+		t.Fatalf("lifecycle counters missing: %v", snap.Counters)
+	}
+	if snap.Counters["api-requests"] < clients {
+		t.Fatalf("api-requests = %d", snap.Counters["api-requests"])
+	}
+}
+
+// incidentCrashCampaign drives one deterministic campaign: fault,
+// incident, checkpoint mid-incident, crash, recovery, quiet-window
+// resolution. Returns the final deployment fingerprint.
+func incidentCrashCampaign(t *testing.T) (*Deployment, string) {
+	t.Helper()
+	d, err := New(Options{
+		Seed:               29,
+		Spec:               topology.Spec{Pods: 1, HostsPerPod: 8, Rails: 8, AggPerPod: 2},
+		Lag:                fastLag(),
+		CheckpointInterval: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steadyTask(t, d)
+	d.Run(5 * time.Minute)
+	in := breakRail3(t, d)
+	d.Run(3 * time.Minute)
+	d.Injector.Clear(in)
+
+	// Crash while the incident is live, past a periodic checkpoint.
+	d.Run(time.Minute)
+	d.CrashController()
+	d.Run(time.Minute)
+	if err := d.RecoverFromLast(); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(7 * time.Minute)
+	return d, d.Fingerprint()
+}
+
+// TestIncidentSurvivesControllerCrash pins the tentpole's durability
+// claim: incident state rides the checkpoint across a controller
+// crash, and the whole campaign reruns to an identical fingerprint.
+func TestIncidentSurvivesControllerCrash(t *testing.T) {
+	d, err := New(Options{
+		Seed:               29,
+		Spec:               topology.Spec{Pods: 1, HostsPerPod: 8, Rails: 8, AggPerPod: 2},
+		Lag:                fastLag(),
+		CheckpointInterval: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steadyTask(t, d)
+	d.Run(5 * time.Minute)
+	in := breakRail3(t, d)
+	d.Run(3 * time.Minute)
+	d.Injector.Clear(in)
+	d.Run(time.Minute) // periodic checkpoint fires in here
+
+	before := d.Incidents.Incidents()
+	if len(before) == 0 {
+		t.Fatal("no incident before crash")
+	}
+	fp := d.Fingerprint()
+
+	d.CrashController()
+	if got := len(d.Incidents.Incidents()); got != 0 {
+		t.Fatalf("crash left %d incidents behind", got)
+	}
+	if d.Fingerprint() == fp {
+		t.Fatal("fingerprint unchanged by crash — incidents not folded in")
+	}
+
+	d.Run(time.Minute)
+	if err := d.RecoverFromLast(); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Incidents.Incidents()
+	if len(after) != len(before) {
+		t.Fatalf("recovery: %d incidents, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if after[i].ID != before[i].ID || after[i].Component != before[i].Component ||
+			after[i].State != before[i].State || after[i].AlarmCount != before[i].AlarmCount {
+			t.Fatalf("incident changed across recovery:\n  before %+v\n  after  %+v", before[i], after[i])
+		}
+	}
+	if got := d.Fingerprint(); got != fp {
+		t.Fatalf("fingerprint changed across crash+recovery:\n  before %s\n  after  %s", fp, got)
+	}
+
+	// The same campaign — crash, recovery, resolution and all — reruns
+	// to a bit-identical fingerprint.
+	d.Run(7 * time.Minute)
+	final := d.Fingerprint()
+	if _, rerun := incidentCrashCampaign(t); rerun != final {
+		t.Fatalf("rerun fingerprint diverged:\n  first %s\n  rerun %s", final, rerun)
+	}
+}

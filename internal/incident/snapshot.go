@@ -1,0 +1,98 @@
+// Checkpoint/restore for the incident plane. Incident records are the
+// operator-durable artifact — losing them to a controller restart
+// would erase the tickets operations is working — so the whole set is
+// versioned into the deployment checkpoint verbatim, evidence bundles
+// included. Unlike the analyzer's detector state there is nothing to
+// rebuild by replay: an incident is history, and history is data.
+package incident
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"skeletonhunter/internal/component"
+)
+
+// SnapshotVersion is the incident snapshot format version.
+const SnapshotVersion = 1
+
+// Snapshot is the correlator's serializable state.
+type Snapshot struct {
+	Version   int
+	NextSeq   int
+	Incidents []Incident
+}
+
+// Snapshot deep-copies the correlator's state; the result shares no
+// mutable memory with the live correlator.
+func (c *Correlator) Snapshot() Snapshot {
+	s := Snapshot{
+		Version:   SnapshotVersion,
+		NextSeq:   c.nextSeq,
+		Incidents: make([]Incident, len(c.incidents)),
+	}
+	for i, inc := range c.incidents {
+		s.Incidents[i] = inc.clone()
+	}
+	return s
+}
+
+// Restore replaces the correlator's state with a snapshot's. The
+// latest-per-component index rebuilds from open order: later incidents
+// for a component supersede earlier ones, exactly as they were minted.
+func (c *Correlator) Restore(s Snapshot) error {
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("incident: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	c.nextSeq = s.NextSeq
+	c.incidents = make([]*Incident, len(s.Incidents))
+	c.latest = make(map[component.ID]*Incident, len(s.Incidents))
+	c.byID = make(map[string]*Incident, len(s.Incidents))
+	for i := range s.Incidents {
+		inc := s.Incidents[i].clone()
+		c.incidents[i] = &inc
+		c.latest[inc.Component] = &inc
+		c.byID[inc.ID] = &inc
+	}
+	return nil
+}
+
+// Crash models the incident plane dying with its controller: every
+// record is lost until a checkpoint restores them.
+func (c *Correlator) Crash() {
+	c.incidents = nil
+	c.latest = make(map[component.ID]*Incident)
+	c.byID = make(map[string]*Incident)
+	c.nextSeq = 0
+}
+
+// Fingerprint digests the incident history into a stable hash: equal
+// histories — IDs, lifecycle transitions, SLO clocks, evidence
+// contents — hash equal. The deployment folds this into its
+// determinism probe.
+func (c *Correlator) Fingerprint() string {
+	h := sha256.New()
+	for _, inc := range c.incidents {
+		fmt.Fprintf(h, "inc %s %s %s %s %d %d %d %d %d %d %d %d %q\n",
+			inc.ID, inc.Component, inc.State, inc.Severity,
+			inc.OpenedAt, inc.MitigatedAt, inc.ResolvedAt, inc.LastAlarmAt,
+			inc.TimeToDetect, inc.TimeToMitigate, inc.AlarmCount, inc.Reopens,
+			inc.Mitigation)
+		ev := inc.Evidence
+		fmt.Fprintf(h, " ev %d %d %d\n", ev.GatheredAt, ev.TotalRecords, len(ev.Records))
+		for _, r := range ev.Records {
+			fmt.Fprintf(h, " r %+v\n", r)
+		}
+		for _, q := range ev.Queues {
+			fmt.Fprintf(h, " q %s %g\n", q.Node, q.Depth)
+		}
+		if ev.Offload != nil {
+			fmt.Fprintf(h, " o %+v\n", *ev.Offload)
+		}
+		for _, v := range ev.Verdicts {
+			fmt.Fprintf(h, " v %s\n", v)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -240,3 +240,137 @@ func TestAppendBatchMatchesAppend(t *testing.T) {
 		t.Fatal("store aliases the caller's batch slice")
 	}
 }
+
+// TestAllIndexesUnderWraparound drives the ring through several full
+// wraps and then queries every index dimension: no evicted record may
+// surface anywhere, results stay oldest-first, and live records all
+// appear under each of their keys. (The incident plane's evidence
+// bundles query these indexes and must never cite data the store no
+// longer holds.)
+func TestAllIndexesUnderWraparound(t *testing.T) {
+	const capacity = 16
+	s := New(capacity)
+	const n = capacity * 5
+	for i := 0; i < n; i++ {
+		s.Append(rec("t1", i%3, (i+1)%3, time.Duration(i)*time.Second,
+			"nic/h0/r1--tor/p0/r1"))
+	}
+	oldest := time.Duration(n-capacity) * time.Second
+
+	check := func(name string, got []probe.Record) {
+		t.Helper()
+		prev := time.Duration(-1)
+		for _, r := range got {
+			if r.At < oldest {
+				t.Fatalf("%s served evicted record at %v (oldest retained %v)", name, r.At, oldest)
+			}
+			if r.At < prev {
+				t.Fatalf("%s out of order: %v after %v", name, r.At, prev)
+			}
+			prev = r.At
+		}
+	}
+	byTask := s.ByTask("t1", 0)
+	if len(byTask) != capacity {
+		t.Fatalf("task query = %d records, want %d", len(byTask), capacity)
+	}
+	check("ByTask", byTask)
+	total := 0
+	for c := 0; c < 3; c++ {
+		got := s.ByContainer("t1", c, 0)
+		check("ByContainer", got)
+		total += len(got)
+	}
+	// Each record is indexed under its src and dst container.
+	if total != 2*capacity {
+		t.Fatalf("container queries covered %d entries, want %d", total, 2*capacity)
+	}
+	check("BySwitch", s.BySwitch("tor/p0/r1", 0))
+	if got := s.BySwitch("tor/p0/r1", 0); len(got) != capacity {
+		t.Fatalf("switch query = %d, want %d", len(got), capacity)
+	}
+	for h := 0; h < 3; h++ {
+		check("ByRNIC", s.ByRNIC(h, 1, 0))
+	}
+	// The index holds no entries beyond the retained records' fan-out.
+	if _, entries := s.IndexStats(); entries > capacity*6 {
+		t.Fatalf("index entries = %d, want ≤ %d", entries, capacity*6)
+	}
+}
+
+// TestQueryDuringEvictionNeverServesEvicted races a writer wrapping
+// the ring against readers on every index dimension. Readers must
+// never observe a record older than the low-water mark the writer has
+// already advanced past — the ring had provably evicted those before
+// the query started — and nothing may panic mid-eviction.
+func TestQueryDuringEvictionNeverServesEvicted(t *testing.T) {
+	const capacity = 64
+	s := New(capacity)
+	// Pre-fill so eviction is active from the first concurrent append.
+	for i := 0; i < capacity; i++ {
+		s.Append(rec("t1", i%4, (i+1)%4, time.Duration(i)*time.Second,
+			"nic/h0/r1--tor/p0/r1"))
+	}
+
+	var appended int64 = capacity // guarded by mu below
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := capacity; i < capacity*40; i++ {
+			s.Append(rec("t1", i%4, (i+1)%4, time.Duration(i)*time.Second,
+				"nic/h0/r1--tor/p0/r1"))
+			mu.Lock()
+			appended = int64(i + 1)
+			mu.Unlock()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Low-water mark *before* the query: anything older than
+				// (appended - capacity) was evicted before we started, so
+				// serving it would be a use-after-evict.
+				mu.Lock()
+				floor := appended - capacity
+				mu.Unlock()
+				var got []probe.Record
+				switch w {
+				case 0:
+					got = s.ByTask("t1", 0)
+				case 1:
+					got = s.ByContainer("t1", w%4, 0)
+				case 2:
+					got = s.ByRNIC(w%4, 1, 0)
+				default:
+					got = s.BySwitch("tor/p0/r1", 0)
+				}
+				for _, r := range got {
+					if r.At < time.Duration(floor)*time.Second {
+						errs <- fmt.Errorf("reader %d: evicted record at %v served (floor %v)", w, r.At, floor)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	<-done
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Len() != capacity {
+		t.Fatalf("len = %d, want %d", s.Len(), capacity)
+	}
+}

@@ -80,6 +80,15 @@ const (
 	// AgentReregisters counts agents that noticed a controller epoch
 	// change and re-registered under the new incarnation.
 	AgentReregisters
+	// IncidentsOpened counts incidents minted by the alarm→incident
+	// correlator.
+	IncidentsOpened
+	// IncidentsReopened counts flap-reopens of resolved incidents.
+	IncidentsReopened
+	// IncidentsMitigated counts open→mitigating transitions.
+	IncidentsMitigated
+	// IncidentsResolved counts mitigating→resolved transitions.
+	IncidentsResolved
 
 	numCounters
 )
@@ -128,6 +137,14 @@ func (c Counter) String() string {
 		return "controller-restores"
 	case AgentReregisters:
 		return "agent-reregisters"
+	case IncidentsOpened:
+		return "incidents-opened"
+	case IncidentsReopened:
+		return "incidents-reopened"
+	case IncidentsMitigated:
+		return "incidents-mitigated"
+	case IncidentsResolved:
+		return "incidents-resolved"
 	default:
 		return fmt.Sprintf("counter(%d)", int(c))
 	}
