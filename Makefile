@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-all cover smoke
+.PHONY: all build test race vet fmt-check bench bench-all cover smoke fuzz
 
 all: build vet test
 
@@ -30,22 +30,38 @@ fmt-check:
 # Runs the analyzer-round and incident-correlator benchmarks and
 # writes machine-readable summaries (name → ns/op, B/op, allocs/op)
 # for CI to archive, so analysis- and incident-plane perf regressions
-# show up as an artifact diff.
+# show up as an artifact diff. The scalebench campaign (4096 hosts ×
+# 8 rails, deterministic fault schedule) reports end-to-end rounds/sec,
+# allocs/round and peak heap the same way.
 bench:
 	$(GO) test -run xxx -bench Analyzer -benchmem . | tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -o BENCH_analyzer.json
 	$(GO) test -run xxx -bench IncidentCorrelator -benchmem ./internal/incident | tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -o BENCH_incident.json
+	GOGC=50 $(GO) run ./cmd/scalebench -o BENCH_scale.json
 
 # Full benchmark sweep (every figure/table generator), human-readable.
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem ./...
 
 # Test coverage profile + per-function summary; CI archives the
-# profile as an artifact.
+# profile as an artifact. The floor keeps coverage from silently
+# eroding — raise it as coverage grows, never lower it to merge.
+COVER_FLOOR ?= 80.0
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
-	$(GO) tool cover -func=coverage.out | tail -n 1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -n 1 | awk '{print $$NF}' | tr -d '%'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Short fuzzing runs of the transport wire codec — the frames hostile
+# bytes reach in production. CI runs this as a smoke pass; longer local
+# sessions just raise FUZZTIME.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME) ./internal/transport
+	$(GO) test -run xxx -fuzz FuzzDecodeResponse -fuzztime $(FUZZTIME) ./internal/transport
 
 # Runs the example walkthroughs end to end — the documented entry
 # points must keep working, not just compiling.

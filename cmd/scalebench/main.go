@@ -1,0 +1,232 @@
+// Command scalebench runs a paper-scale monitoring campaign — by
+// default 4096 hosts × 8 rails (32K RNICs) — against the simulated
+// deployment and reports the numbers that matter at that scale:
+// probing rounds per wall-clock second, heap allocations per round,
+// and peak heap, alongside the campaign's detection outcome. CI
+// archives the JSON report (BENCH_scale.json) so throughput and
+// allocation regressions diff across commits like any other benchmark.
+//
+// The campaign is deterministic: the same seed replays the same fleet,
+// the same fault schedule, and the same alarms. Wall-clock figures of
+// course vary with the machine; the campaign outcome does not.
+//
+// Usage:
+//
+//	scalebench [-hosts 4096] [-rounds 60] [-seed 1] [-o BENCH_scale.json]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/detect"
+	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/hunter"
+	"skeletonhunter/internal/obs"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/topology"
+)
+
+// Report is the campaign's JSON output.
+type Report struct {
+	Config   ConfigInfo  `json:"config"`
+	Fleet    FleetInfo   `json:"fleet"`
+	Perf     PerfInfo    `json:"perf"`
+	Outcome  OutcomeInfo `json:"outcome"`
+	Finished string      `json:"finished"` // wall-clock timestamp, for artifact bookkeeping
+}
+
+type ConfigInfo struct {
+	Hosts         int   `json:"hosts"`
+	Rails         int   `json:"rails"`
+	Seed          int64 `json:"seed"`
+	WarmupRounds  int   `json:"warmup_rounds"`
+	MeasureRounds int   `json:"measure_rounds"`
+}
+
+type FleetInfo struct {
+	Pods   int `json:"pods"`
+	RNICs  int `json:"rnics"`
+	Links  int `json:"links"`
+	Tasks  int `json:"tasks"`
+	Agents int `json:"agents"`
+}
+
+type PerfInfo struct {
+	WallSeconds    float64 `json:"wall_seconds"`
+	RoundsPerSec   float64 `json:"rounds_per_sec"`
+	ProbesPerRound float64 `json:"probes_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	BytesPerRound  float64 `json:"bytes_per_round"`
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
+}
+
+type OutcomeInfo struct {
+	Alarms      int    `json:"alarms"`
+	Blacklisted int    `json:"blacklisted"`
+	Incidents   int    `json:"incidents"`
+	ProbesSent  uint64 `json:"probes_sent"`
+	RecordsSeen uint64 `json:"records_ingested"`
+}
+
+// fastestLag removes the minutes-scale container lifecycle delays of
+// the production-shaped model: a scale campaign wants the whole fleet
+// probing from the first simulated second.
+func fastestLag() cluster.LagModel {
+	return cluster.LagModel{
+		CreateLag:    func(*rand.Rand, int) time.Duration { return 0 },
+		StartupDelay: func(*rand.Rand) time.Duration { return time.Second },
+		StopLag:      func(*rand.Rand) time.Duration { return 0 },
+	}
+}
+
+func main() {
+	hosts := flag.Int("hosts", 4096, "physical hosts in the fabric")
+	rounds := flag.Int("rounds", 30, "measured probing rounds (1 s of simulated time each)")
+	warmup := flag.Int("warmup", 45, "warmup probing rounds before faults are injected")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	out := flag.String("o", "BENCH_scale.json", "report output path")
+	verbose := flag.Bool("v", false, "print campaign progress")
+	flag.Parse()
+
+	rep, err := run(*hosts, *rounds, *warmup, *seed, *workers, *verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalebench:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalebench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "scalebench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scalebench: %d hosts, %.1f rounds/sec, %.0f allocs/round, peak heap %d MiB → %s\n",
+		rep.Config.Hosts, rep.Perf.RoundsPerSec, rep.Perf.AllocsPerRound,
+		rep.Perf.PeakHeapBytes>>20, *out)
+}
+
+func run(hosts, rounds, warmup int, seed int64, workers int, verbose bool) (*Report, error) {
+	spec := topology.Production(hosts)
+	d, err := hunter.New(hunter.Options{
+		Seed:    seed,
+		Spec:    spec,
+		Lag:     fastestLag(),
+		Workers: workers,
+		// Short windows keep the detect→alarm latency inside the
+		// measured phase at the campaign's compressed timescale.
+		Detect:           detect.Config{ShortWindow: 10 * time.Second},
+		AnalysisInterval: 10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fill the fleet with 12-container tenants: 96 GPUs = 12 hosts per
+	// task against 32-host pods, so every third task straddles a pod
+	// boundary and its same-rail probes fan out across the full
+	// agg²×spine ECMP set — the cross-pod traversal the path iterator
+	// exists for.
+	par := parallelism.Config{TP: 8, PP: 4, DP: 3}
+	tasks := 0
+	for {
+		if _, err := d.SubmitTask(cluster.TaskSpec{Par: par}); err != nil {
+			if errors.Is(err, cluster.ErrNoCapacity) {
+				break
+			}
+			return nil, err
+		}
+		tasks++
+	}
+	if tasks == 0 {
+		return nil, fmt.Errorf("fleet of %d hosts fits no %d-host task", hosts, 12)
+	}
+	if verbose {
+		fmt.Printf("fleet: %d tasks / %d hosts; warmup %d rounds\n", tasks, hosts, warmup)
+	}
+	d.Run(time.Duration(warmup) * time.Second)
+
+	// Fault schedule: one RNIC down, one ToR port down, one agg switch
+	// offline — host-, port- and switch-scoped failures active at once.
+	nic := topology.NIC{Host: hosts / 3, Rail: 3}
+	if _, err := d.Injector.Inject(faults.RNICPortDown, faults.Target{Host: nic.Host, Rail: nic.Rail}); err != nil {
+		return nil, err
+	}
+	port := hosts / 2
+	portLink := topology.MakeLinkID(topology.NIC{Host: port, Rail: 5}.ID(), d.Fabric.ToR(d.Fabric.PodOf(port), 5))
+	if _, err := d.Injector.Inject(faults.SwitchPortDown, faults.Target{Link: portLink}); err != nil {
+		return nil, err
+	}
+	if _, err := d.Injector.Inject(faults.SwitchOffline, faults.Target{Switch: d.Fabric.Agg(0, 1)}); err != nil {
+		return nil, err
+	}
+
+	before := d.Stats().Counters
+	runtime.GC()
+	var m0, m1, ms runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	peak := m0.HeapAlloc
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		d.Run(time.Second)
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+		if verbose && (r+1)%10 == 0 {
+			fmt.Printf("round %d/%d: %d alarms, heap %d MiB\n",
+				r+1, rounds, len(d.Analyzer.Alarms()), ms.HeapAlloc>>20)
+		}
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	d.Analyzer.Flush(d.Engine.Now())
+	after := d.Stats().Counters
+
+	probes := after[obs.ProbesSent.String()] - before[obs.ProbesSent.String()]
+	incidents := 0
+	if d.Incidents != nil {
+		incidents = len(d.Incidents.Incidents())
+	}
+	rep := &Report{
+		Config: ConfigInfo{
+			Hosts: hosts, Rails: spec.Rails, Seed: seed,
+			WarmupRounds: warmup, MeasureRounds: rounds,
+		},
+		Fleet: FleetInfo{
+			Pods:   spec.Pods,
+			RNICs:  hosts * spec.Rails,
+			Links:  d.Fabric.NumLinks(),
+			Tasks:  tasks,
+			Agents: tasks * 12,
+		},
+		Perf: PerfInfo{
+			WallSeconds:    wall.Seconds(),
+			RoundsPerSec:   float64(rounds) / wall.Seconds(),
+			ProbesPerRound: float64(probes) / float64(rounds),
+			AllocsPerRound: float64(m1.Mallocs-m0.Mallocs) / float64(rounds),
+			BytesPerRound:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(rounds),
+			PeakHeapBytes:  peak,
+		},
+		Outcome: OutcomeInfo{
+			Alarms:      len(d.Analyzer.Alarms()),
+			Blacklisted: len(d.Analyzer.Blacklist()),
+			Incidents:   incidents,
+			ProbesSent:  after[obs.ProbesSent.String()],
+			RecordsSeen: after[obs.RecordsIngested.String()],
+		},
+		Finished: time.Now().UTC().Format(time.RFC3339),
+	}
+	return rep, nil
+}

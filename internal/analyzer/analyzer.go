@@ -161,11 +161,32 @@ func (s *shard) enqueue(recs ...probe.Record) (accepted int) {
 }
 
 // drain runs the window/detect stage: every inbox record flows through
-// the pair map and the detector. Records of one pair arrive
-// contiguously within an agent's round batch, so grouping by
-// consecutive runs gives one detector lookup per pair per round.
+// the pair map and the detector. The inbox is first restored to
+// canonical order — observation time, then pair identity — so the
+// round is a pure function of the window's record set, not of how
+// delivery interleaved the agents' batches (arrival order between
+// agents is an accident of transport scheduling; each agent's own
+// records already carry ascending timestamps). The sort also groups a
+// pair's records contiguously, so grouping by consecutive runs gives
+// one detector lookup per pair per round.
 func (s *shard) drain() (records int) {
 	records = len(s.inbox)
+	sort.SliceStable(s.inbox, func(i, j int) bool {
+		a, b := &s.inbox[i], &s.inbox[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.SrcContainer != b.SrcContainer {
+			return a.SrcContainer < b.SrcContainer
+		}
+		if a.SrcRail != b.SrcRail {
+			return a.SrcRail < b.SrcRail
+		}
+		if a.DstContainer != b.DstContainer {
+			return a.DstContainer < b.DstContainer
+		}
+		return a.DstRail < b.DstRail
+	})
 	var (
 		runKey detect.PairKey
 		runPI  *pairInfo

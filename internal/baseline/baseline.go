@@ -70,19 +70,20 @@ func DeTectorProbes(fab *topology.Fabric, nics []topology.NIC, redundancy int) [
 			if i == j {
 				continue
 			}
-			paths, err := fab.Paths(src, dst)
-			if err != nil {
-				continue
-			}
-			for pi, p := range paths {
+			// VisitPaths walks the ECMP set without materializing it;
+			// the candidate retains its links, so copy them out of the
+			// reused view.
+			_ = fab.VisitPaths(src, dst, func(pi int, p *topology.PathView) bool {
+				links := p.Links(make([]topology.LinkID, 0, p.NumLinks()))
 				candidates = append(candidates, candidate{
 					probe: Probe{Src: src, Dst: dst, PathIndex: pi},
-					links: p.Links,
+					links: links,
 				})
-				for _, l := range p.Links {
+				for _, l := range links {
 					need[l] = redundancy
 				}
-			}
+				return true
+			})
 		}
 	}
 

@@ -122,6 +122,7 @@ type Deployment struct {
 	autoMigrate   bool
 	feedbackOff   bool
 	telemetry     *faults.TelemetryInjector
+	batchTap      probe.BatchSink // test seam: intercepts agent batches before delivery
 	agents        map[cluster.ContainerID]*probe.OverlayAgent
 	stopped       map[cluster.TaskID]int
 	blockedHosts  map[int]bool
@@ -229,10 +230,22 @@ func New(opts Options) (*Deployment, error) {
 	return d, nil
 }
 
-// deliverBatch is what agents emit into: the telemetry-fault injector
-// (when installed) sits between the agent and ingest, dropping,
-// duplicating, or reordering round batches. A nil injector delivers
-// verbatim.
+// emitBatch is the agents' batch sink. The batchTap seam, when set,
+// takes the batch instead of the normal delivery path — the metamorphic
+// tests use it to buffer and re-interleave agent batches, checking that
+// ingest order between agents cannot change an analysis outcome.
+func (d *Deployment) emitBatch(b probe.Batch) {
+	if d.batchTap != nil {
+		d.batchTap(b)
+		return
+	}
+	d.deliverBatch(b)
+}
+
+// deliverBatch is the normal delivery path: the telemetry-fault
+// injector (when installed) sits between the agent and ingest,
+// dropping, duplicating, or reordering round batches. A nil injector
+// delivers verbatim.
 func (d *Deployment) deliverBatch(b probe.Batch) {
 	d.telemetry.Deliver(b, d.ingestBatch)
 }
@@ -374,7 +387,7 @@ func (d *Deployment) startAgent(task *cluster.Task, ct *cluster.Container) {
 		Controller: d.Controller,
 		Task:       task,
 		Container:  ct,
-		BatchSink:  d.deliverBatch,
+		BatchSink:  d.emitBatch,
 		Interval:   d.probeInterval,
 		Obs:        d.Obs,
 	}

@@ -22,26 +22,31 @@ import (
 // directly, links query their switch endpoints, containers their
 // task-local index, and host-scoped components (boards, vswitches,
 // host configs) fold every rail of the host.
+// Every branch routes through sortRecords: a single-index query comes
+// back in log append order, which tracks batch *arrival* order — an
+// accident of delivery interleaving, not of what was measured. Evidence
+// bundles (and the incident fingerprints digesting them) must be a pure
+// function of the record set, so the order is canonicalized here.
 func (d *Deployment) evidenceRecords(c component.ID, since time.Duration) []probe.Record {
 	if host, rail, ok := component.RNICOf(c); ok {
-		return d.Log.ByRNIC(host, rail, since)
+		return sortRecords(d.Log.ByRNIC(host, rail, since))
 	}
 	if sw, ok := component.SwitchOf(c); ok {
-		return d.Log.BySwitch(sw, since)
+		return sortRecords(d.Log.BySwitch(sw, since))
 	}
 	if sws := component.LinkSwitches(c); len(sws) > 0 {
 		var out []probe.Record
 		for _, sw := range sws {
 			out = mergeRecords(out, d.Log.BySwitch(sw, since))
 		}
-		return out
+		return sortRecords(out)
 	}
 	if name, ok := component.ContainerOf(c); ok {
 		// Cluster container IDs render "<task>/c<idx>"; overlay-only
 		// names ("vni…/ip") have no log index and yield no records.
 		if i := strings.LastIndex(name, "/c"); i > 0 {
 			if idx, err := strconv.Atoi(name[i+2:]); err == nil {
-				return d.Log.ByContainer(name[:i], idx, since)
+				return sortRecords(d.Log.ByContainer(name[:i], idx, since))
 			}
 		}
 		return nil
@@ -51,7 +56,7 @@ func (d *Deployment) evidenceRecords(c component.ID, since time.Duration) []prob
 		for rail := 0; rail < d.Fabric.Spec.Rails; rail++ {
 			out = mergeRecords(out, d.Log.ByRNIC(host, rail, since))
 		}
-		return out
+		return sortRecords(out)
 	}
 	return nil
 }
@@ -93,8 +98,15 @@ func mergeRecords(acc, more []probe.Record) []probe.Record {
 			acc = append(acc, r)
 		}
 	}
-	sort.SliceStable(acc, func(i, j int) bool {
-		a, b := identOf(acc[i]), identOf(acc[j])
+	return sortRecords(acc)
+}
+
+// sortRecords restores ascending observation order — the canonical
+// evidence order, independent of how delivery interleaved the batches
+// the records arrived in.
+func sortRecords(recs []probe.Record) []probe.Record {
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := identOf(recs[i]), identOf(recs[j])
 		if a.at != b.at {
 			return a.at < b.at
 		}
@@ -115,7 +127,7 @@ func mergeRecords(acc, more []probe.Record) []probe.Record {
 		}
 		return a.rtt < b.rtt
 	})
-	return acc
+	return recs
 }
 
 // refreshAPI re-renders the query API's published snapshot. Runs on

@@ -290,89 +290,205 @@ func (l *Localizer) containerName(a overlay.Addr) string {
 	return fmt.Sprintf("vni%d/%s", a.VNI, a.IP)
 }
 
+// linkInterner maps LinkIDs to dense int32 ordinals for the vote
+// tables. Fabric links use their construction ordinals directly;
+// anything else (defensive: evidence should only carry fabric links)
+// gets an extra ordinal past the fabric's range.
+type linkInterner struct {
+	fab   *topology.Fabric
+	base  int32
+	extra map[topology.LinkID]int32
+	ids   []topology.LinkID // extra ordinal - base → id
+}
+
+func newLinkInterner(fab *topology.Fabric) *linkInterner {
+	in := &linkInterner{fab: fab}
+	if fab != nil {
+		in.base = int32(fab.NumLinks())
+	}
+	return in
+}
+
+func (in *linkInterner) ord(l topology.LinkID) int32 {
+	if in.fab != nil {
+		if o, ok := in.fab.LinkIndex(l); ok {
+			return o
+		}
+	}
+	if o, ok := in.extra[l]; ok {
+		return o
+	}
+	if in.extra == nil {
+		in.extra = map[topology.LinkID]int32{}
+	}
+	o := in.base + int32(len(in.ids))
+	in.extra[l] = o
+	in.ids = append(in.ids, l)
+	return o
+}
+
+// lookup resolves an already-interned link without extending the table.
+func (in *linkInterner) lookup(l topology.LinkID) (int32, bool) {
+	if in.fab != nil {
+		if o, ok := in.fab.LinkIndex(l); ok {
+			return o, true
+		}
+	}
+	o, ok := in.extra[l]
+	return o, ok
+}
+
+func (in *linkInterner) id(o int32) topology.LinkID {
+	if o < in.base {
+		return in.fab.LinkByIndex(o)
+	}
+	return in.ids[o-in.base]
+}
+
+func (in *linkInterner) size() int { return int(in.base) + len(in.ids) }
+
+// internPairSet dedupes one pair's observed links into a sorted
+// ordinal set (one vote per pair, not per probe).
+func (in *linkInterner) internPairSet(paths [][]topology.LinkID) []int32 {
+	var ords []int32
+	for _, p := range paths {
+		for _, link := range p {
+			ords = append(ords, in.ord(link))
+		}
+	}
+	sort.Slice(ords, func(i, j int) bool { return ords[i] < ords[j] })
+	out := ords[:0]
+	for i, o := range ords {
+		if i == 0 || o != ords[i-1] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func ordSetContains(set []int32, o int32) bool {
+	i := sort.Search(len(set), func(i int) bool { return set[i] >= o })
+	return i < len(set) && set[i] == o
+}
+
 // physicalIntersection runs Algorithm 1's PhysicalIntersection
 // iteratively: vote, name the top component, peel off the evidence
 // pairs it explains, and repeat on the remainder — so two concurrent
 // faults (say, NIC ports down on different hosts) are both localized
 // in a single analysis round instead of the second waiting for the
 // first to clear.
+//
+// Each pair's deduped link set is computed once, as dense fabric
+// ordinals, before the peel loop: the loop revisits those sets every
+// iteration, and at production scale (40K+ links) re-building
+// string-keyed maps per iteration dominated the analysis round.
 func (l *Localizer) physicalIntersection(evidence []Evidence, healthy []Observation) ([]Verdict, []Evidence) {
+	in := newLinkInterner(l.Net.Fabric)
+	pairOrds := make([][]int32, len(evidence))
+	for i, ev := range evidence {
+		pairOrds[i] = in.internPairSet(ev.Paths)
+	}
+	ix := &intersector{
+		loc:      l,
+		interner: in,
+		votes:    make([]int32, in.size()),
+	}
+
 	var verdicts []Verdict
-	remaining := evidence
+	remaining := make([]int, len(evidence))
+	for i := range remaining {
+		remaining[i] = i
+	}
 	// Each iteration must explain at least one pair, so the loop is
 	// bounded by the evidence count; the cap is pure paranoia.
 	for iter := 0; iter < len(evidence)+1 && len(remaining) > 0; iter++ {
-		vs, unexplained, explainedLinks := l.intersectOnce(remaining, healthy)
+		vs, explained := ix.intersectOnce(evidence, pairOrds, remaining, healthy)
 		if len(vs) == 0 {
-			return verdicts, remaining
+			break
 		}
 		verdicts = append(verdicts, vs...)
 		// Peel off the pairs whose observed paths traverse the
 		// implicated links; the rest go around again.
-		var next []Evidence
-		for _, ev := range unexplained {
+		next := remaining[:0]
+		for _, idx := range remaining {
 			touches := false
-			for _, p := range ev.Paths {
-				for _, link := range p {
-					if explainedLinks[link] {
-						touches = true
-					}
+			for _, o := range pairOrds[idx] {
+				if int(o) < len(explained) && explained[o] {
+					touches = true
+					break
 				}
 			}
 			if !touches {
-				next = append(next, ev)
+				next = append(next, idx)
 			}
 		}
 		if len(next) == len(remaining) {
 			// No progress (the verdict explained nothing new): stop to
 			// avoid spinning.
-			return verdicts, next
+			remaining = next
+			break
 		}
 		remaining = next
 	}
-	return verdicts, remaining
+	var rest []Evidence
+	for _, idx := range remaining {
+		rest = append(rest, evidence[idx])
+	}
+	return verdicts, rest
 }
 
-// intersectOnce performs one vote-and-classify pass. It returns the
-// verdicts (at most one), the evidence that did NOT directly produce
-// the top vote (candidates for the next pass), and the set of links
-// the verdict explains.
-func (l *Localizer) intersectOnce(evidence []Evidence, healthy []Observation) ([]Verdict, []Evidence, map[topology.LinkID]bool) {
+// intersector carries the reusable vote table across peel iterations.
+type intersector struct {
+	loc      *Localizer
+	interner *linkInterner
+	votes    []int32 // by link ordinal; reset via touched between passes
+	touched  []int32
+}
+
+// intersectOnce performs one vote-and-classify pass over the remaining
+// evidence (given as indices into the original slice). It returns the
+// verdicts and the explained-link set (by ordinal) to peel on.
+func (ix *intersector) intersectOnce(evidence []Evidence, pairOrds [][]int32, remaining []int, healthy []Observation) ([]Verdict, []bool) {
 	// PhyLinkCounter: votes per link, one per anomalous *pair* (not per
-	// probe — a pair probing twice must not double its weight).
-	votes := map[topology.LinkID]int{}
-	pairLinks := make([]map[topology.LinkID]bool, len(evidence))
-	for i, ev := range evidence {
-		links := map[topology.LinkID]bool{}
-		for _, p := range ev.Paths {
-			for _, link := range p {
-				links[link] = true
+	// probe — pair sets are already deduped).
+	for _, o := range ix.touched {
+		ix.votes[o] = 0
+	}
+	ix.touched = ix.touched[:0]
+	for _, idx := range remaining {
+		for _, o := range pairOrds[idx] {
+			if ix.votes[o] == 0 {
+				ix.touched = append(ix.touched, o)
 			}
-		}
-		pairLinks[i] = links
-		for link := range links {
-			votes[link]++
+			ix.votes[o]++
 		}
 	}
-	if len(votes) == 0 {
-		return nil, evidence, nil
+	if len(ix.touched) == 0 {
+		return nil, nil
 	}
-	maxVotes := 0
-	for _, v := range votes {
-		if v > maxVotes {
-			maxVotes = v
+	var maxVotes int32
+	for _, o := range ix.touched {
+		if ix.votes[o] > maxVotes {
+			maxVotes = ix.votes[o]
 		}
 	}
 	// Algorithm 1 line 19: every counter ≤ 1 ⇒ no underlay failure.
-	if maxVotes <= 1 && len(evidence) > 1 {
-		return nil, evidence, nil
+	if maxVotes <= 1 && len(remaining) > 1 {
+		return nil, nil
 	}
 
-	var top []topology.LinkID
-	for link, v := range votes {
-		if v == maxVotes {
-			top = append(top, link)
+	// Collect the top set in ascending ordinal order: deterministic,
+	// unlike ranging over a string-keyed map.
+	var topOrds []int32
+	for _, o := range ix.touched {
+		if ix.votes[o] == maxVotes {
+			topOrds = append(topOrds, o)
 		}
+	}
+	sort.Slice(topOrds, func(i, j int) bool { return topOrds[i] < topOrds[j] })
+	top := make([]topology.LinkID, len(topOrds))
+	for i, o := range topOrds {
+		top[i] = ix.interner.id(o)
 	}
 
 	// Latency exoneration: if the evidence is latency-dominated and
@@ -382,38 +498,43 @@ func (l *Localizer) intersectOnce(evidence []Evidence, healthy []Observation) ([
 	// the software slow path itself induces a trickle of loss (<0.1 %
 	// in the Fig. 18 case), so a strict all-latency gate would flap.
 	nLatency := 0
-	for _, ev := range evidence {
-		if ev.Symptom == SymptomLatency {
+	for _, idx := range remaining {
+		if evidence[idx].Symptom == SymptomLatency {
 			nLatency++
 		}
 	}
-	allLatency := float64(nLatency) >= 0.7*float64(len(evidence))
+	allLatency := float64(nLatency) >= 0.7*float64(len(remaining))
 	if allLatency && len(healthy) > 0 {
 		healthyHits := 0
 		for _, ob := range healthy {
 			for _, link := range ob.Path {
-				if contains(top, link) {
+				if o, ok := ix.interner.lookup(link); ok && ordSetContains(topOrds, o) {
 					healthyHits++
 					break
 				}
 			}
 		}
 		if healthyHits > 0 {
-			return nil, evidence, nil
+			return nil, nil
 		}
 	}
 
 	// The top set may mix several concurrent faults (independent links
 	// tie at max votes); decompose it into independent verdicts.
-	groups := decomposeTop(top, evidence)
-	explained := map[topology.LinkID]bool{}
+	remEvidence := make([]Evidence, len(remaining))
+	for i, idx := range remaining {
+		remEvidence[i] = evidence[idx]
+	}
+	groups := decomposeTop(top, remEvidence)
+	explained := make([]bool, ix.interner.size())
 	var verdicts []Verdict
 	for _, g := range groups {
 		v := g.verdict
 		// Count the pairs this verdict explains for reporting.
-		for _, links := range pairLinks {
+		for _, idx := range remaining {
+			set := pairOrds[idx]
 			for _, link := range g.links {
-				if links[link] {
+				if o, ok := ix.interner.lookup(link); ok && ordSetContains(set, o) {
 					v.Pairs++
 					break
 				}
@@ -428,17 +549,19 @@ func (l *Localizer) intersectOnce(evidence []Evidence, healthy []Observation) ([
 		// offload tables; if they diverge from the vswitch, the dump
 		// verdict supersedes.
 		if allLatency {
-			if refined, ok := l.confirmWithDump(v); ok {
+			if refined, ok := ix.loc.confirmWithDump(v); ok {
 				refined.Pairs = v.Pairs
 				v = refined
 			}
 		}
 		verdicts = append(verdicts, v)
 		for _, link := range g.links {
-			explained[link] = true
+			if o, ok := ix.interner.lookup(link); ok {
+				explained[o] = true
+			}
 		}
 	}
-	return verdicts, evidence, explained
+	return verdicts, explained
 }
 
 // topGroup is one independent explanation unit within the top-voted
@@ -615,15 +738,6 @@ func (l *Localizer) confirmWithDump(v Verdict) (Verdict, bool) {
 		}
 	}
 	return Verdict{}, false
-}
-
-func contains(ls []topology.LinkID, l topology.LinkID) bool {
-	for _, x := range ls {
-		if x == l {
-			return true
-		}
-	}
-	return false
 }
 
 func splitLink(l topology.LinkID) (a, b topology.NodeID, ok bool) {

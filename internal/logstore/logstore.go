@@ -59,7 +59,32 @@ type Store struct {
 	index map[indexKey][]uint64 // key → live seqs (ascending)
 	// lookup from seq to slot position for O(1) retrieval.
 	capacity int
+
+	// Rendered-key caches: container and RNIC index keys are formatted
+	// strings derived from small integer coordinates, re-rendered for
+	// every record on both the append and eviction paths. Caching them
+	// makes batch ingest allocation-free for repeat endpoints. Bounded:
+	// reset wholesale if task churn ever grows them past keyCacheCap.
+	ckeys map[containerCoord]string
+	rkeys map[rnicCoord]string
+	// swScratch is the reused uplink-switch extraction buffer (guarded
+	// by mu, like everything else on the append path).
+	swScratch []topology.NodeID
 }
+
+type containerCoord struct {
+	task string
+	c    int
+}
+
+type rnicCoord struct {
+	host, rail int
+}
+
+// keyCacheCap bounds the rendered-key caches; far above any realistic
+// live container/RNIC population, so a reset only fires under extreme
+// task churn.
+const keyCacheCap = 1 << 16
 
 // New returns a store retaining up to capacity records.
 func New(capacity int) *Store {
@@ -70,7 +95,39 @@ func New(capacity int) *Store {
 		slots:    make([]slot, capacity),
 		index:    make(map[indexKey][]uint64),
 		capacity: capacity,
+		ckeys:    make(map[containerCoord]string),
+		rkeys:    make(map[rnicCoord]string),
 	}
+}
+
+// containerKey returns the cached rendering of a container index key;
+// the caller holds s.mu.
+func (s *Store) containerKey(task string, c int) string {
+	k := containerCoord{task, c}
+	if v, ok := s.ckeys[k]; ok {
+		return v
+	}
+	if len(s.ckeys) >= keyCacheCap {
+		s.ckeys = make(map[containerCoord]string)
+	}
+	v := ContainerKey(task, c)
+	s.ckeys[k] = v
+	return v
+}
+
+// rnicKey returns the cached rendering of an RNIC index key; the
+// caller holds s.mu.
+func (s *Store) rnicKey(host, rail int) string {
+	k := rnicCoord{host, rail}
+	if v, ok := s.rkeys[k]; ok {
+		return v
+	}
+	if len(s.rkeys) >= keyCacheCap {
+		s.rkeys = make(map[rnicCoord]string)
+	}
+	v := RNICKey(host, rail)
+	s.rkeys[k] = v
+	return v
 }
 
 // ContainerKey renders the container index key.
@@ -119,7 +176,7 @@ func (s *Store) append(rec probe.Record) {
 		k := indexKey{dim, key}
 		s.index[k] = append(s.index[k], s.seq)
 	}
-	eachKey(rec, add)
+	s.eachKey(rec, add)
 	s.Obs.Inc(obs.RecordsLogged)
 }
 
@@ -132,7 +189,7 @@ func (s *Store) append(rec probe.Record) {
 // live entries while avoiding a per-eviction shift of the whole slice
 // (which would make every append O(capacity) once the ring is full).
 func (s *Store) unindex(old slot) {
-	eachKey(old.rec, func(dim dimension, key string) {
+	s.eachKey(old.rec, func(dim dimension, key string) {
 		k := indexKey{dim, key}
 		seqs := s.index[k]
 		i := 0
@@ -152,34 +209,42 @@ func (s *Store) unindex(old slot) {
 	})
 }
 
-// eachKey visits every index key a record is filed under.
-func eachKey(rec probe.Record, fn func(dim dimension, key string)) {
+// eachKey visits every index key a record is filed under; the caller
+// holds s.mu (the key caches and switch scratch are mu-guarded).
+func (s *Store) eachKey(rec probe.Record, fn func(dim dimension, key string)) {
 	fn(dimTask, string(rec.Task))
-	fn(dimContainer, ContainerKey(string(rec.Task), rec.SrcContainer))
-	fn(dimContainer, ContainerKey(string(rec.Task), rec.DstContainer))
-	fn(dimRNIC, RNICKey(rec.Src.Host, rec.Src.Rail))
-	fn(dimRNIC, RNICKey(rec.Dst.Host, rec.Dst.Rail))
-	for _, sw := range uplinkSwitches(rec.Path) {
+	fn(dimContainer, s.containerKey(string(rec.Task), rec.SrcContainer))
+	fn(dimContainer, s.containerKey(string(rec.Task), rec.DstContainer))
+	fn(dimRNIC, s.rnicKey(rec.Src.Host, rec.Src.Rail))
+	fn(dimRNIC, s.rnicKey(rec.Dst.Host, rec.Dst.Rail))
+	s.swScratch = appendUplinkSwitches(s.swScratch[:0], rec.Path)
+	for _, sw := range s.swScratch {
 		fn(dimSwitch, string(sw))
 	}
 }
 
-// uplinkSwitches extracts the switch nodes a record's path traversed.
-func uplinkSwitches(path []topology.LinkID) []topology.NodeID {
-	seen := map[topology.NodeID]bool{}
-	var out []topology.NodeID
+// appendUplinkSwitches appends the deduped switch nodes of a record's
+// path to buf. Paths are at most a few tunnel legs of ≤ 6 links, so a
+// linear dedup scan beats a per-record map allocation.
+func appendUplinkSwitches(buf []topology.NodeID, path []topology.LinkID) []topology.NodeID {
 	for _, l := range path {
 		for _, part := range splitLink(l) {
-			if part == "" {
+			if part == "" || !isSwitchNode(part) {
 				continue
 			}
-			if isSwitchNode(part) && !seen[part] {
-				seen[part] = true
-				out = append(out, part)
+			dup := false
+			for _, have := range buf {
+				if have == part {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				buf = append(buf, part)
 			}
 		}
 	}
-	return out
+	return buf
 }
 
 func splitLink(l topology.LinkID) [2]topology.NodeID {

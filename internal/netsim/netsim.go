@@ -12,8 +12,8 @@
 package netsim
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"skeletonhunter/internal/overlay"
@@ -98,6 +98,11 @@ type Net struct {
 	// traversal counts, the "switch queue length" operators consult to
 	// confirm or rule out congestion (§7.2's Fig. 18 validation).
 	queue map[topology.NodeID]*queueState
+
+	// hashBuf is the reusable flow-key scratch for ECMP hashing. Probe
+	// runs on the single-threaded simulation loop (it already mutates
+	// the queue map unsynchronized), so one buffer suffices.
+	hashBuf []byte
 }
 
 type queueState struct {
@@ -213,20 +218,35 @@ type Result struct {
 // (like varying UDP source ports) to spread probes over equal-cost
 // paths, which is what gives tomography its coverage.
 func (n *Net) Probe(src, dst overlay.Addr, entropy uint64) Result {
+	var res Result
+	n.ProbeInto(&res, src, dst, entropy)
+	return res
+}
+
+// ProbeInto is the buffer-reusing form of Probe for high-rate callers:
+// it resets *res and refills it, reusing the UnderlayPath/UnderlayNodes
+// backing arrays across calls. The probe agents drive hundreds of
+// thousands of probes per round at paper scale; this keeps the per-leg
+// path walk allocation-free (paths come from topology.PathViewByHash,
+// never materialized).
+func (n *Net) ProbeInto(res *Result, src, dst overlay.Addr, entropy uint64) {
 	now := n.Engine.Now()
 	rng := n.Engine.Rand("netsim/loss")
 
-	var res Result
+	*res = Result{
+		UnderlayPath:  res.UnderlayPath[:0],
+		UnderlayNodes: res.UnderlayNodes[:0],
+	}
 	tr, err := n.Overlay.TraceForward(src, dst.IP)
 	if err != nil {
 		// Unregistered source: the probe cannot even leave the vport.
 		res.Lost = true
-		return res
+		return
 	}
 	res.OverlayTrace = tr
 	if tr.Outcome != overlay.Reached {
 		res.Lost = true
-		return res
+		return
 	}
 
 	latency := time.Duration(0)
@@ -248,7 +268,7 @@ func (n *Net) Probe(src, dst overlay.Addr, entropy uint64) Result {
 	// Host-board conditions at both ends.
 	if !applyCond(n.hostCond[src.Host]) || !applyCond(n.hostCond[dst.Host]) {
 		res.Lost = true
-		return res
+		return
 	}
 
 	if tr.SlowPath {
@@ -256,36 +276,39 @@ func (n *Net) Probe(src, dst overlay.Addr, entropy uint64) Result {
 		addLoss(slowPathLossRate)
 	}
 
-	// Walk each tunnel leg over its ECMP-selected underlay path.
+	// Walk each tunnel leg over its ECMP-selected underlay path. The
+	// hash-selected path is consumed through a stack PathView — no Path
+	// slices are materialized.
+	var pv topology.PathView
 	for legIdx, leg := range tr.TunnelLegs {
 		srcNIC := topology.NIC{Host: leg.SrcHost, Rail: leg.SrcRail}
 		dstNIC := topology.NIC{Host: leg.DstHost, Rail: leg.DstRail}
-		hash := flowHash(src, dst, legIdx, entropy)
-		path, err := n.Fabric.PathByHash(srcNIC, dstNIC, hash)
-		if err != nil {
+		hash := n.flowHash(src, dst, legIdx, entropy)
+		if err := n.Fabric.PathViewByHash(srcNIC, dstNIC, hash, &pv); err != nil {
 			res.Lost = true
-			return res
+			return
 		}
-		res.UnderlayPath = append(res.UnderlayPath, path.Links...)
-		res.UnderlayNodes = append(res.UnderlayNodes, path.Nodes...)
+		res.UnderlayPath = pv.Links(res.UnderlayPath)
+		res.UnderlayNodes = pv.Nodes(res.UnderlayNodes)
 
-		for _, node := range path.Nodes {
+		last := pv.Len() - 1
+		for i := 0; i <= last; i++ {
+			node := pv.Node(i)
 			n.bumpQueue(node, now)
 			if !applyCond(n.nodeCond[node]) {
 				res.Lost = true
-				return res
+				return
 			}
-			switch {
-			case node == path.Nodes[0] || node == path.Nodes[len(path.Nodes)-1]:
+			if i == 0 || i == last {
 				latency += nicCost
-			default:
+			} else {
 				latency += switchCost
 			}
 		}
-		for _, link := range path.Links {
-			if !applyCond(n.linkCond[link]) {
+		for i := 0; i < pv.NumLinks(); i++ {
+			if !applyCond(n.linkCond[pv.Link(i)]) {
 				res.Lost = true
-				return res
+				return
 			}
 			latency += linkCost
 		}
@@ -313,10 +336,9 @@ func (n *Net) Probe(src, dst overlay.Addr, entropy uint64) Result {
 	// Two chances to die: request and reply.
 	if rng.Float64() < lossProb || rng.Float64() < lossProb {
 		res.Lost = true
-		return res
+		return
 	}
 	res.RTT = rtt
-	return res
 }
 
 // Traceroute resolves the underlay path a flow with the given entropy
@@ -327,11 +349,24 @@ func (n *Net) Traceroute(src, dst topology.NIC, entropy uint64) (topology.Path, 
 	return n.Fabric.PathByHash(src, dst, entropy)
 }
 
-func flowHash(src, dst overlay.Addr, leg int, entropy uint64) uint64 {
-	return fnv(fmt.Sprintf("%d/%s>%s#%d", src.VNI, src.IP, dst.IP, leg)) ^ entropy
+// flowHash derives the ECMP entropy of one tunnel leg. The key bytes
+// are identical to the historical fmt.Sprintf("%d/%s>%s#%d", ...) form
+// (so hash-dependent path selections are unchanged) but are assembled
+// into a reused buffer: hashing is allocation-free after warm-up.
+func (n *Net) flowHash(src, dst overlay.Addr, leg int, entropy uint64) uint64 {
+	b := n.hashBuf[:0]
+	b = strconv.AppendUint(b, uint64(src.VNI), 10)
+	b = append(b, '/')
+	b = append(b, src.IP...)
+	b = append(b, '>')
+	b = append(b, dst.IP...)
+	b = append(b, '#')
+	b = strconv.AppendInt(b, int64(leg), 10)
+	n.hashBuf = b
+	return fnv(b) ^ entropy
 }
 
-func fnv(s string) uint64 {
+func fnv(s []byte) uint64 {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211

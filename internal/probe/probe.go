@@ -82,6 +82,14 @@ type OverlayAgent struct {
 	entropy uint64
 	epoch   uint64 // controller epoch the agent last registered under
 	batch   Batch  // reused across rounds
+
+	// scratch is the reused netsim result (its path buffers are recycled
+	// every probe). arena is the round's link storage: downstream sinks
+	// retain Record.Path slices past the round, so the arena is fresh
+	// per round — one allocation sized by the previous round — and each
+	// record gets a capacity-capped subslice of it.
+	scratch   netsim.Result
+	arenaSize int
 }
 
 // Start registers the agent with the controller and begins periodic
@@ -133,6 +141,10 @@ func (a *OverlayAgent) round(now time.Duration) {
 	}
 	targets := a.Controller.PingList(a.Task.ID, a.Container.Index)
 	a.batch = a.batch[:0]
+	// Fresh per-round path arena, sized by the previous round: sinks
+	// retain Record.Path past the round, so the storage cannot be
+	// recycled, but all of a round's paths can share one allocation.
+	arena := make([]topology.LinkID, 0, a.arenaSize)
 	sent := 0
 	for _, tg := range targets {
 		dst := a.Task.Containers[tg.DstContainer]
@@ -141,7 +153,14 @@ func (a *OverlayAgent) round(now time.Duration) {
 		for p := 0; p < a.ProbesPerTarget; p++ {
 			a.entropy++
 			sent++
-			res := a.Net.Probe(src, dstAddr, a.entropy)
+			a.Net.ProbeInto(&a.scratch, src, dstAddr, a.entropy)
+			res := &a.scratch
+			var path []topology.LinkID
+			if len(res.UnderlayPath) > 0 {
+				start := len(arena)
+				arena = append(arena, res.UnderlayPath...)
+				path = arena[start:len(arena):len(arena)]
+			}
 			rec := Record{
 				Task:         a.Task.ID,
 				SrcContainer: tg.SrcContainer, SrcRail: tg.SrcRail,
@@ -150,7 +169,7 @@ func (a *OverlayAgent) round(now time.Duration) {
 				At:   now,
 				RTT:  res.RTT,
 				Lost: res.Lost,
-				Path: res.UnderlayPath,
+				Path: path,
 			}
 			if a.Sink != nil {
 				a.Sink(rec)
@@ -159,6 +178,13 @@ func (a *OverlayAgent) round(now time.Duration) {
 				a.batch = append(a.batch, rec)
 			}
 		}
+	}
+	if cap(arena) > a.arenaSize {
+		a.arenaSize = cap(arena)
+	} else if len(arena) < a.arenaSize/2 {
+		// Shrink the estimate when ping lists get pruned, so a one-off
+		// large round doesn't pin oversized arenas forever.
+		a.arenaSize = len(arena) * 2
 	}
 	if a.BatchSink != nil && len(a.batch) > 0 {
 		a.BatchSink(a.batch)

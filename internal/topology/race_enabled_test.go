@@ -1,0 +1,5 @@
+//go:build race
+
+package topology
+
+func init() { raceEnabled = true }

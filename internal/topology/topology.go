@@ -13,6 +13,16 @@
 // The package is purely structural: component identity, connectivity,
 // and ECMP path enumeration. Dynamic state (faults, latency, loss)
 // lives in internal/netsim.
+//
+// Scale engineering: a production fabric has tens of thousands of NICs
+// and links, and the cross-pod ECMP set between one NIC pair alone is
+// AggPerPod² × Spines paths. Node and link IDs are therefore interned
+// once at construction (every ToR/Agg/Spine/NIC/Link accessor returns
+// the same string header, no formatting), each link carries a dense
+// integer ordinal for slice-backed vote tables, and the PathIter /
+// VisitPaths traversal walks an ECMP set through a fixed-size PathView
+// without materializing a single Path slice. Paths remains as the
+// materializing enumeration for callers that want to keep the set.
 package topology
 
 import (
@@ -69,7 +79,8 @@ type NIC struct {
 	Rail int
 }
 
-// ID returns the fabric node ID of the NIC.
+// ID returns the fabric node ID of the NIC. Fabric-aware callers
+// should prefer Fabric.NICID, which returns the interned string.
 func (n NIC) ID() NodeID { return NodeID(fmt.Sprintf("nic/h%d/r%d", n.Host, n.Rail)) }
 
 // Spec parameterizes a fabric.
@@ -103,40 +114,114 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// Fabric is an instantiated topology.
+// Fabric is an instantiated topology. All ID tables are built once in
+// New and immutable afterwards, so a Fabric may be shared freely across
+// goroutines.
 type Fabric struct {
 	Spec  Spec
 	hosts int
 
 	// links holds every physical link, keyed by canonical ID.
 	links map[LinkID][2]NodeID
+
+	// Interned node IDs: every accessor returns the same string header.
+	nicIDs   []NodeID // host*Rails + rail
+	torIDs   []NodeID // pod*Rails + rail
+	aggIDs   []NodeID // pod*AggPerPod + a
+	spineIDs []NodeID // s
+
+	// Interned link IDs, by construction role, each with a parallel
+	// dense-ordinal table so path assembly never hits the ordOf map.
+	nicTorLinks   []LinkID // host*Rails + rail
+	torAggLinks   []LinkID // (pod*Rails + rail)*AggPerPod + a
+	aggSpineLinks []LinkID // (pod*AggPerPod + a)*Spines + s
+	nicTorOrds    []int32
+	torAggOrds    []int32
+	aggSpineOrds  []int32
+
+	// Dense link ordinals: ordOf[id] == i ⇔ ordLinks[i] == id. Ordinals
+	// are assigned in deterministic construction order, so slice-backed
+	// vote tables iterate identically across runs.
+	ordOf    map[LinkID]int32
+	ordLinks []LinkID
+	ordEnds  [][2]NodeID // ordinal → endpoints, parallel to ordLinks
 }
 
-// New builds the fabric for a spec.
+// New builds the fabric for a spec, interning every node and link ID.
 func New(spec Spec) (*Fabric, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	f := &Fabric{Spec: spec, hosts: spec.Pods * spec.HostsPerPod, links: make(map[LinkID][2]NodeID)}
-	addLink := func(a, b NodeID) {
-		f.links[MakeLinkID(a, b)] = [2]NodeID{a, b}
+	hosts := spec.Pods * spec.HostsPerPod
+	f := &Fabric{
+		Spec:  spec,
+		hosts: hosts,
+		links: make(map[LinkID][2]NodeID),
+		ordOf: make(map[LinkID]int32),
+	}
+
+	// Node ID tables.
+	f.nicIDs = make([]NodeID, hosts*spec.Rails)
+	for h := 0; h < hosts; h++ {
+		for r := 0; r < spec.Rails; r++ {
+			f.nicIDs[h*spec.Rails+r] = NIC{Host: h, Rail: r}.ID()
+		}
+	}
+	f.torIDs = make([]NodeID, spec.Pods*spec.Rails)
+	for p := 0; p < spec.Pods; p++ {
+		for r := 0; r < spec.Rails; r++ {
+			f.torIDs[p*spec.Rails+r] = NodeID(fmt.Sprintf("tor/p%d/r%d", p, r))
+		}
+	}
+	f.aggIDs = make([]NodeID, spec.Pods*spec.AggPerPod)
+	for p := 0; p < spec.Pods; p++ {
+		for a := 0; a < spec.AggPerPod; a++ {
+			f.aggIDs[p*spec.AggPerPod+a] = NodeID(fmt.Sprintf("agg/p%d/a%d", p, a))
+		}
+	}
+	f.spineIDs = make([]NodeID, spec.Spines)
+	for s := 0; s < spec.Spines; s++ {
+		f.spineIDs[s] = NodeID(fmt.Sprintf("spine/s%d", s))
+	}
+
+	// Link tables, registering each link's canonical ID, endpoints, and
+	// dense ordinal in one deterministic construction order.
+	addLink := func(a, b NodeID) (LinkID, int32) {
+		id := MakeLinkID(a, b)
+		ord := int32(len(f.ordLinks))
+		f.links[id] = [2]NodeID{a, b}
+		f.ordOf[id] = ord
+		f.ordLinks = append(f.ordLinks, id)
+		f.ordEnds = append(f.ordEnds, [2]NodeID{a, b})
+		return id, ord
+	}
+	f.nicTorLinks = make([]LinkID, hosts*spec.Rails)
+	f.nicTorOrds = make([]int32, hosts*spec.Rails)
+	f.torAggLinks = make([]LinkID, spec.Pods*spec.Rails*spec.AggPerPod)
+	f.torAggOrds = make([]int32, spec.Pods*spec.Rails*spec.AggPerPod)
+	if spec.Pods > 1 {
+		f.aggSpineLinks = make([]LinkID, spec.Pods*spec.AggPerPod*spec.Spines)
+		f.aggSpineOrds = make([]int32, spec.Pods*spec.AggPerPod*spec.Spines)
 	}
 	for p := 0; p < spec.Pods; p++ {
 		for h := 0; h < spec.HostsPerPod; h++ {
 			host := p*spec.HostsPerPod + h
 			for r := 0; r < spec.Rails; r++ {
-				addLink(NIC{Host: host, Rail: r}.ID(), f.ToR(p, r))
+				i := host*spec.Rails + r
+				f.nicTorLinks[i], f.nicTorOrds[i] = addLink(f.NICID(host, r), f.ToR(p, r))
 			}
 		}
 		for r := 0; r < spec.Rails; r++ {
 			for a := 0; a < spec.AggPerPod; a++ {
-				addLink(f.ToR(p, r), f.Agg(p, a))
+				i := (p*spec.Rails+r)*spec.AggPerPod + a
+				f.torAggLinks[i], f.torAggOrds[i] = addLink(f.ToR(p, r), f.Agg(p, a))
 			}
 		}
 		if spec.Pods > 1 {
 			for a := 0; a < spec.AggPerPod; a++ {
 				for s := 0; s < spec.Spines; s++ {
-					addLink(f.Agg(p, a), f.Spine(s))
+					i := (p*spec.AggPerPod+a)*spec.Spines + s
+					f.aggSpineLinks[i], f.aggSpineOrds[i] = addLink(f.Agg(p, a), f.Spine(s))
 				}
 			}
 		}
@@ -150,14 +235,37 @@ func (f *Fabric) Hosts() int { return f.hosts }
 // PodOf returns the pod index of a host.
 func (f *Fabric) PodOf(host int) int { return host / f.Spec.HostsPerPod }
 
+// NICID returns the interned node ID of a host's rail-r RNIC.
+func (f *Fabric) NICID(host, rail int) NodeID {
+	if host >= 0 && host < f.hosts && rail >= 0 && rail < f.Spec.Rails {
+		return f.nicIDs[host*f.Spec.Rails+rail]
+	}
+	return NIC{Host: host, Rail: rail}.ID()
+}
+
 // ToR returns the node ID of pod p's rail-r ToR switch.
-func (f *Fabric) ToR(p, r int) NodeID { return NodeID(fmt.Sprintf("tor/p%d/r%d", p, r)) }
+func (f *Fabric) ToR(p, r int) NodeID {
+	if p >= 0 && p < f.Spec.Pods && r >= 0 && r < f.Spec.Rails {
+		return f.torIDs[p*f.Spec.Rails+r]
+	}
+	return NodeID(fmt.Sprintf("tor/p%d/r%d", p, r))
+}
 
 // Agg returns the node ID of pod p's a-th aggregation switch.
-func (f *Fabric) Agg(p, a int) NodeID { return NodeID(fmt.Sprintf("agg/p%d/a%d", p, a)) }
+func (f *Fabric) Agg(p, a int) NodeID {
+	if p >= 0 && p < f.Spec.Pods && a >= 0 && a < f.Spec.AggPerPod {
+		return f.aggIDs[p*f.Spec.AggPerPod+a]
+	}
+	return NodeID(fmt.Sprintf("agg/p%d/a%d", p, a))
+}
 
 // Spine returns the node ID of spine switch s.
-func (f *Fabric) Spine(s int) NodeID { return NodeID(fmt.Sprintf("spine/s%d", s)) }
+func (f *Fabric) Spine(s int) NodeID {
+	if s >= 0 && s < f.Spec.Spines {
+		return f.spineIDs[s]
+	}
+	return NodeID(fmt.Sprintf("spine/s%d", s))
+}
 
 // LinkEndpoints returns the two nodes a link connects, and whether the
 // link exists in this fabric.
@@ -167,7 +275,23 @@ func (f *Fabric) LinkEndpoints(l LinkID) ([2]NodeID, bool) {
 }
 
 // NumLinks returns the number of physical links.
-func (f *Fabric) NumLinks() int { return len(f.links) }
+func (f *Fabric) NumLinks() int { return len(f.ordLinks) }
+
+// LinkIndex returns the dense ordinal of a link (stable for the
+// fabric's lifetime, assigned in deterministic construction order), and
+// whether the link exists. Ordinals let hot paths replace string-keyed
+// maps with int keys or plain slices.
+func (f *Fabric) LinkIndex(l LinkID) (int32, bool) {
+	ord, ok := f.ordOf[l]
+	return ord, ok
+}
+
+// LinkByIndex returns the link with the given ordinal.
+func (f *Fabric) LinkByIndex(ord int32) LinkID { return f.ordLinks[ord] }
+
+// LinkEndpointsByIndex returns the endpoints of the link with the given
+// ordinal without re-parsing its ID.
+func (f *Fabric) LinkEndpointsByIndex(ord int32) [2]NodeID { return f.ordEnds[ord] }
 
 // EachLink visits every link; iteration order is unspecified.
 func (f *Fabric) EachLink(fn func(LinkID, [2]NodeID)) {
@@ -183,12 +307,49 @@ type Path struct {
 	Links []LinkID
 }
 
-func pathFromNodes(nodes []NodeID) Path {
-	links := make([]LinkID, 0, len(nodes)-1)
-	for i := 0; i+1 < len(nodes); i++ {
-		links = append(links, MakeLinkID(nodes[i], nodes[i+1]))
+// MaxPathNodes is the longest possible route: cross-pod paths traverse
+// NIC, ToR, Agg, Spine, Agg, ToR, NIC.
+const MaxPathNodes = 7
+
+// PathView is an allocation-free view of one ECMP path: fixed-size
+// arrays sized for the longest route, filled in place by PathIter /
+// VisitPaths / PathViewByHash. A view is only valid until the iterator
+// that produced it advances; callers that keep a path materialize it
+// with Materialize (or append from Nodes/Links into their own storage).
+type PathView struct {
+	nodes [MaxPathNodes]NodeID
+	links [MaxPathNodes - 1]LinkID
+	ords  [MaxPathNodes - 1]int32
+	n     int // node count; links/ords hold n-1 entries
+}
+
+// Len returns the number of nodes on the path.
+func (v *PathView) Len() int { return v.n }
+
+// NumLinks returns the number of links on the path.
+func (v *PathView) NumLinks() int { return v.n - 1 }
+
+// Node returns the i-th node.
+func (v *PathView) Node(i int) NodeID { return v.nodes[i] }
+
+// Link returns the i-th link (between Node(i) and Node(i+1)).
+func (v *PathView) Link(i int) LinkID { return v.links[i] }
+
+// LinkOrdinal returns the dense fabric ordinal of the i-th link.
+func (v *PathView) LinkOrdinal(i int) int32 { return v.ords[i] }
+
+// Nodes appends the path's nodes to buf and returns it.
+func (v *PathView) Nodes(buf []NodeID) []NodeID { return append(buf, v.nodes[:v.n]...) }
+
+// Links appends the path's links to buf and returns it.
+func (v *PathView) Links(buf []LinkID) []LinkID { return append(buf, v.links[:v.n-1]...) }
+
+// Materialize copies the view into an owned Path.
+func (v *PathView) Materialize() Path {
+	return Path{
+		Nodes: append([]NodeID(nil), v.nodes[:v.n]...),
+		Links: append([]LinkID(nil), v.links[:v.n-1]...),
 	}
-	return Path{Nodes: nodes, Links: links}
 }
 
 // ErrSameNIC reports a path request from a NIC to itself.
@@ -214,88 +375,245 @@ func (f *Fabric) NumPaths(src, dst NIC) (int, error) {
 		return 1, nil
 	case sp == dp:
 		return f.Spec.AggPerPod, nil
-	case src.Rail == dst.Rail || src.Rail != dst.Rail:
+	default: // cross-pod
 		return f.Spec.AggPerPod * f.Spec.Spines * f.Spec.AggPerPod, nil
 	}
-	return 0, nil
 }
 
 // Paths enumerates every equal-cost path between two NICs, in a
-// deterministic order. Cross-pod pairs have AggPerPod² × Spines paths.
+// deterministic order (the same order pathByIndex and PathIter index).
+// Cross-pod pairs have AggPerPod² × Spines paths; hot paths should
+// prefer VisitPaths or PathIter, which walk the set without
+// materializing it.
 func (f *Fabric) Paths(src, dst NIC) ([]Path, error) {
-	if src == dst {
-		return nil, ErrSameNIC
+	n, err := f.NumPaths(src, dst)
+	if err != nil {
+		return nil, err
 	}
-	if src.Host == dst.Host {
-		return nil, ErrIntraHost
-	}
-	sp, dp := f.PodOf(src.Host), f.PodOf(dst.Host)
-	sNIC, dNIC := src.ID(), dst.ID()
-
-	if sp == dp && src.Rail == dst.Rail {
-		return []Path{pathFromNodes([]NodeID{sNIC, f.ToR(sp, src.Rail), dNIC})}, nil
-	}
-	if sp == dp {
-		// Cross-rail, same pod: up to an aggregation switch and back down.
-		paths := make([]Path, 0, f.Spec.AggPerPod)
-		for a := 0; a < f.Spec.AggPerPod; a++ {
-			paths = append(paths, pathFromNodes([]NodeID{
-				sNIC, f.ToR(sp, src.Rail), f.Agg(sp, a), f.ToR(dp, dst.Rail), dNIC,
-			}))
-		}
-		return paths, nil
-	}
-	// Cross-pod: src ToR → src agg → spine → dst agg → dst ToR.
-	paths := make([]Path, 0, f.Spec.AggPerPod*f.Spec.Spines*f.Spec.AggPerPod)
-	for a1 := 0; a1 < f.Spec.AggPerPod; a1++ {
-		for s := 0; s < f.Spec.Spines; s++ {
-			for a2 := 0; a2 < f.Spec.AggPerPod; a2++ {
-				paths = append(paths, pathFromNodes([]NodeID{
-					sNIC, f.ToR(sp, src.Rail), f.Agg(sp, a1), f.Spine(s), f.Agg(dp, a2), f.ToR(dp, dst.Rail), dNIC,
-				}))
-			}
-		}
+	paths := make([]Path, 0, n)
+	var v PathView
+	for i := 0; i < n; i++ {
+		f.pathViewByIndex(src, dst, i, &v)
+		paths = append(paths, v.Materialize())
 	}
 	return paths, nil
 }
+
+// VisitPaths walks every equal-cost path between two NICs in
+// enumeration order, filling one reused PathView per step — no Path
+// slices are materialized. The callback returns false to stop early.
+// The view passed to fn is only valid for the duration of the call.
+func (f *Fabric) VisitPaths(src, dst NIC, fn func(i int, p *PathView) bool) error {
+	var it PathIter
+	if err := it.Reset(f, src, dst); err != nil {
+		return err
+	}
+	for it.Next() {
+		if !fn(it.i, &it.view) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// PathIter iterates an ECMP path set without allocating: declare one
+// (or reuse one across pairs), Reset it, and walk with Next/Path.
+//
+//	var it topology.PathIter
+//	if err := it.Reset(fab, src, dst); err != nil { ... }
+//	for it.Next() {
+//		p := it.Path() // valid until the next Next/Reset
+//	}
+//
+// Consecutive paths in the enumeration differ only in their ECMP
+// choices (inner agg, spine, outer agg), so Next patches just the
+// changed view slots instead of rebuilding the whole path.
+type PathIter struct {
+	f        *Fabric
+	src, dst NIC
+	n, i     int
+	view     PathView
+
+	// Decomposed ECMP counters and precomputed table bases for the
+	// incremental cross-pod / cross-rail advance.
+	a1, s, a2                    int
+	spAggBase, dpAggBase         int // pod*AggPerPod
+	spRailAggBase, dpRailAggBase int // (pod*Rails+rail)*AggPerPod
+}
+
+// Reset points the iterator at a pair's ECMP set. It returns the same
+// errors NumPaths does; after an error the iterator is empty.
+func (it *PathIter) Reset(f *Fabric, src, dst NIC) error {
+	it.f, it.src, it.dst, it.i = f, src, dst, -1
+	it.a1, it.s, it.a2 = 0, 0, 0
+	n, err := f.NumPaths(src, dst)
+	if err != nil {
+		it.n = 0
+		return err
+	}
+	it.n = n
+	sp, dp := f.PodOf(src.Host), f.PodOf(dst.Host)
+	it.spAggBase = sp * f.Spec.AggPerPod
+	it.dpAggBase = dp * f.Spec.AggPerPod
+	it.spRailAggBase = (sp*f.Spec.Rails + src.Rail) * f.Spec.AggPerPod
+	it.dpRailAggBase = (dp*f.Spec.Rails + dst.Rail) * f.Spec.AggPerPod
+	return nil
+}
+
+// Len returns the size of the ECMP set being iterated.
+func (it *PathIter) Len() int { return it.n }
+
+// Next advances to the next path, returning false when exhausted.
+func (it *PathIter) Next() bool {
+	it.i++
+	if it.i >= it.n {
+		return false
+	}
+	if it.i == 0 {
+		it.f.pathViewByIndex(it.src, it.dst, 0, &it.view)
+		return true
+	}
+	f, v := it.f, &it.view
+	spines := f.Spec.Spines
+	agg := f.Spec.AggPerPod
+	switch v.n {
+	case 5:
+		// Cross-rail, same pod: only the aggregation choice advances.
+		it.a2++
+		a := it.a2
+		up, down := it.spRailAggBase+a, it.dpRailAggBase+a
+		v.nodes[2] = f.aggIDs[it.spAggBase+a]
+		v.links[1], v.ords[1] = f.torAggLinks[up], f.torAggOrds[up]
+		v.links[2], v.ords[2] = f.torAggLinks[down], f.torAggOrds[down]
+	case 7:
+		// Cross-pod: odometer advance over (a1, s, a2), inner digit
+		// first; patch only the slots a changed digit touches.
+		it.a2++
+		sChanged, a1Changed := false, false
+		if it.a2 == agg {
+			it.a2 = 0
+			it.s++
+			sChanged = true
+			if it.s == spines {
+				it.s = 0
+				it.a1++
+				a1Changed = true
+			}
+		}
+		mid2 := (it.dpAggBase+it.a2)*spines + it.s
+		down := it.dpRailAggBase + it.a2
+		v.nodes[4] = f.aggIDs[it.dpAggBase+it.a2]
+		v.links[3], v.ords[3] = f.aggSpineLinks[mid2], f.aggSpineOrds[mid2]
+		v.links[4], v.ords[4] = f.torAggLinks[down], f.torAggOrds[down]
+		if sChanged {
+			v.nodes[3] = f.spineIDs[it.s]
+			mid1 := (it.spAggBase+it.a1)*spines + it.s
+			v.links[2], v.ords[2] = f.aggSpineLinks[mid1], f.aggSpineOrds[mid1]
+		}
+		if a1Changed {
+			up := it.spRailAggBase + it.a1
+			v.nodes[2] = f.aggIDs[it.spAggBase+it.a1]
+			v.links[1], v.ords[1] = f.torAggLinks[up], f.torAggOrds[up]
+		}
+	}
+	return true
+}
+
+// Index returns the current path's enumeration index.
+func (it *PathIter) Index() int { return it.i }
+
+// Path returns the current path view, valid until the next Next or
+// Reset call.
+func (it *PathIter) Path() *PathView { return &it.view }
 
 // PathByHash picks the ECMP path a flow with the given hash entropy
 // takes. Real switches hash the five-tuple per hop; modelling the
 // selection as one hash over the enumerated equal-cost set preserves
 // the property the tomography cares about: a fixed flow sticks to one
-// path, different flows spread across paths.
+// path, different flows spread across paths. Every pair class routes
+// through pathByIndex, so only the returned Path's two slices allocate;
+// PathViewByHash avoids even those.
 func (f *Fabric) PathByHash(src, dst NIC, hash uint64) (Path, error) {
 	n, err := f.NumPaths(src, dst)
 	if err != nil {
 		return Path{}, err
 	}
-	idx := int(hash % uint64(n))
-	if n == 1 {
-		paths, err := f.Paths(src, dst)
-		if err != nil {
-			return Path{}, err
-		}
-		return paths[0], nil
+	return f.pathByIndex(src, dst, int(hash%uint64(n)))
+}
+
+// PathViewByHash is the allocation-free PathByHash: it fills the
+// caller's view with the hash-selected path.
+func (f *Fabric) PathViewByHash(src, dst NIC, hash uint64, v *PathView) error {
+	n, err := f.NumPaths(src, dst)
+	if err != nil {
+		return err
 	}
-	return f.pathByIndex(src, dst, idx)
+	f.pathViewByIndex(src, dst, int(hash%uint64(n)), v)
+	return nil
 }
 
 func (f *Fabric) pathByIndex(src, dst NIC, idx int) (Path, error) {
+	var v PathView
+	f.pathViewByIndex(src, dst, idx, &v)
+	return v.Materialize(), nil
+}
+
+// pathViewByIndex fills v with the idx-th equal-cost path of the pair,
+// in the same enumeration order Paths uses. It performs no allocation:
+// every node and link ID comes from the interned tables. The caller
+// guarantees the pair is valid (distinct NICs on distinct hosts) and
+// idx ∈ [0, NumPaths).
+func (f *Fabric) pathViewByIndex(src, dst NIC, idx int, v *PathView) {
+	rails, agg, spines := f.Spec.Rails, f.Spec.AggPerPod, f.Spec.Spines
 	sp, dp := f.PodOf(src.Host), f.PodOf(dst.Host)
-	sNIC, dNIC := src.ID(), dst.ID()
-	if sp == dp && src.Rail == dst.Rail {
-		return pathFromNodes([]NodeID{sNIC, f.ToR(sp, src.Rail), dNIC}), nil
+	srcNicI := src.Host*rails + src.Rail
+	dstNicI := dst.Host*rails + dst.Rail
+	v.nodes[0] = f.nicIDs[srcNicI]
+	v.nodes[1] = f.torIDs[sp*rails+src.Rail]
+	v.links[0] = f.nicTorLinks[srcNicI]
+	v.ords[0] = f.nicTorOrds[srcNicI]
+	switch {
+	case sp == dp && src.Rail == dst.Rail:
+		v.n = 3
+		v.nodes[2] = f.nicIDs[dstNicI]
+		v.links[1] = f.nicTorLinks[dstNicI]
+		v.ords[1] = f.nicTorOrds[dstNicI]
+	case sp == dp:
+		// Cross-rail, same pod: up to an aggregation switch and back down.
+		a := idx % agg
+		up := (sp*rails+src.Rail)*agg + a
+		down := (dp*rails+dst.Rail)*agg + a
+		v.n = 5
+		v.nodes[2] = f.aggIDs[sp*agg+a]
+		v.nodes[3] = f.torIDs[dp*rails+dst.Rail]
+		v.nodes[4] = f.nicIDs[dstNicI]
+		v.links[1], v.ords[1] = f.torAggLinks[up], f.torAggOrds[up]
+		v.links[2], v.ords[2] = f.torAggLinks[down], f.torAggOrds[down]
+		v.links[3], v.ords[3] = f.nicTorLinks[dstNicI], f.nicTorOrds[dstNicI]
+	default:
+		// Cross-pod: src ToR → src agg → spine → dst agg → dst ToR. The
+		// index decomposes innermost-first to match Paths' enumeration
+		// order (a1 outer, spine middle, a2 inner).
+		a2 := idx % agg
+		idx /= agg
+		s := idx % spines
+		a1 := idx / spines
+		up := (sp*rails+src.Rail)*agg + a1
+		mid1 := (sp*agg+a1)*spines + s
+		mid2 := (dp*agg+a2)*spines + s
+		down := (dp*rails+dst.Rail)*agg + a2
+		v.n = 7
+		v.nodes[2] = f.aggIDs[sp*agg+a1]
+		v.nodes[3] = f.spineIDs[s]
+		v.nodes[4] = f.aggIDs[dp*agg+a2]
+		v.nodes[5] = f.torIDs[dp*rails+dst.Rail]
+		v.nodes[6] = f.nicIDs[dstNicI]
+		v.links[1], v.ords[1] = f.torAggLinks[up], f.torAggOrds[up]
+		v.links[2], v.ords[2] = f.aggSpineLinks[mid1], f.aggSpineOrds[mid1]
+		v.links[3], v.ords[3] = f.aggSpineLinks[mid2], f.aggSpineOrds[mid2]
+		v.links[4], v.ords[4] = f.torAggLinks[down], f.torAggOrds[down]
+		v.links[5], v.ords[5] = f.nicTorLinks[dstNicI], f.nicTorOrds[dstNicI]
 	}
-	if sp == dp {
-		a := idx % f.Spec.AggPerPod
-		return pathFromNodes([]NodeID{sNIC, f.ToR(sp, src.Rail), f.Agg(sp, a), f.ToR(dp, dst.Rail), dNIC}), nil
-	}
-	a2 := idx % f.Spec.AggPerPod
-	idx /= f.Spec.AggPerPod
-	s := idx % f.Spec.Spines
-	idx /= f.Spec.Spines
-	a1 := idx % f.Spec.AggPerPod
-	return pathFromNodes([]NodeID{sNIC, f.ToR(sp, src.Rail), f.Agg(sp, a1), f.Spine(s), f.Agg(dp, a2), f.ToR(dp, dst.Rail), dNIC}), nil
 }
 
 // SwitchNodes returns all switch node IDs (ToR, Agg, Spine) in the
@@ -321,9 +639,19 @@ func (f *Fabric) SwitchNodes() []NodeID {
 // LinksOfNode returns all links incident to a node.
 func (f *Fabric) LinksOfNode(n NodeID) []LinkID {
 	var out []LinkID
-	for id, ep := range f.links {
+	for _, ord := range f.ordLinksOfNode(n) {
+		out = append(out, f.ordLinks[ord])
+	}
+	return out
+}
+
+// ordLinksOfNode returns the ordinals of a node's incident links, in
+// ascending ordinal order.
+func (f *Fabric) ordLinksOfNode(n NodeID) []int32 {
+	var out []int32
+	for ord, ep := range f.ordEnds {
 		if ep[0] == n || ep[1] == n {
-			out = append(out, id)
+			out = append(out, int32(ord))
 		}
 	}
 	return out

@@ -1,8 +1,6 @@
 package transport
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -55,8 +53,7 @@ type Client struct {
 
 	mu         sync.Mutex
 	conn       net.Conn
-	dec        *json.Decoder
-	enc        *json.Encoder
+	fr         *frameReader
 	rng        *rand.Rand
 	seq        uint64
 	registered bool
@@ -186,10 +183,10 @@ func (c *Client) exchange(req *Request) (resp Response, sent bool, err error) {
 	if err := c.conn.SetDeadline(deadline); err != nil {
 		return Response{}, false, err
 	}
-	if err := c.enc.Encode(req); err != nil {
+	if err := writeRequest(c.conn, req); err != nil {
 		return Response{}, false, fmt.Errorf("transport: send %s: %w", req.Op, err)
 	}
-	if err := c.dec.Decode(&resp); err != nil {
+	if resp, err = c.fr.readResponse(); err != nil {
 		return Response{}, true, fmt.Errorf("transport: recv %s: %w", req.Op, err)
 	}
 	if !resp.OK {
@@ -241,8 +238,7 @@ func (c *Client) redialLocked() error {
 		return err
 	}
 	c.conn = conn
-	c.dec = json.NewDecoder(bufio.NewReader(conn))
-	c.enc = json.NewEncoder(conn)
+	c.fr = newFrameReader(conn)
 	return nil
 }
 
@@ -251,8 +247,7 @@ func (c *Client) dropConnLocked() {
 		c.conn.Close()
 		c.conn = nil
 	}
-	c.dec = nil
-	c.enc = nil
+	c.fr = nil
 }
 
 // Register announces this agent as up.

@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire codec: the explicit frame layer under the newline-delimited
+// JSON protocol. Both server and client route every frame through
+// these functions, so the fuzz targets (FuzzDecodeRequest /
+// FuzzDecodeResponse) exercise exactly the code hostile bytes reach in
+// production. Limits exist because the server reads frames from
+// authenticated-but-untrusted tenant sidecars — a malformed or
+// maliciously huge frame must cost bounded memory before the MAC is
+// even checked.
+const (
+	// MaxFrameBytes caps one frame (request or response). The largest
+	// legitimate frame is a report batch: MaxReports records with
+	// MaxPathLinks short link IDs fit comfortably.
+	MaxFrameBytes = 8 << 20
+	// MaxReports bounds the probe reports of one OpReport frame.
+	MaxReports = 100000
+	// MaxPathLinks bounds the underlay links of one report (a probe
+	// traverses a handful of tunnel legs of ≤ 6 links each).
+	MaxPathLinks = 64
+	// MaxTargets bounds the ping-list entries of one response.
+	MaxTargets = 1 << 20
+	// MaxStringLen bounds every string field (task, nonce, MAC, link
+	// IDs, error text).
+	MaxStringLen = 4096
+)
+
+var (
+	// ErrFrameTooLarge reports a frame exceeding MaxFrameBytes.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+	// ErrMalformedFrame reports bytes that do not decode to a
+	// structurally valid frame.
+	ErrMalformedFrame = errors.New("transport: malformed frame")
+)
+
+// DecodeRequest parses one request frame (the bytes of a single line,
+// with or without the trailing newline) and validates its structural
+// limits. The returned request aliases nothing in data.
+func DecodeRequest(data []byte) (Request, error) {
+	var req Request
+	if len(data) > MaxFrameBytes {
+		return req, ErrFrameTooLarge
+	}
+	if err := json.Unmarshal(data, &req); err != nil {
+		return Request{}, fmt.Errorf("%w: %v", ErrMalformedFrame, err)
+	}
+	if err := validateRequest(&req); err != nil {
+		return Request{}, err
+	}
+	// Canonicalize: empty slices encode as absent (omitempty), so map
+	// them to nil for a stable decode→encode→decode wire form.
+	if len(req.Reports) == 0 {
+		req.Reports = nil
+	}
+	for i := range req.Reports {
+		if len(req.Reports[i].Path) == 0 {
+			req.Reports[i].Path = nil
+		}
+	}
+	return req, nil
+}
+
+// DecodeResponse parses one response frame with the same contract as
+// DecodeRequest.
+func DecodeResponse(data []byte) (Response, error) {
+	var resp Response
+	if len(data) > MaxFrameBytes {
+		return resp, ErrFrameTooLarge
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return Response{}, fmt.Errorf("%w: %v", ErrMalformedFrame, err)
+	}
+	if err := validateResponse(&resp); err != nil {
+		return Response{}, err
+	}
+	if len(resp.Targets) == 0 {
+		resp.Targets = nil
+	}
+	return resp, nil
+}
+
+// EncodeRequest renders a request as one newline-terminated frame. It
+// enforces the same limits as DecodeRequest, so every encodable frame
+// round-trips.
+func EncodeRequest(req *Request) ([]byte, error) {
+	if err := validateRequest(req); err != nil {
+		return nil, err
+	}
+	return encodeFrame(req)
+}
+
+// EncodeResponse renders a response as one newline-terminated frame
+// under the same round-trip contract as EncodeRequest.
+func EncodeResponse(resp *Response) ([]byte, error) {
+	if err := validateResponse(resp); err != nil {
+		return nil, err
+	}
+	return encodeFrame(resp)
+}
+
+func encodeFrame(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	if len(b)+1 > MaxFrameBytes {
+		return nil, ErrFrameTooLarge
+	}
+	return append(b, '\n'), nil
+}
+
+func checkStr(field, s string) error {
+	if len(s) > MaxStringLen {
+		return fmt.Errorf("%w: %s exceeds %d bytes", ErrMalformedFrame, field, MaxStringLen)
+	}
+	return nil
+}
+
+func validateRequest(req *Request) error {
+	if err := checkStr("op", string(req.Op)); err != nil {
+		return err
+	}
+	if err := checkStr("task", req.Task); err != nil {
+		return err
+	}
+	if err := checkStr("nonce", req.Nonce); err != nil {
+		return err
+	}
+	if err := checkStr("mac", req.MAC); err != nil {
+		return err
+	}
+	if len(req.Reports) > MaxReports {
+		return fmt.Errorf("%w: %d reports exceed limit %d", ErrMalformedFrame, len(req.Reports), MaxReports)
+	}
+	for i := range req.Reports {
+		r := &req.Reports[i]
+		if len(r.Path) > MaxPathLinks {
+			return fmt.Errorf("%w: report %d carries %d path links (limit %d)", ErrMalformedFrame, i, len(r.Path), MaxPathLinks)
+		}
+		for _, l := range r.Path {
+			if err := checkStr("path link", l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateResponse(resp *Response) error {
+	if err := checkStr("error", resp.Error); err != nil {
+		return err
+	}
+	if err := checkStr("phase", resp.Phase); err != nil {
+		return err
+	}
+	if len(resp.Targets) > MaxTargets {
+		return fmt.Errorf("%w: %d targets exceed limit %d", ErrMalformedFrame, len(resp.Targets), MaxTargets)
+	}
+	return nil
+}
+
+// frameReader reads newline-delimited frames off a connection with the
+// size cap enforced mid-read: an attacker streaming an endless line
+// costs at most MaxFrameBytes of buffer before the connection drops.
+// Read errors (including net.Error deadline timeouts) pass through
+// unwrapped so callers keep their timeout handling.
+type frameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: bufio.NewReader(r)}
+}
+
+// next returns the bytes of one frame, without the trailing newline.
+// The slice is only valid until the following call.
+func (fr *frameReader) next() ([]byte, error) {
+	fr.buf = fr.buf[:0]
+	for {
+		chunk, err := fr.r.ReadSlice('\n')
+		fr.buf = append(fr.buf, chunk...)
+		if len(fr.buf) > MaxFrameBytes {
+			return nil, ErrFrameTooLarge
+		}
+		switch {
+		case err == nil:
+			return fr.buf[:len(fr.buf)-1], nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue
+		default:
+			if len(fr.buf) > 0 && errors.Is(err, io.EOF) {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+}
+
+// readRequest reads and decodes one request frame.
+func (fr *frameReader) readRequest() (Request, error) {
+	line, err := fr.next()
+	if err != nil {
+		return Request{}, err
+	}
+	return DecodeRequest(line)
+}
+
+// readResponse reads and decodes one response frame.
+func (fr *frameReader) readResponse() (Response, error) {
+	line, err := fr.next()
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponse(line)
+}
+
+// writeRequest encodes and writes one request frame.
+func writeRequest(w io.Writer, req *Request) error {
+	frame, err := EncodeRequest(req)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// writeResponse encodes and writes one response frame.
+func writeResponse(w io.Writer, resp *Response) error {
+	frame, err := EncodeResponse(resp)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}

@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// seedRequests are valid frames of every op, plus edge shapes.
+func seedRequests() []Request {
+	return []Request{
+		{Op: OpRegister, Task: "task-a", Container: 0, Nonce: "1-a", MAC: "00"},
+		{Op: OpDeregister, Task: "task-a", Container: 3, Nonce: "2-b", MAC: "ff"},
+		{Op: OpPingList, Task: "job/train-7b", Container: 11, Nonce: "3-c", MAC: "aa"},
+		{Op: OpStats, Task: "t", Container: 0, Nonce: "", MAC: ""},
+		{Op: OpReport, Task: "task-a", Container: 1, Nonce: "4-d", MAC: "bb", Reports: []ProbeReport{
+			{SrcContainer: 0, SrcRail: 1, DstContainer: 2, DstRail: 1, AtNanos: 1e9, RTTNanos: 16000, Lost: false,
+				Path: []string{"nic/h0/r1--tor/p0/r1", "nic/h2/r1--tor/p0/r1"}},
+			{SrcContainer: 0, SrcRail: 2, DstContainer: 5, DstRail: 2, AtNanos: 2e9, Lost: true},
+		}},
+		{Op: Op("unknown-op"), Task: "x", Nonce: "n", MAC: "m"},
+	}
+}
+
+func seedResponses() []Response {
+	return []Response{
+		{OK: true},
+		{OK: false, Error: "authentication failed"},
+		{OK: true, Epoch: 7, Targets: []Target{{SrcContainer: 0, SrcRail: 1, DstContainer: 2, DstRail: 1}}},
+		{OK: true, FullMeshTargets: 4096, BasicTargets: 88, CurrentTargets: 88, Phase: "basic"},
+		{OK: false, Error: "replayed nonce", Epoch: 2},
+	}
+}
+
+// FuzzDecodeRequest drives hostile bytes through the request decoder:
+// it must never panic, and anything it accepts must re-encode and
+// re-decode to the same value (a stable wire form).
+func FuzzDecodeRequest(f *testing.F) {
+	for _, req := range seedRequests() {
+		frame, err := EncodeRequest(&req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"op":"report","reports":[{"path":["x"]}]}`))
+	f.Add([]byte(`{"op":1}`))
+	f.Add([]byte(""))
+	f.Add([]byte("null"))
+	f.Add(bytes.Repeat([]byte("a"), 4097))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		frame, err := EncodeRequest(&req)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		again, err := DecodeRequest(frame)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip drifted:\n first %+v\n again %+v", req, again)
+		}
+	})
+}
+
+// FuzzDecodeResponse is the response-side twin of FuzzDecodeRequest.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, resp := range seedResponses() {
+		frame, err := EncodeResponse(&resp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"ok":true,"targets":[{}]}`))
+	f.Add([]byte(`{"epoch":-1}`))
+	f.Add([]byte("[]"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeResponse(data)
+		if err != nil {
+			return
+		}
+		frame, err := EncodeResponse(&resp)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		again, err := DecodeResponse(frame)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(resp, again) {
+			t.Fatalf("round trip drifted:\n first %+v\n again %+v", resp, again)
+		}
+	})
+}
+
+// TestCodecRoundTrip pins exact equality for every seed frame.
+func TestCodecRoundTrip(t *testing.T) {
+	for _, req := range seedRequests() {
+		frame, err := EncodeRequest(&req)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", req, err)
+		}
+		if frame[len(frame)-1] != '\n' {
+			t.Fatal("frame not newline-terminated")
+		}
+		got, err := DecodeRequest(frame[:len(frame)-1])
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(req, got) {
+			t.Fatalf("request drifted:\n sent %+v\n got  %+v", req, got)
+		}
+	}
+	for _, resp := range seedResponses() {
+		frame, err := EncodeResponse(&resp)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", resp, err)
+		}
+		got, err := DecodeResponse(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(resp, got) {
+			t.Fatalf("response drifted:\n sent %+v\n got  %+v", resp, got)
+		}
+	}
+}
+
+// TestCodecLimits checks the structural caps reject oversized frames
+// on both encode and decode.
+func TestCodecLimits(t *testing.T) {
+	big := Request{Op: OpReport, Task: "t", Reports: make([]ProbeReport, MaxReports+1)}
+	if _, err := EncodeRequest(&big); !errors.Is(err, ErrMalformedFrame) {
+		t.Fatalf("oversized report batch encoded: %v", err)
+	}
+	longPath := Request{Op: OpReport, Task: "t", Reports: []ProbeReport{{Path: make([]string, MaxPathLinks+1)}}}
+	if _, err := EncodeRequest(&longPath); !errors.Is(err, ErrMalformedFrame) {
+		t.Fatalf("oversized path encoded: %v", err)
+	}
+	longTask := Request{Op: OpRegister, Task: strings.Repeat("x", MaxStringLen+1)}
+	if _, err := EncodeRequest(&longTask); !errors.Is(err, ErrMalformedFrame) {
+		t.Fatalf("oversized task encoded: %v", err)
+	}
+	if _, err := DecodeRequest(make([]byte, MaxFrameBytes+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame decoded: %v", err)
+	}
+	if _, err := DecodeResponse([]byte(`{"error":"` + strings.Repeat("e", MaxStringLen+1) + `"}`)); !errors.Is(err, ErrMalformedFrame) {
+		t.Fatalf("oversized error field decoded: %v", err)
+	}
+}
+
+// TestFrameReaderCapsEndlessLine checks that a peer streaming one
+// endless line costs bounded memory, not an OOM.
+func TestFrameReaderCapsEndlessLine(t *testing.T) {
+	endless := io.MultiReader(
+		bytes.NewReader(bytes.Repeat([]byte{'{'}, MaxFrameBytes+2)),
+		strings.NewReader("\n"),
+	)
+	fr := newFrameReader(endless)
+	if _, err := fr.next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("endless line not capped: %v", err)
+	}
+}
+
+// TestFrameReaderPartialFrame checks a mid-frame EOF surfaces as
+// ErrUnexpectedEOF (distinguishable from a clean close).
+func TestFrameReaderPartialFrame(t *testing.T) {
+	fr := newFrameReader(strings.NewReader(`{"ok":true`))
+	if _, err := fr.next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("partial frame: got %v, want ErrUnexpectedEOF", err)
+	}
+	fr = newFrameReader(strings.NewReader(""))
+	if _, err := fr.next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("clean close: got %v, want EOF", err)
+	}
+}

@@ -1,8 +1,6 @@
 package transport
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -227,16 +225,15 @@ func (s *Server) serve(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	enc := json.NewEncoder(conn)
+	fr := newFrameReader(conn)
 	for {
 		if s.cfg.IdleTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
 				return
 			}
 		}
-		var req Request
-		if err := dec.Decode(&req); err != nil {
+		req, err := fr.readRequest()
+		if err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
 				s.idleCloses.Add(1)
@@ -249,7 +246,7 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		resp := s.dispatch(&req)
 		resp.Epoch = s.backend.Epoch()
-		if err := enc.Encode(resp); err != nil {
+		if err := writeResponse(conn, &resp); err != nil {
 			if s.Logf != nil {
 				s.Logf("transport: encode to %s: %v", conn.RemoteAddr(), err)
 			}
