@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-all cover smoke fuzz
+.PHONY: all build test race vet fmt-check bench bench-ci bench-all cover smoke fuzz
 
 all: build vet test
 
@@ -31,14 +31,29 @@ fmt-check:
 # writes machine-readable summaries (name → ns/op, B/op, allocs/op)
 # for CI to archive, so analysis- and incident-plane perf regressions
 # show up as an artifact diff. The scalebench campaign (4096 hosts ×
-# 8 rails, deterministic fault schedule) reports end-to-end rounds/sec,
-# allocs/round and peak heap the same way.
+# 8 rails, deterministic fault schedule) runs the full -workers 1,4,16
+# matrix at paper scale and reports end-to-end rounds/sec, allocs/round
+# and peak heap per worker count the same way.
 bench:
 	$(GO) test -run xxx -bench Analyzer -benchmem . | tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -o BENCH_analyzer.json
 	$(GO) test -run xxx -bench IncidentCorrelator -benchmem ./internal/incident | tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -o BENCH_incident.json
 	GOGC=50 $(GO) run ./cmd/scalebench -o BENCH_scale.json
+
+# CI-sized scalebench: the same 1/4/16 worker matrix on a shrunken
+# fabric (-short), with the coarse parallel-speedup floor enforced
+# (-gate2x fails the run if workers=16 is not ≥2× workers=1 in
+# rounds/sec; it skips loudly on runners with <4 CPUs, where a
+# wall-clock speedup is unmeasurable). Determinism across the matrix
+# is always enforced — a fingerprint mismatch fails regardless of
+# runner size.
+bench-ci:
+	$(GO) test -run xxx -bench Analyzer -benchmem . | tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -o BENCH_analyzer.json
+	$(GO) test -run xxx -bench IncidentCorrelator -benchmem ./internal/incident | tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -o BENCH_incident.json
+	GOGC=50 $(GO) run ./cmd/scalebench -short -gate2x -o BENCH_scale.json
 
 # Full benchmark sweep (every figure/table generator), human-readable.
 bench-all:

@@ -6,13 +6,15 @@
 // archives the JSON report (BENCH_scale.json) so throughput and
 // allocation regressions diff across commits like any other benchmark.
 //
-// The campaign is deterministic: the same seed replays the same fleet,
-// the same fault schedule, and the same alarms. Wall-clock figures of
+// The campaign runs once per entry of the -workers matrix (parallel
+// round-engine fan-out) and cross-checks the runs' outcome
+// fingerprints: alarms, blacklist, and incidents must be bit-identical
+// at every worker count, or the command fails. Wall-clock figures of
 // course vary with the machine; the campaign outcome does not.
 //
 // Usage:
 //
-//	scalebench [-hosts 4096] [-rounds 60] [-seed 1] [-o BENCH_scale.json]
+//	scalebench [-hosts 4096] [-rounds 30] [-workers 1,4,16] [-short] [-o BENCH_scale.json]
 package main
 
 import (
@@ -23,6 +25,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"skeletonhunter/internal/cluster"
@@ -36,19 +40,29 @@ import (
 
 // Report is the campaign's JSON output.
 type Report struct {
-	Config   ConfigInfo  `json:"config"`
-	Fleet    FleetInfo   `json:"fleet"`
-	Perf     PerfInfo    `json:"perf"`
-	Outcome  OutcomeInfo `json:"outcome"`
-	Finished string      `json:"finished"` // wall-clock timestamp, for artifact bookkeeping
+	Config ConfigInfo `json:"config"`
+	Fleet  FleetInfo  `json:"fleet"`
+	// Matrix holds one entry per -workers value, in the order given.
+	Matrix []WorkerPerf `json:"matrix"`
+	// Perf echoes the highest-worker-count matrix entry — the headline
+	// figures earlier single-run reports carried in this field.
+	Perf PerfInfo `json:"perf"`
+	// Deterministic reports whether every matrix entry produced the
+	// same outcome fingerprint (alarms, blacklist, incidents).
+	Deterministic bool        `json:"deterministic"`
+	Outcome       OutcomeInfo `json:"outcome"`
+	Finished      string      `json:"finished"` // wall-clock timestamp, for artifact bookkeeping
 }
 
 type ConfigInfo struct {
-	Hosts         int   `json:"hosts"`
-	Rails         int   `json:"rails"`
-	Seed          int64 `json:"seed"`
-	WarmupRounds  int   `json:"warmup_rounds"`
-	MeasureRounds int   `json:"measure_rounds"`
+	Hosts         int    `json:"hosts"`
+	Rails         int    `json:"rails"`
+	Seed          int64  `json:"seed"`
+	WarmupRounds  int    `json:"warmup_rounds"`
+	MeasureRounds int    `json:"measure_rounds"`
+	Workers       []int  `json:"workers"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Mode          string `json:"mode"` // "full" or "short"
 }
 
 type FleetInfo struct {
@@ -57,6 +71,20 @@ type FleetInfo struct {
 	Links  int `json:"links"`
 	Tasks  int `json:"tasks"`
 	Agents int `json:"agents"`
+}
+
+// WorkerPerf is one matrix point: the campaign replayed at a given
+// round-engine worker count.
+type WorkerPerf struct {
+	Workers        int     `json:"workers"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	RoundsPerSec   float64 `json:"rounds_per_sec"`
+	ProbesPerRound float64 `json:"probes_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	BytesPerRound  float64 `json:"bytes_per_round"`
+	PeakHeapBytes  uint64  `json:"peak_heap_bytes"`
+	UtilizationPct uint64  `json:"worker_utilization_pct"`
+	Fingerprint    string  `json:"fingerprint"`
 }
 
 type PerfInfo struct {
@@ -92,12 +120,35 @@ func main() {
 	rounds := flag.Int("rounds", 30, "measured probing rounds (1 s of simulated time each)")
 	warmup := flag.Int("warmup", 45, "warmup probing rounds before faults are injected")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	workersFlag := flag.String("workers", "1,4,16", "comma-separated round-engine worker matrix")
+	short := flag.Bool("short", false, "CI mode: shrink hosts/rounds/warmup unless set explicitly")
+	gate2x := flag.Bool("gate2x", false, "fail unless the largest worker count is ≥2× faster than workers=1 (skipped on <4 cores)")
 	out := flag.String("o", "BENCH_scale.json", "report output path")
 	verbose := flag.Bool("v", false, "print campaign progress")
 	flag.Parse()
 
-	rep, err := run(*hosts, *rounds, *warmup, *seed, *workers, *verbose)
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	mode := "full"
+	if *short {
+		mode = "short"
+		if !explicit["hosts"] {
+			*hosts = 64
+		}
+		if !explicit["rounds"] {
+			*rounds = 10
+		}
+		if !explicit["warmup"] {
+			*warmup = 20
+		}
+	}
+	workers, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalebench:", err)
+		os.Exit(2)
+	}
+
+	rep, err := runMatrix(*hosts, *rounds, *warmup, *seed, workers, mode, *verbose)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scalebench:", err)
 		os.Exit(1)
@@ -112,12 +163,108 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scalebench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("scalebench: %d hosts, %.1f rounds/sec, %.0f allocs/round, peak heap %d MiB → %s\n",
-		rep.Config.Hosts, rep.Perf.RoundsPerSec, rep.Perf.AllocsPerRound,
-		rep.Perf.PeakHeapBytes>>20, *out)
+	for _, wp := range rep.Matrix {
+		fmt.Printf("scalebench: workers=%-2d %6.1f rounds/sec, %8.0f allocs/round, util %d%%, fp %s\n",
+			wp.Workers, wp.RoundsPerSec, wp.AllocsPerRound, wp.UtilizationPct, wp.Fingerprint[:12])
+	}
+	fmt.Printf("scalebench: %d hosts, deterministic=%v → %s\n", rep.Config.Hosts, rep.Deterministic, *out)
+
+	if !rep.Deterministic {
+		fmt.Fprintln(os.Stderr, "scalebench: FAIL: outcome fingerprints differ across worker counts")
+		os.Exit(1)
+	}
+	if *gate2x {
+		gateSpeedup(rep)
+	}
 }
 
-func run(hosts, rounds, warmup int, seed int64, workers int, verbose bool) (*Report, error) {
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-workers matrix is empty")
+	}
+	return out, nil
+}
+
+// gateSpeedup enforces the coarse CI floor: the largest worker count
+// must beat workers=1 by ≥2×. Meaningless without cores to run the
+// workers on, so it is skipped (loudly) below 4 CPUs.
+func gateSpeedup(rep *Report) {
+	if runtime.NumCPU() < 4 {
+		fmt.Printf("scalebench: speedup gate skipped (%d CPUs < 4)\n", runtime.NumCPU())
+		return
+	}
+	var base, best *WorkerPerf
+	for i := range rep.Matrix {
+		wp := &rep.Matrix[i]
+		if wp.Workers == 1 {
+			base = wp
+		}
+		if best == nil || wp.Workers > best.Workers {
+			best = wp
+		}
+	}
+	if base == nil || best == nil || best.Workers == 1 {
+		fmt.Println("scalebench: speedup gate skipped (matrix lacks a 1-vs-N pair)")
+		return
+	}
+	speedup := best.RoundsPerSec / base.RoundsPerSec
+	fmt.Printf("scalebench: speedup workers=%d vs 1: %.2fx (gate 2.00x)\n", best.Workers, speedup)
+	if speedup < 2.0 {
+		fmt.Fprintf(os.Stderr, "scalebench: FAIL: workers=%d is only %.2fx faster than workers=1\n",
+			best.Workers, speedup)
+		os.Exit(1)
+	}
+}
+
+func runMatrix(hosts, rounds, warmup int, seed int64, workers []int, mode string, verbose bool) (*Report, error) {
+	rep := &Report{
+		Config: ConfigInfo{
+			Hosts: hosts, Seed: seed,
+			WarmupRounds: warmup, MeasureRounds: rounds,
+			Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0), Mode: mode,
+		},
+		Deterministic: true,
+	}
+	for _, w := range workers {
+		wp, fleet, outcome, err := run(hosts, rounds, warmup, seed, w, verbose)
+		if err != nil {
+			return nil, err
+		}
+		rep.Fleet = *fleet
+		rep.Config.Rails = topology.Production(hosts).Rails
+		rep.Outcome = *outcome
+		rep.Matrix = append(rep.Matrix, *wp)
+		if wp.Fingerprint != rep.Matrix[0].Fingerprint {
+			rep.Deterministic = false
+		}
+		if wp.Workers >= rep.Matrix[0].Workers {
+			rep.Perf = PerfInfo{
+				WallSeconds:    wp.WallSeconds,
+				RoundsPerSec:   wp.RoundsPerSec,
+				ProbesPerRound: wp.ProbesPerRound,
+				AllocsPerRound: wp.AllocsPerRound,
+				BytesPerRound:  wp.BytesPerRound,
+				PeakHeapBytes:  wp.PeakHeapBytes,
+			}
+		}
+	}
+	rep.Finished = time.Now().UTC().Format(time.RFC3339)
+	return rep, nil
+}
+
+func run(hosts, rounds, warmup int, seed int64, workers int, verbose bool) (*WorkerPerf, *FleetInfo, *OutcomeInfo, error) {
 	spec := topology.Production(hosts)
 	d, err := hunter.New(hunter.Options{
 		Seed:    seed,
@@ -130,7 +277,7 @@ func run(hosts, rounds, warmup int, seed int64, workers int, verbose bool) (*Rep
 		AnalysisInterval: 10 * time.Second,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	// Fill the fleet with 12-container tenants: 96 GPUs = 12 hosts per
@@ -145,15 +292,15 @@ func run(hosts, rounds, warmup int, seed int64, workers int, verbose bool) (*Rep
 			if errors.Is(err, cluster.ErrNoCapacity) {
 				break
 			}
-			return nil, err
+			return nil, nil, nil, err
 		}
 		tasks++
 	}
 	if tasks == 0 {
-		return nil, fmt.Errorf("fleet of %d hosts fits no %d-host task", hosts, 12)
+		return nil, nil, nil, fmt.Errorf("fleet of %d hosts fits no %d-host task", hosts, 12)
 	}
 	if verbose {
-		fmt.Printf("fleet: %d tasks / %d hosts; warmup %d rounds\n", tasks, hosts, warmup)
+		fmt.Printf("fleet: %d tasks / %d hosts; workers %d; warmup %d rounds\n", tasks, hosts, workers, warmup)
 	}
 	d.Run(time.Duration(warmup) * time.Second)
 
@@ -161,15 +308,15 @@ func run(hosts, rounds, warmup int, seed int64, workers int, verbose bool) (*Rep
 	// offline — host-, port- and switch-scoped failures active at once.
 	nic := topology.NIC{Host: hosts / 3, Rail: 3}
 	if _, err := d.Injector.Inject(faults.RNICPortDown, faults.Target{Host: nic.Host, Rail: nic.Rail}); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	port := hosts / 2
 	portLink := topology.MakeLinkID(topology.NIC{Host: port, Rail: 5}.ID(), d.Fabric.ToR(d.Fabric.PodOf(port), 5))
 	if _, err := d.Injector.Inject(faults.SwitchPortDown, faults.Target{Link: portLink}); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if _, err := d.Injector.Inject(faults.SwitchOffline, faults.Target{Switch: d.Fabric.Agg(0, 1)}); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	before := d.Stats().Counters
@@ -199,34 +346,30 @@ func run(hosts, rounds, warmup int, seed int64, workers int, verbose bool) (*Rep
 	if d.Incidents != nil {
 		incidents = len(d.Incidents.Incidents())
 	}
-	rep := &Report{
-		Config: ConfigInfo{
-			Hosts: hosts, Rails: spec.Rails, Seed: seed,
-			WarmupRounds: warmup, MeasureRounds: rounds,
-		},
-		Fleet: FleetInfo{
-			Pods:   spec.Pods,
-			RNICs:  hosts * spec.Rails,
-			Links:  d.Fabric.NumLinks(),
-			Tasks:  tasks,
-			Agents: tasks * 12,
-		},
-		Perf: PerfInfo{
-			WallSeconds:    wall.Seconds(),
-			RoundsPerSec:   float64(rounds) / wall.Seconds(),
-			ProbesPerRound: float64(probes) / float64(rounds),
-			AllocsPerRound: float64(m1.Mallocs-m0.Mallocs) / float64(rounds),
-			BytesPerRound:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(rounds),
-			PeakHeapBytes:  peak,
-		},
-		Outcome: OutcomeInfo{
-			Alarms:      len(d.Analyzer.Alarms()),
-			Blacklisted: len(d.Analyzer.Blacklist()),
-			Incidents:   incidents,
-			ProbesSent:  after[obs.ProbesSent.String()],
-			RecordsSeen: after[obs.RecordsIngested.String()],
-		},
-		Finished: time.Now().UTC().Format(time.RFC3339),
+	fleet := &FleetInfo{
+		Pods:   spec.Pods,
+		RNICs:  hosts * spec.Rails,
+		Links:  d.Fabric.NumLinks(),
+		Tasks:  tasks,
+		Agents: tasks * 12,
 	}
-	return rep, nil
+	wp := &WorkerPerf{
+		Workers:        workers,
+		WallSeconds:    wall.Seconds(),
+		RoundsPerSec:   float64(rounds) / wall.Seconds(),
+		ProbesPerRound: float64(probes) / float64(rounds),
+		AllocsPerRound: float64(m1.Mallocs-m0.Mallocs) / float64(rounds),
+		BytesPerRound:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(rounds),
+		PeakHeapBytes:  peak,
+		UtilizationPct: after["worker-utilization-pct"],
+		Fingerprint:    d.Fingerprint(),
+	}
+	outcome := &OutcomeInfo{
+		Alarms:      len(d.Analyzer.Alarms()),
+		Blacklisted: len(d.Analyzer.Blacklist()),
+		Incidents:   incidents,
+		ProbesSent:  after[obs.ProbesSent.String()],
+		RecordsSeen: after[obs.RecordsIngested.String()],
+	}
+	return wp, fleet, outcome, nil
 }

@@ -35,7 +35,7 @@ func main() {
 	ep := flag.Int("ep", 1, "expert-parallel degree (MoE)")
 	issue := flag.Int("issue", 9, "Table-1 issue number to inject (0 = none)")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	workers := flag.Int("workers", 0, "analysis-round worker pool size (0 = GOMAXPROCS); alarms are identical at any value")
+	workers := flag.Int("workers", 0, "worker count for the sharded monitoring round — probe, ingest, detect, localize (0 = GOMAXPROCS); alarms are identical at any value")
 	verbose := flag.Bool("v", false, "print every alarm")
 	stats := flag.Bool("stats", false, "print the monitoring plane's self-monitoring counters and stage timings at exit")
 	telDrop := flag.Float64("tel-drop", 0, "telemetry fault: probability an agent batch is dropped before ingest")

@@ -131,6 +131,10 @@ type shard struct {
 	// samples is a reusable buffer for grouping a pair's contiguous
 	// records into one ObserveMany call.
 	samples []detect.Sample
+	// locScratch is the shard's reusable localization workspace (vote
+	// accumulator and link interner); per-shard votes merge at the round
+	// barrier in task-key order, never across shards.
+	locScratch localize.Scratch
 }
 
 func newShard(task string, cfg Config) *shard {
@@ -279,7 +283,7 @@ func (s *shard) localizeRound(loc *localize.Localizer) ([]detect.Anomaly, []loca
 			Src: pi.src, Dst: pi.dst, Symptom: byPair[key], Paths: pi.paths,
 		})
 	}
-	return anomalies, loc.Localize(evidence, s.healthy)
+	return anomalies, loc.LocalizeWith(&s.locScratch, evidence, s.healthy)
 }
 
 // Analyzer is the sharded streaming pipeline.
@@ -364,6 +368,15 @@ func (an *Analyzer) IngestBatch(batch probe.Batch) {
 	sh := an.shards.Get(string(batch[0].Task))
 	n := sh.enqueue(batch...)
 	an.stats.Add(pipeline.StageIngest, uint64(n))
+}
+
+// WarmShard pre-creates a task's shard. The parallel round engine calls
+// this serially (ShardSink.Prepare) before probe workers ingest
+// concurrently: with every round task warmed, the workers' shard
+// lookups are pure map reads and enqueue touches only shard-owned
+// state plus atomic counters.
+func (an *Analyzer) WarmShard(task string) {
+	an.shards.Get(task)
 }
 
 // shardResult is one shard's round output, merged in task-key order.

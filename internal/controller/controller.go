@@ -382,20 +382,47 @@ func (c *Controller) PingList(id cluster.TaskID, srcContainer int) []Target {
 	return c.pingListLocked(id, srcContainer)
 }
 
+// PingListInto is the buffer-reusing form of PingList for high-rate
+// callers (the probe round engine queries once per agent per round):
+// targets are appended to buf's backing array from index 0 and the
+// filled slice is returned. The caller owns buf; frozen-cache snapshots
+// are copied out, never aliased.
+func (c *Controller) PingListInto(id cluster.TaskID, srcContainer int, buf []Target) []Target {
+	buf = buf[:0]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down {
+		return buf
+	}
+	if c.frozen {
+		k := frozenKey{task: id, src: srcContainer}
+		list, ok := c.cache[k]
+		if !ok {
+			list = c.pingListLocked(id, srcContainer)
+			c.cache[k] = list
+		}
+		return append(buf, list...)
+	}
+	return c.pingListIntoLocked(id, srcContainer, buf)
+}
+
 func (c *Controller) pingListLocked(id cluster.TaskID, srcContainer int) []Target {
+	return c.pingListIntoLocked(id, srcContainer, nil)
+}
+
+func (c *Controller) pingListIntoLocked(id cluster.TaskID, srcContainer int, out []Target) []Target {
 	ts, ok := c.tasks[id]
 	if !ok {
-		return nil
+		return out
 	}
 	src, ok := ts.registered[srcContainer]
 	if !ok || !c.leaseLive(src) {
-		return nil
+		return out
 	}
 	list := ts.basic
 	if ts.phase == PhaseSkeleton {
 		list = ts.skeleton
 	}
-	var out []Target
 	for _, t := range list {
 		if t.SrcContainer != srcContainer {
 			continue

@@ -99,6 +99,22 @@ func (ti *TelemetryInjector) Deliver(b probe.Batch, sink probe.BatchSink) {
 	}
 }
 
+// Passive reports whether Deliver is currently a pure pass-through: no
+// batch-level fault can fire and no held batch awaits release, so
+// delivery makes no RNG draws and batches may bypass the injector
+// entirely. Nil-safe. The parallel round engine uses this to gate its
+// sharded fast path — an active injector forces serial delivery, which
+// preserves drop/duplicate/reorder semantics and draw order.
+func (ti *TelemetryInjector) Passive() bool {
+	if ti == nil {
+		return true
+	}
+	return ti.opts.DropBatchProb == 0 &&
+		ti.opts.DuplicateBatchProb == 0 &&
+		ti.opts.ReorderBatchProb == 0 &&
+		!ti.haveHeld
+}
+
 // GateRound reports whether this analysis round should be withheld.
 // Suitable for wiring straight into analyzer.Analyzer.Gate.
 func (ti *TelemetryInjector) GateRound(now time.Duration) bool {

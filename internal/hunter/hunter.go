@@ -123,6 +123,8 @@ type Deployment struct {
 	feedbackOff   bool
 	telemetry     *faults.TelemetryInjector
 	batchTap      probe.BatchSink // test seam: intercepts agent batches before delivery
+	rounds        *probe.RoundEngine
+	staged        map[cluster.TaskID]*logstore.Staged // per-task sharded log staging
 	agents        map[cluster.ContainerID]*probe.OverlayAgent
 	stopped       map[cluster.TaskID]int
 	blockedHosts  map[int]bool
@@ -185,12 +187,24 @@ func New(opts Options) (*Deployment, error) {
 		probeInterval: opts.ProbeInterval,
 		autoMigrate:   opts.AutoMigrate,
 		feedbackOff:   opts.DisableFeedback,
+		staged:        make(map[cluster.TaskID]*logstore.Staged),
 		agents:        make(map[cluster.ContainerID]*probe.OverlayAgent),
 		stopped:       make(map[cluster.TaskID]int),
 		blockedHosts:  make(map[int]bool),
 		overrides:     make(map[cluster.TaskID]parallelism.Config),
 		inferences:    make(map[cluster.TaskID]skeleton.Inference),
 		secrets:       make(map[cluster.TaskID]string),
+	}
+	// Parallel round engine: every sidecar agent enrolls here instead of
+	// running a per-agent ticker. Same-phase agents fire as one event,
+	// sharded by task across Workers goroutines; the deployment itself
+	// is the shard sink (see roundSink).
+	d.rounds = &probe.RoundEngine{
+		Sim:     eng,
+		Net:     net,
+		Workers: opts.Workers,
+		Sink:    roundSink{d},
+		Obs:     st,
 	}
 	cp.Subscribe(d.onClusterEvent)
 	// Feedback loop: alarms blacklist hosts out of scheduling and,
@@ -257,6 +271,64 @@ func (d *Deployment) ingestBatch(b probe.Batch) {
 	d.Obs.Inc(obs.BatchesIngested)
 	d.Log.AppendBatch(b)
 	d.Analyzer.IngestBatch(b)
+}
+
+// roundSink is the deployment's probe.ShardSink: the sharded fast path
+// grouped probe rounds land through when no batch tap or active
+// telemetry injector requires serial delivery.
+//
+// Worker-side (Consume, one goroutine per task shard): batches stage
+// into per-task logstore buffers and the analyzer's pre-warmed shard
+// inboxes — no global lock on the hot path. Barrier-side (Commit,
+// serial): staged buffers land in the ring in sorted task order, so log
+// content is deterministic at any worker count.
+type roundSink struct{ d *Deployment }
+
+// FastOK gates the sharded path. A batch tap (test seam) or an active
+// telemetry injector must see batches serially, in order, one at a
+// time — those rounds fall back to per-agent delivery.
+func (rs roundSink) FastOK() bool {
+	return rs.d.batchTap == nil && rs.d.telemetry.Passive()
+}
+
+// Prepare pre-creates the round's per-task state serially so Consume
+// callers only ever read the maps: the analyzer shard and the log
+// staging buffer for every task probing this round.
+func (rs roundSink) Prepare(tasks []cluster.TaskID) {
+	for _, t := range tasks {
+		rs.d.Analyzer.WarmShard(string(t))
+		if rs.d.staged[t] == nil {
+			rs.d.staged[t] = logstore.NewStaged()
+		}
+	}
+}
+
+// Consume lands one agent round's batch for its task shard. Runs on a
+// worker goroutine; the round engine guarantees one goroutine per task,
+// so the staged buffer and the analyzer shard inbox are single-writer.
+func (rs roundSink) Consume(task cluster.TaskID, b probe.Batch) {
+	if len(b) == 0 {
+		return
+	}
+	rs.d.Obs.Inc(obs.BatchesIngested)
+	rs.d.staged[task].Add(b)
+	rs.d.Analyzer.IngestBatch(b)
+}
+
+// Commit merges the round at the barrier: staged log buffers land in
+// sorted task order (deterministic ring content, one lock acquisition
+// per task).
+func (rs roundSink) Commit(now time.Duration) {
+	keys := make([]cluster.TaskID, 0, len(rs.d.staged))
+	for t, st := range rs.d.staged {
+		if st.Len() > 0 {
+			keys = append(keys, t)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, t := range keys {
+		rs.d.Log.CommitStaged(rs.d.staged[t])
+	}
 }
 
 // SetTelemetryFaults installs (or, with zero options, effectively
@@ -388,6 +460,7 @@ func (d *Deployment) startAgent(task *cluster.Task, ct *cluster.Container) {
 		Task:       task,
 		Container:  ct,
 		BatchSink:  d.emitBatch,
+		Driver:     d.rounds,
 		Interval:   d.probeInterval,
 		Obs:        d.Obs,
 	}
@@ -432,6 +505,7 @@ func (d *Deployment) countStopped(ev cluster.Event) {
 		d.Analyzer.ForgetTask(string(ev.Task.ID))
 		d.Controller.RemoveTask(ev.Task.ID)
 		delete(d.stopped, ev.Task.ID)
+		delete(d.staged, ev.Task.ID)
 	}
 }
 
@@ -537,6 +611,12 @@ func (d *Deployment) Stats() obs.Snapshot {
 	keys, entries := d.Log.IndexStats()
 	snap.Counters["logstore-index-keys"] = uint64(keys)
 	snap.Counters["logstore-index-entries"] = uint64(entries)
+	// Worker utilization of the parallel round engine: busy time over
+	// offered capacity (wall × workers), as a percentage.
+	if wall := snap.Counters[obs.WorkerWallNanos.String()]; wall > 0 {
+		busy := snap.Counters[obs.WorkerBusyNanos.String()]
+		snap.Counters["worker-utilization-pct"] = busy * 100 / wall
+	}
 	if d.Incidents != nil {
 		open, mitigating, resolved := d.Incidents.Counts()
 		snap.Counters["incidents-open"] = uint64(open)

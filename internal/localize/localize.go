@@ -183,9 +183,37 @@ func NewWithControlPlane(net *netsim.Net, cp *cluster.ControlPlane) *Localizer {
 	}
 }
 
+// Scratch is a reusable per-shard localization workspace: the link
+// interner and the dense-ordinal vote accumulator persist across
+// analysis rounds instead of reallocating ~NumLinks-sized tables per
+// shard per round.
+//
+// Ownership: a Scratch belongs to exactly one analyzer shard; one
+// shard's rounds never run concurrently, so no locking. Shards on the
+// same Localizer each hold their own Scratch — votes accumulate
+// per-shard and merge at the round barrier in task-key order (see
+// analyzer), never across shards.
+type Scratch struct {
+	in       *linkInterner
+	votes    []int32
+	touched  []int32 // dirty vote ordinals, carried so the next round can zero them
+	pairOrds [][]int32
+}
+
 // Localize runs the full disentanglement over a batch of evidence,
-// returning deduplicated verdicts ordered by explanatory power.
+// returning deduplicated verdicts ordered by explanatory power. It
+// allocates fresh vote tables; hot callers keep a Scratch and use
+// LocalizeWith.
 func (l *Localizer) Localize(evidence []Evidence, healthy []Observation) []Verdict {
+	return l.LocalizeWith(nil, evidence, healthy)
+}
+
+// LocalizeWith is Localize with caller-owned reusable scratch (nil
+// behaves like Localize).
+func (l *Localizer) LocalizeWith(sc *Scratch, evidence []Evidence, healthy []Observation) []Verdict {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	var verdicts []Verdict
 	var undiagnosed []Evidence
 
@@ -201,7 +229,7 @@ func (l *Localizer) Localize(evidence []Evidence, healthy []Observation) []Verdi
 	// Stage 2: underlay physical intersection over the remaining pairs.
 	var stillUndiagnosed []Evidence
 	if len(undiagnosed) > 0 {
-		uv, unexplained := l.physicalIntersection(undiagnosed, healthy)
+		uv, unexplained := l.physicalIntersection(sc, undiagnosed, healthy)
 		verdicts = append(verdicts, uv...)
 		stillUndiagnosed = unexplained
 	}
@@ -382,17 +410,31 @@ func ordSetContains(set []int32, o int32) bool {
 // ordinals, before the peel loop: the loop revisits those sets every
 // iteration, and at production scale (40K+ links) re-building
 // string-keyed maps per iteration dominated the analysis round.
-func (l *Localizer) physicalIntersection(evidence []Evidence, healthy []Observation) ([]Verdict, []Evidence) {
-	in := newLinkInterner(l.Net.Fabric)
-	pairOrds := make([][]int32, len(evidence))
-	for i, ev := range evidence {
-		pairOrds[i] = in.internPairSet(ev.Paths)
+func (l *Localizer) physicalIntersection(sc *Scratch, evidence []Evidence, healthy []Observation) ([]Verdict, []Evidence) {
+	if sc.in == nil || sc.in.fab != l.Net.Fabric {
+		sc.in = newLinkInterner(l.Net.Fabric)
 	}
+	in := sc.in
+	pairOrds := sc.pairOrds[:0]
+	for _, ev := range evidence {
+		pairOrds = append(pairOrds, in.internPairSet(ev.Paths))
+	}
+	sc.pairOrds = pairOrds
+	if len(sc.votes) < in.size() {
+		grown := make([]int32, in.size())
+		copy(grown, sc.votes)
+		sc.votes = grown
+	}
+	// sc.touched still lists the previous round's dirty vote entries;
+	// intersectOnce zeroes exactly those before voting, so the reused
+	// table starts clean without an O(NumLinks) sweep.
 	ix := &intersector{
 		loc:      l,
 		interner: in,
-		votes:    make([]int32, in.size()),
+		votes:    sc.votes,
+		touched:  sc.touched,
 	}
+	defer func() { sc.touched = ix.touched }()
 
 	var verdicts []Verdict
 	remaining := make([]int, len(evidence))

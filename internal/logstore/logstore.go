@@ -224,16 +224,19 @@ func (s *Store) eachKey(rec probe.Record, fn func(dim dimension, key string)) {
 }
 
 // appendUplinkSwitches appends the deduped switch nodes of a record's
-// path to buf. Paths are at most a few tunnel legs of ≤ 6 links, so a
-// linear dedup scan beats a per-record map allocation.
+// path to buf. Dedup covers only the region this call appends, so
+// flattened multi-record buffers (the staged append path) keep each
+// record's full key set. Paths are at most a few tunnel legs of ≤ 6
+// links, so a linear dedup scan beats a per-record map allocation.
 func appendUplinkSwitches(buf []topology.NodeID, path []topology.LinkID) []topology.NodeID {
+	from := len(buf)
 	for _, l := range path {
 		for _, part := range splitLink(l) {
 			if part == "" || !isSwitchNode(part) {
 				continue
 			}
 			dup := false
-			for _, have := range buf {
+			for _, have := range buf[from:] {
 				if have == part {
 					dup = true
 					break

@@ -1,0 +1,133 @@
+package logstore
+
+import (
+	"skeletonhunter/internal/obs"
+	"skeletonhunter/internal/probe"
+	"skeletonhunter/internal/topology"
+)
+
+// Staged is a worker-owned staging buffer for the sharded append path
+// of the parallel round engine. Workers render each record's index keys
+// into the buffer lock-free (Add); the serial round barrier then lands
+// every buffer under one lock acquisition each (CommitStaged), in
+// sorted task order, so ring content, eviction, and index state are
+// bit-identical to serial AppendBatch ingestion.
+//
+// Ownership: a Staged belongs to exactly one task shard, and a shard is
+// executed by exactly one worker per round — never share a Staged
+// across concurrent Add callers. The rendered-key caches persist across
+// rounds (bounded like the store's own).
+type Staged struct {
+	recs  []probe.Record
+	ck    []string // 2 per record: src, dst container keys
+	rk    []string // 2 per record: src, dst RNIC keys
+	sw    []topology.NodeID
+	swEnd []int32 // per record: end offset into sw (deduped switches)
+
+	ckeys map[containerCoord]string
+	rkeys map[rnicCoord]string
+}
+
+// NewStaged returns an empty staging buffer.
+func NewStaged() *Staged {
+	return &Staged{
+		ckeys: make(map[containerCoord]string),
+		rkeys: make(map[rnicCoord]string),
+	}
+}
+
+// Len returns the number of records staged and not yet committed.
+func (st *Staged) Len() int { return len(st.recs) }
+
+// Add copies a batch into the buffer and pre-renders its index keys.
+// Callers may reuse the batch's backing array afterwards. Lock-free:
+// touches only the buffer's own state.
+func (st *Staged) Add(recs []probe.Record) {
+	for i := range recs {
+		rec := &recs[i]
+		st.recs = append(st.recs, *rec)
+		st.ck = append(st.ck,
+			st.containerKey(string(rec.Task), rec.SrcContainer),
+			st.containerKey(string(rec.Task), rec.DstContainer))
+		st.rk = append(st.rk,
+			st.rnicKey(rec.Src.Host, rec.Src.Rail),
+			st.rnicKey(rec.Dst.Host, rec.Dst.Rail))
+		st.sw = appendUplinkSwitches(st.sw, rec.Path)
+		st.swEnd = append(st.swEnd, int32(len(st.sw)))
+	}
+}
+
+// Reset empties the buffer, retaining capacity and key caches.
+func (st *Staged) Reset() {
+	st.recs = st.recs[:0]
+	st.ck = st.ck[:0]
+	st.rk = st.rk[:0]
+	st.sw = st.sw[:0]
+	st.swEnd = st.swEnd[:0]
+}
+
+func (st *Staged) containerKey(task string, c int) string {
+	k := containerCoord{task, c}
+	if v, ok := st.ckeys[k]; ok {
+		return v
+	}
+	if len(st.ckeys) >= keyCacheCap {
+		st.ckeys = make(map[containerCoord]string)
+	}
+	v := ContainerKey(task, c)
+	st.ckeys[k] = v
+	return v
+}
+
+func (st *Staged) rnicKey(host, rail int) string {
+	k := rnicCoord{host, rail}
+	if v, ok := st.rkeys[k]; ok {
+		return v
+	}
+	if len(st.rkeys) >= keyCacheCap {
+		st.rkeys = make(map[rnicCoord]string)
+	}
+	v := RNICKey(host, rail)
+	st.rkeys[k] = v
+	return v
+}
+
+// CommitStaged lands a staging buffer's records in order under one lock
+// acquisition, with the keys Add pre-rendered — the store-side half of
+// the sharded append path. Eviction, sequencing, and indexing follow
+// the exact serial-append semantics; callers commit buffers in sorted
+// task order at the round barrier so the ring's content is
+// deterministic. The buffer is reset on return.
+func (s *Store) CommitStaged(st *Staged) {
+	if len(st.recs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	swStart := int32(0)
+	for i := range st.recs {
+		if old := s.slots[s.next]; old.seq != 0 {
+			s.unindex(old)
+		}
+		s.seq++
+		s.slots[s.next] = slot{rec: st.recs[i], seq: s.seq}
+		s.next = (s.next + 1) % s.capacity
+		s.indexAdd(dimTask, string(st.recs[i].Task))
+		s.indexAdd(dimContainer, st.ck[2*i])
+		s.indexAdd(dimContainer, st.ck[2*i+1])
+		s.indexAdd(dimRNIC, st.rk[2*i])
+		s.indexAdd(dimRNIC, st.rk[2*i+1])
+		for _, sw := range st.sw[swStart:st.swEnd[i]] {
+			s.indexAdd(dimSwitch, string(sw))
+		}
+		swStart = st.swEnd[i]
+	}
+	s.Obs.Add(obs.RecordsLogged, uint64(len(st.recs)))
+	s.mu.Unlock()
+	st.Reset()
+}
+
+// indexAdd files the current seq under one key; the caller holds s.mu.
+func (s *Store) indexAdd(dim dimension, key string) {
+	k := indexKey{dim, key}
+	s.index[k] = append(s.index[k], s.seq)
+}

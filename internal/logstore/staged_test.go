@@ -1,0 +1,91 @@
+package logstore
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/probe"
+	"skeletonhunter/internal/topology"
+)
+
+// TestCommitStagedMatchesAppendBatch is the staged path's equivalence
+// contract: staging batches per task on the workers and committing the
+// buffers in sorted task order at the round barrier must leave the
+// store bit-identical — ring content, eviction, every index dimension —
+// to serial AppendBatch ingestion of the same batches in that canonical
+// order. The capacity is small enough that eviction (and index key
+// pruning) runs during the test.
+func TestCommitStagedMatchesAppendBatch(t *testing.T) {
+	tasks := []string{"ta", "tb", "tc"}
+	mkBatch := func(task string, round int) probe.Batch {
+		var b probe.Batch
+		for i := 0; i < 4; i++ {
+			r := rec(task, i, i+1, time.Duration(round)*time.Second,
+				fmt.Sprintf("nic/h%d/r1--tor/p0/r1", i),
+				"tor/p0/r1--agg/p0/a0", // shared switch across records
+				"tor/p0/r1--agg/p0/a0") // duplicate within one record: deduped per record
+			b = append(b, r)
+		}
+		return b
+	}
+
+	const capacity = 30
+	serial := New(capacity)
+	staged := New(capacity)
+	bufs := map[string]*Staged{}
+	for _, task := range tasks {
+		bufs[task] = NewStaged()
+	}
+
+	const rounds = 5
+	for round := 0; round < rounds; round++ {
+		// Canonical order: task-sorted within the round (the order the
+		// round barrier commits in).
+		for _, task := range tasks {
+			serial.AppendBatch(mkBatch(task, round))
+		}
+		// Staged path: workers Add in arbitrary per-task order...
+		for i := range tasks {
+			task := tasks[len(tasks)-1-i] // reversed — Add order across tasks must not matter
+			bufs[task].Add(mkBatch(task, round))
+		}
+		// ...and the barrier commits sorted.
+		for _, task := range tasks {
+			staged.CommitStaged(bufs[task])
+		}
+		if n := bufs[tasks[0]].Len(); n != 0 {
+			t.Fatalf("round %d: staged buffer not reset after commit (%d records)", round, n)
+		}
+	}
+
+	if serial.Len() != staged.Len() {
+		t.Fatalf("len: serial %d, staged %d", serial.Len(), staged.Len())
+	}
+	sk, se := serial.IndexStats()
+	gk, ge := staged.IndexStats()
+	if sk != gk || se != ge {
+		t.Fatalf("index stats: serial (%d keys, %d entries), staged (%d, %d)", sk, se, gk, ge)
+	}
+	for _, task := range tasks {
+		if want, got := serial.ByTask(task, 0), staged.ByTask(task, 0); !reflect.DeepEqual(want, got) {
+			t.Fatalf("ByTask(%s): staged diverges\nwant %v\ngot  %v", task, want, got)
+		}
+		for c := 0; c < 5; c++ {
+			if want, got := serial.ByContainer(task, c, 0), staged.ByContainer(task, c, 0); !reflect.DeepEqual(want, got) {
+				t.Fatalf("ByContainer(%s,%d): staged diverges", task, c)
+			}
+		}
+	}
+	for h := 0; h < 5; h++ {
+		if want, got := serial.ByRNIC(h, 1, 0), staged.ByRNIC(h, 1, 0); !reflect.DeepEqual(want, got) {
+			t.Fatalf("ByRNIC(h%d): staged diverges", h)
+		}
+	}
+	for _, sw := range []topology.NodeID{"tor/p0/r1", "agg/p0/a0"} {
+		if want, got := serial.BySwitch(sw, 0), staged.BySwitch(sw, 0); !reflect.DeepEqual(want, got) {
+			t.Fatalf("BySwitch(%s): staged diverges", sw)
+		}
+	}
+}

@@ -9,6 +9,15 @@
 // of the Fig. 18 offload inconsistency — is produced here from
 // per-component conditions that the fault injector (internal/faults)
 // manipulates.
+//
+// Concurrency: the probe hot path is built to be driven by many workers
+// inside one engine event. All shared state consulted per probe is
+// read-only during a round (conditions, the overlay, the interned
+// fabric); everything mutable lives in a ProbeCtx that exactly one
+// worker owns. Randomness is keyed per probe — each probe derives its
+// own generator from (flow identity, entropy, time) — so outcomes do
+// not depend on the order probes run in, which is what makes results
+// bit-identical at any worker count.
 package netsim
 
 import (
@@ -90,19 +99,37 @@ type Net struct {
 	// so detection must actually filter noise. Zero disables.
 	TransientCongestionProb float64
 
-	linkCond map[topology.LinkID]*Condition
-	nodeCond map[topology.NodeID]*Condition
-	hostCond map[int]*Condition
+	// Conditions live twice: the maps are the API surface (arbitrary
+	// IDs, introspection via LinkCondition &c.), the dense tables are
+	// what the probe hot path reads — indexed by the fabric's interned
+	// link/node ordinals, so a traversal costs an array load instead of
+	// a string-keyed map lookup. Set*Condition keeps both in sync; only
+	// IDs outside the fabric (possible in hand-built tests) live solely
+	// in the maps, and probes never traverse those.
+	linkCond  map[topology.LinkID]*Condition
+	nodeCond  map[topology.NodeID]*Condition
+	hostCond  map[int]*Condition
+	linkCondD []*Condition // by link ordinal
+	nodeCondD []*Condition // by node ordinal
 
 	// Per-node queue occupancy estimate: exponentially decayed
 	// traversal counts, the "switch queue length" operators consult to
 	// confirm or rule out congestion (§7.2's Fig. 18 validation).
-	queue map[topology.NodeID]*queueState
+	// Probes tally traversals into their ProbeCtx; CommitQueues folds
+	// the integer tallies in here at the round barrier. Each node gets
+	// one float update per commit regardless of how the round's probes
+	// were partitioned, so depths are bit-identical at any worker count.
+	queueD       []queueState // by node ordinal
+	qPend        []uint32     // commit-time integer staging, by node ordinal
+	qPendTouched []int32
 
-	// hashBuf is the reusable flow-key scratch for ECMP hashing. Probe
-	// runs on the single-threaded simulation loop (it already mutates
-	// the queue map unsynchronized), so one buffer suffices.
-	hashBuf []byte
+	// seedBase anchors the per-probe keyed RNG to the engine seed: it is
+	// drawn once from a dedicated named stream at construction, so runs
+	// with the same engine seed see the same probe outcomes.
+	seedBase uint64
+
+	// defaultCtx serves the serial ProbeInto/Probe entry points.
+	defaultCtx *ProbeCtx
 }
 
 type queueState struct {
@@ -113,31 +140,22 @@ type queueState struct {
 // New returns a simulator over the given substrates.
 func New(eng *sim.Engine, fab *topology.Fabric, ovl *overlay.Network) *Net {
 	return &Net{
-		Engine:   eng,
-		Fabric:   fab,
-		Overlay:  ovl,
-		linkCond: make(map[topology.LinkID]*Condition),
-		nodeCond: make(map[topology.NodeID]*Condition),
-		hostCond: make(map[int]*Condition),
-		queue:    make(map[topology.NodeID]*queueState),
+		Engine:    eng,
+		Fabric:    fab,
+		Overlay:   ovl,
+		linkCond:  make(map[topology.LinkID]*Condition),
+		nodeCond:  make(map[topology.NodeID]*Condition),
+		hostCond:  make(map[int]*Condition),
+		linkCondD: make([]*Condition, fab.NumLinks()),
+		nodeCondD: make([]*Condition, fab.NumNodes()),
+		queueD:    make([]queueState, fab.NumNodes()),
+		qPend:     make([]uint32, fab.NumNodes()),
+		seedBase:  eng.Rand("netsim/probe-seed").Uint64(),
 	}
 }
 
 // queueHalfLife is the decay half-life of the queue estimate.
 const queueHalfLife = 2 * time.Second
-
-func (n *Net) bumpQueue(node topology.NodeID, now time.Duration) {
-	q, ok := n.queue[node]
-	if !ok {
-		q = &queueState{}
-		n.queue[node] = q
-	}
-	if dt := now - q.last; dt > 0 {
-		q.depth *= decayFactor(dt)
-	}
-	q.depth++
-	q.last = now
-}
 
 func decayFactor(dt time.Duration) float64 {
 	// 2^(-dt/halfLife) without importing math for a hot path: the
@@ -152,8 +170,10 @@ func decayFactor(dt time.Duration) float64 {
 // this to distinguish genuine congestion from software-path slowness.
 func (n *Net) QueueLength(node topology.NodeID) float64 {
 	depth := 0.0
-	if q, ok := n.queue[node]; ok {
-		depth = q.depth * decayFactor(n.Engine.Now()-q.last)
+	if ord, ok := n.Fabric.NodeIndex(node); ok {
+		if q := &n.queueD[ord]; q.depth != 0 {
+			depth = q.depth * decayFactor(n.Engine.Now()-q.last)
+		}
 	}
 	if c := n.nodeCond[node]; c != nil && c.QueueBacklog && !c.effectiveDown(n.Engine.Now()) {
 		depth += 500
@@ -163,6 +183,9 @@ func (n *Net) QueueLength(node topology.NodeID) float64 {
 
 // SetLinkCondition installs (or, with nil, clears) a link's condition.
 func (n *Net) SetLinkCondition(id topology.LinkID, c *Condition) {
+	if ord, ok := n.Fabric.LinkIndex(id); ok {
+		n.linkCondD[ord] = c
+	}
 	if c == nil {
 		delete(n.linkCond, id)
 		return
@@ -172,6 +195,9 @@ func (n *Net) SetLinkCondition(id topology.LinkID, c *Condition) {
 
 // SetNodeCondition installs (or clears) a switch/NIC node condition.
 func (n *Net) SetNodeCondition(id topology.NodeID, c *Condition) {
+	if ord, ok := n.Fabric.NodeIndex(id); ok {
+		n.nodeCondD[ord] = c
+	}
 	if c == nil {
 		delete(n.nodeCond, id)
 		return
@@ -213,6 +239,111 @@ type Result struct {
 	UnderlayNodes []topology.NodeID
 }
 
+// ProbeCtx is the per-caller mutable state of the probe hot path:
+// the ECMP hash scratch, a forwarding-trace cache, and the round's
+// queue-traversal tallies.
+//
+// Ownership contract: a ProbeCtx belongs to exactly one worker at a
+// time — calls into ProbeIntoCtx with the same ctx must not overlap.
+// The round engine gives each worker slot its own ctx; CommitQueues is
+// called from the serial round barrier, never concurrently with probes.
+// The -race campaign test in internal/hunter exercises exactly this
+// contract.
+type ProbeCtx struct {
+	hashBuf []byte
+
+	// traces memoizes overlay.TraceForward keyed by flow endpoints,
+	// valid while the overlay's forwarding generation holds still.
+	// Skeleton ping lists re-probe the same pairs every round, so after
+	// the first round of a quiescent overlay every probe hits the cache.
+	traces   map[traceKey]*cachedTrace
+	traceGen uint64
+
+	// qCount tallies node traversals by node ordinal; qTouched lists the
+	// ordinals with nonzero tallies (sparse reset).
+	qCount   []uint32
+	qTouched []int32
+}
+
+type traceKey struct {
+	vni        overlay.VNI
+	srcIP      string
+	dstIP      string
+	host, rail int
+}
+
+type cachedTrace struct {
+	tr  overlay.Trace
+	err error
+}
+
+// NewProbeCtx returns a probe context sized for this simulator's
+// fabric. Each concurrent prober needs its own.
+func (n *Net) NewProbeCtx() *ProbeCtx {
+	return &ProbeCtx{
+		traces: make(map[traceKey]*cachedTrace),
+		qCount: make([]uint32, n.Fabric.NumNodes()),
+	}
+}
+
+func (ctx *ProbeCtx) bump(ord int32) {
+	if ctx.qCount[ord] == 0 {
+		ctx.qTouched = append(ctx.qTouched, ord)
+	}
+	ctx.qCount[ord]++
+}
+
+// trace resolves (and memoizes) the overlay forwarding chain for a
+// flow. The cache is invalidated wholesale whenever the overlay's
+// forwarding generation moves — fault injections and container churn
+// are rare next to the hundreds of thousands of probes per round.
+func (ctx *ProbeCtx) trace(n *Net, src overlay.Addr, dstIP string) (*overlay.Trace, error) {
+	if g := n.Overlay.Gen(); g != ctx.traceGen {
+		for k := range ctx.traces {
+			delete(ctx.traces, k)
+		}
+		ctx.traceGen = g
+	}
+	k := traceKey{vni: src.VNI, srcIP: src.IP, dstIP: dstIP, host: src.Host, rail: src.Rail}
+	if c, ok := ctx.traces[k]; ok {
+		return &c.tr, c.err
+	}
+	tr, err := n.Overlay.TraceForward(src, dstIP)
+	c := &cachedTrace{tr: tr, err: err}
+	ctx.traces[k] = c
+	return &c.tr, c.err
+}
+
+// CommitQueues folds the queue tallies of one or more probe contexts
+// into the simulator's queue estimates at the current time. It must be
+// called serially (the round barrier), never while probes are in
+// flight. Tallies are summed as integers across all contexts and each
+// node's depth gets a single float update, so the result is identical
+// however the round's probes were partitioned across contexts.
+func (n *Net) CommitQueues(ctxs ...*ProbeCtx) {
+	now := n.Engine.Now()
+	for _, ctx := range ctxs {
+		for _, ord := range ctx.qTouched {
+			if n.qPend[ord] == 0 {
+				n.qPendTouched = append(n.qPendTouched, ord)
+			}
+			n.qPend[ord] += ctx.qCount[ord]
+			ctx.qCount[ord] = 0
+		}
+		ctx.qTouched = ctx.qTouched[:0]
+	}
+	for _, ord := range n.qPendTouched {
+		q := &n.queueD[ord]
+		if dt := now - q.last; dt > 0 && q.depth != 0 {
+			q.depth *= decayFactor(dt)
+		}
+		q.depth += float64(n.qPend[ord])
+		q.last = now
+		n.qPend[ord] = 0
+	}
+	n.qPendTouched = n.qPendTouched[:0]
+}
+
 // Probe simulates one ping from src to dst at the engine's current
 // time. entropy differentiates flows for ECMP hashing: probers vary it
 // (like varying UDP source ports) to spread probes over equal-cost
@@ -223,67 +354,116 @@ func (n *Net) Probe(src, dst overlay.Addr, entropy uint64) Result {
 	return res
 }
 
-// ProbeInto is the buffer-reusing form of Probe for high-rate callers:
-// it resets *res and refills it, reusing the UnderlayPath/UnderlayNodes
-// backing arrays across calls. The probe agents drive hundreds of
-// thousands of probes per round at paper scale; this keeps the per-leg
-// path walk allocation-free (paths come from topology.PathViewByHash,
-// never materialized).
+// ProbeInto is the buffer-reusing form of Probe for serial callers: it
+// resets *res and refills it, reusing the UnderlayPath/UnderlayNodes
+// backing arrays across calls. It drives an internal default ProbeCtx
+// and commits queue tallies immediately, so its observable behaviour
+// matches the historical serial path; concurrent callers use
+// ProbeIntoCtx with contexts of their own.
 func (n *Net) ProbeInto(res *Result, src, dst overlay.Addr, entropy uint64) {
+	if n.defaultCtx == nil {
+		n.defaultCtx = n.NewProbeCtx()
+	}
+	n.ProbeIntoCtx(n.defaultCtx, res, src, dst, entropy)
+	n.CommitQueues(n.defaultCtx)
+}
+
+// effects accumulates the latency and loss a probe picks up along its
+// traversal. Methods take a pointer receiver but never leak it, so the
+// accumulator stays on the caller's stack (the closures this replaces
+// allocated per probe).
+type effects struct {
+	latency  time.Duration
+	lossProb float64
+}
+
+func (e *effects) addLoss(p float64) {
+	if p != 0 {
+		e.lossProb = 1 - (1-e.lossProb)*(1-p)
+	}
+}
+
+// apply folds one component condition in; false means the component is
+// down and the probe dies there.
+func (e *effects) apply(c *Condition, now time.Duration) bool {
+	if c == nil {
+		return true
+	}
+	if c.effectiveDown(now) {
+		return false
+	}
+	e.addLoss(c.LossRate)
+	e.latency += c.ExtraLatency
+	return true
+}
+
+// ProbeIntoCtx simulates one ping using caller-owned scratch state.
+// It only reads the simulator's shared state (conditions, overlay,
+// fabric), so any number of workers may probe concurrently as long as
+// each drives its own ctx and nothing mutates the network mid-round.
+//
+// Outcomes are a pure function of (engine seed, flow identity, entropy,
+// time): the probe's randomness comes from a splitmix64 generator keyed
+// by those, not from a shared sequential stream, so results do not
+// depend on the order in which a round's probes execute.
+func (n *Net) ProbeIntoCtx(ctx *ProbeCtx, res *Result, src, dst overlay.Addr, entropy uint64) {
 	now := n.Engine.Now()
-	rng := n.Engine.Rand("netsim/loss")
 
 	*res = Result{
 		UnderlayPath:  res.UnderlayPath[:0],
 		UnderlayNodes: res.UnderlayNodes[:0],
 	}
-	tr, err := n.Overlay.TraceForward(src, dst.IP)
+	tr, err := ctx.trace(n, src, dst.IP)
 	if err != nil {
 		// Unregistered source: the probe cannot even leave the vport.
 		res.Lost = true
 		return
 	}
-	res.OverlayTrace = tr
+	res.OverlayTrace = *tr
 	if tr.Outcome != overlay.Reached {
 		res.Lost = true
 		return
 	}
 
-	latency := time.Duration(0)
-	lossProb := 0.0
-	addLoss := func(p float64) { lossProb = 1 - (1-lossProb)*(1-p) }
+	// Flow key bytes, built once per probe. The per-leg ECMP hash is
+	// fnv over these bytes plus a "#<leg>" suffix — byte-identical to
+	// the historical key, so hash-dependent path selections are
+	// unchanged. The probe's RNG seed reuses the same identity hash.
+	b := ctx.hashBuf[:0]
+	b = strconv.AppendUint(b, uint64(src.VNI), 10)
+	b = append(b, '/')
+	b = append(b, src.IP...)
+	b = append(b, '>')
+	b = append(b, dst.IP...)
+	base := len(b)
+	ctx.hashBuf = b
 
-	applyCond := func(c *Condition) bool {
-		if c == nil {
-			return true
-		}
-		if c.effectiveDown(now) {
-			return false
-		}
-		addLoss(c.LossRate)
-		latency += c.ExtraLatency
-		return true
-	}
+	rng := probeRNG{state: n.seedBase ^ fnv(b) ^ entropy*0x9e3779b97f4a7c15 ^ uint64(now)*0x94d049bb133111eb}
+
+	var ef effects
 
 	// Host-board conditions at both ends.
-	if !applyCond(n.hostCond[src.Host]) || !applyCond(n.hostCond[dst.Host]) {
+	if !ef.apply(n.hostCond[src.Host], now) || !ef.apply(n.hostCond[dst.Host], now) {
 		res.Lost = true
 		return
 	}
 
 	if tr.SlowPath {
-		latency += slowPathCost
-		addLoss(slowPathLossRate)
+		ef.latency += slowPathCost
+		ef.addLoss(slowPathLossRate)
 	}
 
 	// Walk each tunnel leg over its ECMP-selected underlay path. The
 	// hash-selected path is consumed through a stack PathView — no Path
-	// slices are materialized.
+	// slices are materialized — and conditions are read from the dense
+	// ordinal-indexed tables.
 	var pv topology.PathView
 	for legIdx, leg := range tr.TunnelLegs {
 		srcNIC := topology.NIC{Host: leg.SrcHost, Rail: leg.SrcRail}
 		dstNIC := topology.NIC{Host: leg.DstHost, Rail: leg.DstRail}
-		hash := n.flowHash(src, dst, legIdx, entropy)
+		b = append(b[:base], '#')
+		b = strconv.AppendInt(b, int64(legIdx), 10)
+		hash := fnv(b) ^ entropy
 		if err := n.Fabric.PathViewByHash(srcNIC, dstNIC, hash, &pv); err != nil {
 			res.Lost = true
 			return
@@ -293,34 +473,34 @@ func (n *Net) ProbeInto(res *Result, src, dst overlay.Addr, entropy uint64) {
 
 		last := pv.Len() - 1
 		for i := 0; i <= last; i++ {
-			node := pv.Node(i)
-			n.bumpQueue(node, now)
-			if !applyCond(n.nodeCond[node]) {
+			ord := pv.NodeOrdinal(i)
+			ctx.bump(ord)
+			if !ef.apply(n.nodeCondD[ord], now) {
 				res.Lost = true
 				return
 			}
 			if i == 0 || i == last {
-				latency += nicCost
+				ef.latency += nicCost
 			} else {
-				latency += switchCost
+				ef.latency += switchCost
 			}
 		}
 		for i := 0; i < pv.NumLinks(); i++ {
-			if !applyCond(n.linkCond[pv.Link(i)]) {
+			if !ef.apply(n.linkCondD[pv.LinkOrdinal(i)], now) {
 				res.Lost = true
 				return
 			}
-			latency += linkCost
+			ef.latency += linkCost
 		}
 	}
 	if len(tr.TunnelLegs) == 0 {
 		// Same-host delivery through the vswitch only.
-		latency += 2 * time.Microsecond
+		ef.latency += 2 * time.Microsecond
 	}
 
 	// Round trip: the reply retraces the same components (RoCE probes
 	// are symmetric at this modeling granularity).
-	rtt := 2 * latency
+	rtt := 2 * ef.latency
 
 	// Benign transient congestion.
 	if n.TransientCongestionProb > 0 && rng.Float64() < n.TransientCongestionProb {
@@ -334,7 +514,7 @@ func (n *Net) ProbeInto(res *Result, src, dst overlay.Addr, entropy uint64) {
 	rtt = time.Duration(float64(rtt) * jitter)
 
 	// Two chances to die: request and reply.
-	if rng.Float64() < lossProb || rng.Float64() < lossProb {
+	if rng.Float64() < ef.lossProb || rng.Float64() < ef.lossProb {
 		res.Lost = true
 		return
 	}
@@ -349,23 +529,38 @@ func (n *Net) Traceroute(src, dst topology.NIC, entropy uint64) (topology.Path, 
 	return n.Fabric.PathByHash(src, dst, entropy)
 }
 
-// flowHash derives the ECMP entropy of one tunnel leg. The key bytes
-// are identical to the historical fmt.Sprintf("%d/%s>%s#%d", ...) form
-// (so hash-dependent path selections are unchanged) but are assembled
-// into a reused buffer: hashing is allocation-free after warm-up.
-func (n *Net) flowHash(src, dst overlay.Addr, leg int, entropy uint64) uint64 {
-	b := n.hashBuf[:0]
-	b = strconv.AppendUint(b, uint64(src.VNI), 10)
-	b = append(b, '/')
-	b = append(b, src.IP...)
-	b = append(b, '>')
-	b = append(b, dst.IP...)
-	b = append(b, '#')
-	b = strconv.AppendInt(b, int64(leg), 10)
-	n.hashBuf = b
-	return fnv(b) ^ entropy
+// probeRNG is the per-probe keyed random generator: splitmix64 over a
+// seed derived from the probe's identity. It is tiny, allocation-free,
+// and — unlike a shared sequential stream — gives every probe the same
+// draws no matter when or on which worker it runs.
+type probeRNG struct{ state uint64 }
+
+func (r *probeRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
+// Float64 returns a uniform draw in [0, 1).
+func (r *probeRNG) Float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// ExpFloat64 returns an exponential draw with mean 1.
+func (r *probeRNG) ExpFloat64() float64 { return -math.Log(1 - r.Float64()) }
+
+// NormFloat64 returns a standard normal draw (Box–Muller).
+func (r *probeRNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// fnv hashes bytes with FNV-1a; it anchors both ECMP path selection and
+// the per-probe RNG seed.
 func fnv(s []byte) uint64 {
 	const (
 		offset = 14695981039346656037

@@ -89,6 +89,16 @@ const (
 	IncidentsMitigated
 	// IncidentsResolved counts mitigating→resolved transitions.
 	IncidentsResolved
+	// ProbeRoundsGrouped counts grouped probe-round barrier firings of
+	// the parallel round engine (each covers every agent due that tick).
+	ProbeRoundsGrouped
+	// WorkerBusyNanos accumulates wall-clock nanoseconds probe-round
+	// workers spent executing shard work.
+	WorkerBusyNanos
+	// WorkerWallNanos accumulates wall-clock nanoseconds of the round's
+	// parallel section multiplied by the worker count — the capacity the
+	// busy time is measured against. busy/wall is worker utilization.
+	WorkerWallNanos
 
 	numCounters
 )
@@ -145,6 +155,12 @@ func (c Counter) String() string {
 		return "incidents-mitigated"
 	case IncidentsResolved:
 		return "incidents-resolved"
+	case ProbeRoundsGrouped:
+		return "probe-rounds-grouped"
+	case WorkerBusyNanos:
+		return "worker-busy-nanos"
+	case WorkerWallNanos:
+		return "worker-wall-nanos"
 	default:
 		return fmt.Sprintf("counter(%d)", int(c))
 	}

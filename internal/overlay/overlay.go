@@ -162,6 +162,13 @@ func (v *VSwitch) Keys() []FlowKey {
 type Network struct {
 	vswitches map[int]*VSwitch
 	endpoints map[VNI]map[string]Addr // VNI → IP → Addr
+	// gen counts forwarding-state mutations. Every path that can change
+	// what TraceForward would return bumps it: handing out a mutable
+	// vswitch (VSwitch is how the fault injector and the control plane
+	// reach flow entries) and DetachEndpoint (which edits vswitches
+	// without going through VSwitch). Trace caches compare their stored
+	// generation against Gen() and refill on mismatch.
+	gen uint64
 }
 
 // NewNetwork returns an empty overlay network.
@@ -172,8 +179,21 @@ func NewNetwork() *Network {
 	}
 }
 
-// VSwitch returns (creating if needed) the vswitch of a host.
+// Gen returns the forwarding-state generation: it changes whenever the
+// overlay's forwarding behaviour may have changed, so cached
+// TraceForward results tagged with a generation can be reused while it
+// holds still. Reading Gen concurrently from analysis or probe workers
+// is safe as long as nothing mutates the overlay at the same time — the
+// single-threaded simulation engine guarantees that (mutations happen
+// in serial engine events, fan-outs inside one event only read).
+func (n *Network) Gen() uint64 { return n.gen }
+
+// VSwitch returns (creating if needed) the vswitch of a host. The
+// returned handle is mutable, so handing it out conservatively bumps
+// the forwarding generation; read paths (TraceForward, DumpOffload) go
+// through the non-bumping vswitchRO instead.
 func (n *Network) VSwitch(host int) *VSwitch {
+	n.gen++
 	if v, ok := n.vswitches[host]; ok {
 		return v
 	}
@@ -250,6 +270,7 @@ func (n *Network) DetachEndpoint(a Addr) {
 		return
 	}
 	delete(vniEps, a.IP)
+	n.gen++
 	key := FlowKey{VNI: a.VNI, Dst: a.IP}
 	for _, v := range n.vswitches {
 		v.Remove(key)

@@ -56,6 +56,13 @@ type BatchSink func(Batch)
 // training container (sidecar); it queries the controller each round so
 // list updates (registration, skeleton pruning) take effect without
 // agent restarts.
+//
+// Ownership: everything below the exported configuration — the reused
+// batch, the netsim scratch result, the targets buffer, the entropy
+// counter — is single-owner state. In ticker mode the owner is the
+// engine goroutine; under a RoundEngine driver, exactly one worker
+// executes the agent's round each tick (agents of one task always ride
+// the same worker slot). Nothing here is safe to share.
 type OverlayAgent struct {
 	Engine     *sim.Engine
 	Net        *netsim.Net
@@ -69,6 +76,11 @@ type OverlayAgent struct {
 	// BatchSink, when set, receives each round's records in one call —
 	// the per-round path the analyzer and log store ingest through.
 	BatchSink BatchSink
+	// Driver, when set before Start, enrolls the agent in a grouped
+	// parallel round engine instead of giving it a per-agent ticker:
+	// the engine fires all same-phase agents in one simulation event
+	// and fans their rounds out over worker-owned probe contexts.
+	Driver *RoundEngine
 	// Interval is the probing round period (default 1 s).
 	Interval time.Duration
 	// ProbesPerTarget is how many probes (with distinct ECMP entropy)
@@ -78,22 +90,27 @@ type OverlayAgent struct {
 	Obs *obs.Stats
 
 	ticker  *sim.Ticker
+	killed  bool
 	rounds  int
 	entropy uint64
-	epoch   uint64 // controller epoch the agent last registered under
-	batch   Batch  // reused across rounds
+	epoch   uint64              // controller epoch the agent last registered under
+	batch   Batch               // reused across rounds
+	targets []controller.Target // reused ping-list buffer (serial prologue only)
+	soloCtx *netsim.ProbeCtx    // ticker-mode probe context
 
 	// scratch is the reused netsim result (its path buffers are recycled
 	// every probe). arena is the round's link storage: downstream sinks
-	// retain Record.Path slices past the round, so the arena is fresh
-	// per round — one allocation sized by the previous round — and each
-	// record gets a capacity-capped subslice of it.
+	// retain Record.Path slices past the round, so the storage cannot be
+	// recycled, but all of a round's paths can share one allocation —
+	// fresh per round, sized by the previous round — and each record
+	// gets a capacity-capped subslice of it.
 	scratch   netsim.Result
 	arenaSize int
 }
 
 // Start registers the agent with the controller and begins periodic
-// probing rounds on the engine.
+// probing rounds — on a per-agent ticker, or under the Driver's grouped
+// rounds when one is set.
 func (a *OverlayAgent) Start() {
 	if a.Interval == 0 {
 		a.Interval = time.Second
@@ -103,6 +120,10 @@ func (a *OverlayAgent) Start() {
 	}
 	a.Controller.Register(a.Task.ID, a.Container.Index)
 	a.epoch = a.Controller.Epoch()
+	if a.Driver != nil {
+		a.Driver.Add(a)
+		return
+	}
 	a.ticker = a.Engine.Every(a.Engine.Now()+a.Interval, a.Interval, "probe-round", a.round)
 }
 
@@ -117,6 +138,7 @@ func (a *OverlayAgent) Stop() {
 // registry still lists the endpoint, so peers keep probing it and the
 // unconnectivity gets detected.
 func (a *OverlayAgent) Kill() {
+	a.killed = true
 	if a.ticker != nil {
 		a.ticker.Stop()
 	}
@@ -125,9 +147,28 @@ func (a *OverlayAgent) Kill() {
 // Rounds returns the number of completed probing rounds.
 func (a *OverlayAgent) Rounds() int { return a.rounds }
 
+// round is one ticker-mode probing round: the same prepare → execute →
+// commit → deliver sequence the RoundEngine drives, run inline.
 func (a *OverlayAgent) round(now time.Duration) {
-	if a.Container.State != cluster.Running {
+	if !a.prepareRound(now) {
 		return
+	}
+	if a.soloCtx == nil {
+		a.soloCtx = a.Net.NewProbeCtx()
+	}
+	a.executeRound(a.soloCtx, now)
+	a.Net.CommitQueues(a.soloCtx)
+	a.deliver()
+}
+
+// prepareRound is the serial prologue of one round: lifecycle and
+// lease checks plus the controller ping-list fetch. It runs on the
+// engine goroutine (the controller takes a mutex and the lease renewal
+// mutates registration state); false means the container is not
+// Running and the round is skipped entirely.
+func (a *OverlayAgent) prepareRound(now time.Duration) bool {
+	if a.Container.State != cluster.Running {
+		return false
 	}
 	// Lease renewal: a restarted controller comes back on a new epoch
 	// serving restored (stale) leases on borrowed time. Re-registering
@@ -139,21 +180,31 @@ func (a *OverlayAgent) round(now time.Duration) {
 		a.epoch = ep
 		a.Obs.Inc(obs.AgentReregisters)
 	}
-	targets := a.Controller.PingList(a.Task.ID, a.Container.Index)
+	a.targets = a.Controller.PingListInto(a.Task.ID, a.Container.Index, a.targets)
+	return true
+}
+
+// executeRound is the compute body of one round: pure probing into
+// agent-owned buffers through a caller-supplied probe context. It
+// touches no locks and no shared mutable state (obs counters are
+// atomic), so rounds of different agents may execute concurrently —
+// each agent on exactly one worker, each worker with its own ctx.
+// Delivery is separate (deliver, or a RoundEngine sink).
+func (a *OverlayAgent) executeRound(ctx *netsim.ProbeCtx, now time.Duration) {
 	a.batch = a.batch[:0]
 	// Fresh per-round path arena, sized by the previous round: sinks
 	// retain Record.Path past the round, so the storage cannot be
 	// recycled, but all of a round's paths can share one allocation.
 	arena := make([]topology.LinkID, 0, a.arenaSize)
 	sent := 0
-	for _, tg := range targets {
+	for _, tg := range a.targets {
 		dst := a.Task.Containers[tg.DstContainer]
 		src := a.Container.Addrs[tg.SrcRail]
 		dstAddr := dst.Addrs[tg.DstRail]
 		for p := 0; p < a.ProbesPerTarget; p++ {
 			a.entropy++
 			sent++
-			a.Net.ProbeInto(&a.scratch, src, dstAddr, a.entropy)
+			a.Net.ProbeIntoCtx(ctx, &a.scratch, src, dstAddr, a.entropy)
 			res := &a.scratch
 			var path []topology.LinkID
 			if len(res.UnderlayPath) > 0 {
@@ -161,7 +212,7 @@ func (a *OverlayAgent) round(now time.Duration) {
 				arena = append(arena, res.UnderlayPath...)
 				path = arena[start:len(arena):len(arena)]
 			}
-			rec := Record{
+			a.batch = append(a.batch, Record{
 				Task:         a.Task.ID,
 				SrcContainer: tg.SrcContainer, SrcRail: tg.SrcRail,
 				DstContainer: tg.DstContainer, DstRail: tg.DstRail,
@@ -170,13 +221,7 @@ func (a *OverlayAgent) round(now time.Duration) {
 				RTT:  res.RTT,
 				Lost: res.Lost,
 				Path: path,
-			}
-			if a.Sink != nil {
-				a.Sink(rec)
-			}
-			if a.BatchSink != nil {
-				a.batch = append(a.batch, rec)
-			}
+			})
 		}
 	}
 	if cap(arena) > a.arenaSize {
@@ -186,12 +231,23 @@ func (a *OverlayAgent) round(now time.Duration) {
 		// large round doesn't pin oversized arenas forever.
 		a.arenaSize = len(arena) * 2
 	}
-	if a.BatchSink != nil && len(a.batch) > 0 {
-		a.BatchSink(a.batch)
-	}
 	a.rounds++
 	a.Obs.Inc(obs.ProbeRounds)
 	a.Obs.Add(obs.ProbesSent, uint64(sent))
+}
+
+// deliver hands the round's records to the agent's own sinks — the
+// serial delivery path (ticker mode, and the RoundEngine's fallback
+// when a round cannot use the sharded fast path).
+func (a *OverlayAgent) deliver() {
+	if a.Sink != nil {
+		for _, rec := range a.batch {
+			a.Sink(rec)
+		}
+	}
+	if a.BatchSink != nil && len(a.batch) > 0 {
+		a.BatchSink(a.batch)
+	}
 }
 
 // HostAgent is the per-host underlay agent: it resolves the physical

@@ -145,6 +145,18 @@ type Fabric struct {
 	ordOf    map[LinkID]int32
 	ordLinks []LinkID
 	ordEnds  [][2]NodeID // ordinal → endpoints, parallel to ordLinks
+
+	// Dense node ordinals, in construction order: NICs (host*Rails+rail),
+	// then ToRs, aggs, spines. The layout is arithmetic — path assembly
+	// derives a node's ordinal from its coordinates without touching
+	// nodeOrdOf — so concurrent probe workers can key per-node state
+	// (conditions, queue estimates) by plain slice index instead of
+	// hashing interned strings.
+	nodeOrdOf map[NodeID]int32
+	ordNodes  []NodeID
+	torOrd0   int32 // first ToR ordinal (== hosts*Rails)
+	aggOrd0   int32 // first agg ordinal
+	spineOrd0 int32 // first spine ordinal
 }
 
 // New builds the fabric for a spec, interning every node and link ID.
@@ -182,6 +194,22 @@ func New(spec Spec) (*Fabric, error) {
 	f.spineIDs = make([]NodeID, spec.Spines)
 	for s := 0; s < spec.Spines; s++ {
 		f.spineIDs[s] = NodeID(fmt.Sprintf("spine/s%d", s))
+	}
+
+	// Node ordinal tables: concatenate the node ID tables in
+	// construction order and remember the section offsets, so ordinals
+	// are computable arithmetically from coordinates.
+	f.torOrd0 = int32(len(f.nicIDs))
+	f.aggOrd0 = f.torOrd0 + int32(len(f.torIDs))
+	f.spineOrd0 = f.aggOrd0 + int32(len(f.aggIDs))
+	f.ordNodes = make([]NodeID, 0, int(f.spineOrd0)+len(f.spineIDs))
+	f.ordNodes = append(f.ordNodes, f.nicIDs...)
+	f.ordNodes = append(f.ordNodes, f.torIDs...)
+	f.ordNodes = append(f.ordNodes, f.aggIDs...)
+	f.ordNodes = append(f.ordNodes, f.spineIDs...)
+	f.nodeOrdOf = make(map[NodeID]int32, len(f.ordNodes))
+	for i, n := range f.ordNodes {
+		f.nodeOrdOf[n] = int32(i)
 	}
 
 	// Link tables, registering each link's canonical ID, endpoints, and
@@ -293,6 +321,21 @@ func (f *Fabric) LinkByIndex(ord int32) LinkID { return f.ordLinks[ord] }
 // ordinal without re-parsing its ID.
 func (f *Fabric) LinkEndpointsByIndex(ord int32) [2]NodeID { return f.ordEnds[ord] }
 
+// NumNodes returns the number of fabric nodes (NICs plus switches).
+func (f *Fabric) NumNodes() int { return len(f.ordNodes) }
+
+// NodeIndex returns the dense ordinal of a node (NICs first, then ToR,
+// agg and spine switches, in construction order), and whether the node
+// exists. Like link ordinals, node ordinals let hot paths key per-node
+// state (conditions, queue estimates) by slice index.
+func (f *Fabric) NodeIndex(n NodeID) (int32, bool) {
+	ord, ok := f.nodeOrdOf[n]
+	return ord, ok
+}
+
+// NodeByIndex returns the node with the given ordinal.
+func (f *Fabric) NodeByIndex(ord int32) NodeID { return f.ordNodes[ord] }
+
 // EachLink visits every link; iteration order is unspecified.
 func (f *Fabric) EachLink(fn func(LinkID, [2]NodeID)) {
 	for id, ep := range f.links {
@@ -318,9 +361,10 @@ const MaxPathNodes = 7
 // with Materialize (or append from Nodes/Links into their own storage).
 type PathView struct {
 	nodes [MaxPathNodes]NodeID
+	nords [MaxPathNodes]int32
 	links [MaxPathNodes - 1]LinkID
 	ords  [MaxPathNodes - 1]int32
-	n     int // node count; links/ords hold n-1 entries
+	n     int // node count; links/ords/nords hold n-1 / n entries
 }
 
 // Len returns the number of nodes on the path.
@@ -337,6 +381,9 @@ func (v *PathView) Link(i int) LinkID { return v.links[i] }
 
 // LinkOrdinal returns the dense fabric ordinal of the i-th link.
 func (v *PathView) LinkOrdinal(i int) int32 { return v.ords[i] }
+
+// NodeOrdinal returns the dense fabric ordinal of the i-th node.
+func (v *PathView) NodeOrdinal(i int) int32 { return v.nords[i] }
 
 // Nodes appends the path's nodes to buf and returns it.
 func (v *PathView) Nodes(buf []NodeID) []NodeID { return append(buf, v.nodes[:v.n]...) }
@@ -482,7 +529,7 @@ func (it *PathIter) Next() bool {
 		it.a2++
 		a := it.a2
 		up, down := it.spRailAggBase+a, it.dpRailAggBase+a
-		v.nodes[2] = f.aggIDs[it.spAggBase+a]
+		v.nodes[2], v.nords[2] = f.aggIDs[it.spAggBase+a], f.aggOrd0+int32(it.spAggBase+a)
 		v.links[1], v.ords[1] = f.torAggLinks[up], f.torAggOrds[up]
 		v.links[2], v.ords[2] = f.torAggLinks[down], f.torAggOrds[down]
 	case 7:
@@ -502,17 +549,17 @@ func (it *PathIter) Next() bool {
 		}
 		mid2 := (it.dpAggBase+it.a2)*spines + it.s
 		down := it.dpRailAggBase + it.a2
-		v.nodes[4] = f.aggIDs[it.dpAggBase+it.a2]
+		v.nodes[4], v.nords[4] = f.aggIDs[it.dpAggBase+it.a2], f.aggOrd0+int32(it.dpAggBase+it.a2)
 		v.links[3], v.ords[3] = f.aggSpineLinks[mid2], f.aggSpineOrds[mid2]
 		v.links[4], v.ords[4] = f.torAggLinks[down], f.torAggOrds[down]
 		if sChanged {
-			v.nodes[3] = f.spineIDs[it.s]
+			v.nodes[3], v.nords[3] = f.spineIDs[it.s], f.spineOrd0+int32(it.s)
 			mid1 := (it.spAggBase+it.a1)*spines + it.s
 			v.links[2], v.ords[2] = f.aggSpineLinks[mid1], f.aggSpineOrds[mid1]
 		}
 		if a1Changed {
 			up := it.spRailAggBase + it.a1
-			v.nodes[2] = f.aggIDs[it.spAggBase+it.a1]
+			v.nodes[2], v.nords[2] = f.aggIDs[it.spAggBase+it.a1], f.aggOrd0+int32(it.spAggBase+it.a1)
 			v.links[1], v.ords[1] = f.torAggLinks[up], f.torAggOrds[up]
 		}
 	}
@@ -568,14 +615,14 @@ func (f *Fabric) pathViewByIndex(src, dst NIC, idx int, v *PathView) {
 	sp, dp := f.PodOf(src.Host), f.PodOf(dst.Host)
 	srcNicI := src.Host*rails + src.Rail
 	dstNicI := dst.Host*rails + dst.Rail
-	v.nodes[0] = f.nicIDs[srcNicI]
-	v.nodes[1] = f.torIDs[sp*rails+src.Rail]
+	v.nodes[0], v.nords[0] = f.nicIDs[srcNicI], int32(srcNicI)
+	v.nodes[1], v.nords[1] = f.torIDs[sp*rails+src.Rail], f.torOrd0+int32(sp*rails+src.Rail)
 	v.links[0] = f.nicTorLinks[srcNicI]
 	v.ords[0] = f.nicTorOrds[srcNicI]
 	switch {
 	case sp == dp && src.Rail == dst.Rail:
 		v.n = 3
-		v.nodes[2] = f.nicIDs[dstNicI]
+		v.nodes[2], v.nords[2] = f.nicIDs[dstNicI], int32(dstNicI)
 		v.links[1] = f.nicTorLinks[dstNicI]
 		v.ords[1] = f.nicTorOrds[dstNicI]
 	case sp == dp:
@@ -584,9 +631,9 @@ func (f *Fabric) pathViewByIndex(src, dst NIC, idx int, v *PathView) {
 		up := (sp*rails+src.Rail)*agg + a
 		down := (dp*rails+dst.Rail)*agg + a
 		v.n = 5
-		v.nodes[2] = f.aggIDs[sp*agg+a]
-		v.nodes[3] = f.torIDs[dp*rails+dst.Rail]
-		v.nodes[4] = f.nicIDs[dstNicI]
+		v.nodes[2], v.nords[2] = f.aggIDs[sp*agg+a], f.aggOrd0+int32(sp*agg+a)
+		v.nodes[3], v.nords[3] = f.torIDs[dp*rails+dst.Rail], f.torOrd0+int32(dp*rails+dst.Rail)
+		v.nodes[4], v.nords[4] = f.nicIDs[dstNicI], int32(dstNicI)
 		v.links[1], v.ords[1] = f.torAggLinks[up], f.torAggOrds[up]
 		v.links[2], v.ords[2] = f.torAggLinks[down], f.torAggOrds[down]
 		v.links[3], v.ords[3] = f.nicTorLinks[dstNicI], f.nicTorOrds[dstNicI]
@@ -603,11 +650,11 @@ func (f *Fabric) pathViewByIndex(src, dst NIC, idx int, v *PathView) {
 		mid2 := (dp*agg+a2)*spines + s
 		down := (dp*rails+dst.Rail)*agg + a2
 		v.n = 7
-		v.nodes[2] = f.aggIDs[sp*agg+a1]
-		v.nodes[3] = f.spineIDs[s]
-		v.nodes[4] = f.aggIDs[dp*agg+a2]
-		v.nodes[5] = f.torIDs[dp*rails+dst.Rail]
-		v.nodes[6] = f.nicIDs[dstNicI]
+		v.nodes[2], v.nords[2] = f.aggIDs[sp*agg+a1], f.aggOrd0+int32(sp*agg+a1)
+		v.nodes[3], v.nords[3] = f.spineIDs[s], f.spineOrd0+int32(s)
+		v.nodes[4], v.nords[4] = f.aggIDs[dp*agg+a2], f.aggOrd0+int32(dp*agg+a2)
+		v.nodes[5], v.nords[5] = f.torIDs[dp*rails+dst.Rail], f.torOrd0+int32(dp*rails+dst.Rail)
+		v.nodes[6], v.nords[6] = f.nicIDs[dstNicI], int32(dstNicI)
 		v.links[1], v.ords[1] = f.torAggLinks[up], f.torAggOrds[up]
 		v.links[2], v.ords[2] = f.aggSpineLinks[mid1], f.aggSpineOrds[mid1]
 		v.links[3], v.ords[3] = f.aggSpineLinks[mid2], f.aggSpineOrds[mid2]
