@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-ci bench-all cover smoke fuzz
+.PHONY: all build test race vet fmt-check bench bench-api bench-ci bench-all cover smoke fuzz
 
 all: build vet test
 
@@ -54,6 +54,16 @@ bench-ci:
 	$(GO) test -run xxx -bench IncidentCorrelator -benchmem ./internal/incident | tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -o BENCH_incident.json
 	GOGC=50 $(GO) run ./cmd/scalebench -short -gate2x -o BENCH_scale.json
+
+# Read-plane serving campaign: 100K simulated clients replaying a
+# zipfian conditional-GET + watch mix against the incident API
+# in-process, reporting p50/p99 latency and allocs/request, plus the
+# delta-vs-wholesale publishing comparison and the watch-resume
+# byte-identity check. Fails if delta publishing is not ≥2× cheaper in
+# allocations than wholesale re-marshaling or if a resumed watch
+# stream is not byte-identical to an uninterrupted one.
+bench-api:
+	$(GO) run ./cmd/loadgen -o BENCH_api.json
 
 # Full benchmark sweep (every figure/table generator), human-readable.
 bench-all:

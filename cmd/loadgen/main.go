@@ -1,0 +1,475 @@
+// Command loadgen replays fleet-scale read traffic against the
+// incident query plane in-process: ≥100K simulated clients issuing a
+// mix of conditional GETs (incident details with zipfian popularity,
+// the incident list) and watch catch-up polls, while a publisher
+// goroutine keeps mutating incidents and minting epochs underneath
+// them — the paper's "heavy traffic from millions of users" shape at
+// benchmark scale.
+//
+// The campaign reports request latency (p50/p99), allocations and
+// bytes per request, the delta-vs-wholesale publishing cost, and a
+// watch-resume byte-identity check into a JSON artifact:
+//
+//	go run ./cmd/loadgen -o BENCH_api.json
+//
+// The run FAILS (exit 1) if any request draws an unexpected status,
+// if delta publishing does not beat the wholesale re-marshal baseline
+// by at least 2× on allocations, or if a watch client resuming from a
+// mid-campaign cursor does not receive a byte-identical event stream.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skeletonhunter/internal/analyzer"
+	"skeletonhunter/internal/apiserver"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/incident"
+	"skeletonhunter/internal/localize"
+	"skeletonhunter/internal/obs"
+)
+
+type campaign struct {
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"`
+	Workers      int     `json:"workers"`
+	Incidents    int     `json:"incidents"`
+	Blacklist    int     `json:"blacklist"`
+	PublishEvery int     `json:"publish_every"`
+	ZipfS        float64 `json:"zipf_s"`
+	Seed         int64   `json:"seed"`
+}
+
+type requestStats struct {
+	Total          int     `json:"total"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50Us          float64 `json:"p50_us"`
+	P99Us          float64 `json:"p99_us"`
+	MaxUs          float64 `json:"max_us"`
+	// Allocations and bytes are process-wide deltas over the request
+	// phase divided by requests — the concurrent publisher's share is
+	// included, which is the serving cost an operator actually pays.
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+	BytesPerRequest  float64 `json:"bytes_per_request"`
+	OK               uint64  `json:"status_200"`
+	NotModified      uint64  `json:"status_304"`
+	Gone             uint64  `json:"status_410"`
+	Other            uint64  `json:"status_other"`
+}
+
+type publishStats struct {
+	Updates                int     `json:"updates"`
+	EpochsMinted           uint64  `json:"epochs_minted"`
+	DeltaAllocsPerUpdate   float64 `json:"delta_allocs_per_update"`
+	WholesaleAllocsPerUpd  float64 `json:"wholesale_allocs_per_update"`
+	AllocReductionFactor   float64 `json:"alloc_reduction_factor"`
+	DeltaNsPerUpdate       float64 `json:"delta_ns_per_update"`
+	WholesaleNsPerUpdate   float64 `json:"wholesale_ns_per_update"`
+	ResumeStreamsIdentical bool    `json:"watch_resume_byte_identical"`
+}
+
+type report struct {
+	Config   campaign          `json:"config"`
+	Requests requestStats      `json:"requests"`
+	Publish  publishStats      `json:"publish"`
+	Server   map[string]uint64 `json:"server_stats"`
+}
+
+// fleetSnapshot builds the campaign's steady-state monitoring state.
+func fleetSnapshot(now time.Duration, incs, bl int) apiserver.Snapshot {
+	snap := apiserver.Snapshot{Now: now, Stats: obs.Snapshot{Counters: map[string]uint64{}}}
+	for i := 0; i < incs; i++ {
+		snap.Incidents = append(snap.Incidents, incident.Incident{
+			ID:          fmt.Sprintf("inc-%05d", i),
+			Component:   component.ID(fmt.Sprintf("switch/tor/%d/%d", i/8, i%8)),
+			Class:       component.ClassInterHostNetwork,
+			Severity:    incident.SevCritical,
+			State:       incident.Open,
+			OpenedAt:    now,
+			LastAlarmAt: now,
+			AlarmCount:  1,
+			Rev:         uint64(i + 1),
+		})
+	}
+	for i := 0; i < bl; i++ {
+		snap.Blacklist = append(snap.Blacklist, apiserver.BlacklistEntry{
+			Component: component.ID(fmt.Sprintf("rnic/%d/%d", i/8, i%8)),
+			Class:     "intra-host network",
+			SinceSec:  float64(i),
+		})
+	}
+	snap.Alarms = []analyzer.Alarm{{At: now, Verdicts: []localize.Verdict{
+		{Components: []component.ID{"switch/tor/0/0"}, Layer: localize.LayerUnderlay, Detail: "port down", Pairs: 3},
+	}}}
+	return snap
+}
+
+// mutateIncident is one publish round's change: a new alarm folded
+// into one incident, its revision bumped.
+func mutateIncident(snap *apiserver.Snapshot, i int, rev uint64) {
+	snap.Incidents[i].AlarmCount++
+	snap.Incidents[i].LastAlarmAt += time.Second
+	snap.Incidents[i].Rev = rev
+}
+
+// allocsPerUpdate measures steady-state publishing cost (one incident
+// mutated per update) for a config, single-goroutine.
+func allocsPerUpdate(cfg apiserver.Config, snapTemplate apiserver.Snapshot, updates int) (allocs, nsPer float64) {
+	s := apiserver.New(cfg)
+	snap := snapTemplate
+	snap.Incidents = append([]incident.Incident(nil), snapTemplate.Incidents...)
+	s.Update(snap)
+	rev := uint64(1) << 40
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	for i := 0; i < updates; i++ {
+		rev++
+		mutateIncident(&snap, i%len(snap.Incidents), rev)
+		s.Update(snap)
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(updates), float64(wall.Nanoseconds()) / float64(updates)
+}
+
+// checkResume publishes a short campaign and verifies that a watch
+// client disconnecting mid-stream and resuming from its cursor reads
+// the same bytes as one that never disconnected.
+func checkResume(snapTemplate apiserver.Snapshot) (bool, error) {
+	s := apiserver.New(apiserver.Config{RatePerSec: 1e9, Burst: 1e9})
+	snap := snapTemplate
+	snap.Incidents = append([]incident.Incident(nil), snapTemplate.Incidents...)
+	s.Update(snap)
+	rev := uint64(1) << 41
+	for i := 0; i < 12; i++ {
+		rev++
+		mutateIncident(&snap, i%len(snap.Incidents), rev)
+		s.Update(snap)
+	}
+
+	fetch := func(cursor uint64) ([]string, error) {
+		req := httptest.NewRequest(http.MethodGet, "/v1/watch?cursor="+strconv.FormatUint(cursor, 10), nil)
+		req.RemoteAddr = "198.18.0.1:1"
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			return nil, fmt.Errorf("watch cursor=%d: status %d", cursor, w.Code)
+		}
+		body := strings.TrimSuffix(w.Body.String(), "\n")
+		if body == "" {
+			return nil, nil
+		}
+		return strings.Split(body, "\n"), nil
+	}
+
+	full, err := fetch(0)
+	if err != nil {
+		return false, err
+	}
+	head, err := fetch(0)
+	if err != nil {
+		return false, err
+	}
+	cut := len(head) / 2
+	head = head[:cut]
+	var ev struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal([]byte(head[cut-1]), &ev); err != nil {
+		return false, err
+	}
+	tail, err := fetch(ev.Epoch)
+	if err != nil {
+		return false, err
+	}
+	resumed := append(head, tail...)
+	if len(resumed) != len(full) {
+		return false, nil
+	}
+	for i := range full {
+		if resumed[i] != full[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// sinkWriter is an allocation-light ResponseWriter: headers are
+// harvested between requests, bodies are counted and dropped.
+type sinkWriter struct {
+	hdr    http.Header
+	status int
+	n      int
+}
+
+func newSink() *sinkWriter                { return &sinkWriter{hdr: make(http.Header, 8)} }
+func (w *sinkWriter) Header() http.Header { return w.hdr }
+func (w *sinkWriter) WriteHeader(c int)   { w.status = c }
+func (w *sinkWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+func (w *sinkWriter) reset() {
+	// A handler that writes nothing is an implicit 200, as net/http
+	// would treat it.
+	w.status, w.n = http.StatusOK, 0
+	for k := range w.hdr {
+		delete(w.hdr, k)
+	}
+}
+
+// simClient is one simulated operator console: a fixed favorite
+// incident (popularity assigned zipfian at setup), its cached ETags,
+// and its watch cursor.
+type simClient struct {
+	addr      string
+	favorite  int
+	detailTag string
+	listTag   string
+	cursor    uint64
+}
+
+func run(cfg campaign, out string) (report, error) {
+	rep := report{Config: cfg}
+	snapTemplate := fleetSnapshot(10*time.Minute, cfg.Incidents, cfg.Blacklist)
+
+	// Phase 1: publishing cost, delta vs wholesale baseline.
+	const measureUpdates = 200
+	dAllocs, dNs := allocsPerUpdate(apiserver.Config{}, snapTemplate, measureUpdates)
+	wAllocs, wNs := allocsPerUpdate(apiserver.Config{DisableDeltas: true}, snapTemplate, measureUpdates)
+	rep.Publish = publishStats{
+		Updates:               measureUpdates,
+		DeltaAllocsPerUpdate:  dAllocs,
+		WholesaleAllocsPerUpd: wAllocs,
+		AllocReductionFactor:  wAllocs / dAllocs,
+		DeltaNsPerUpdate:      dNs,
+		WholesaleNsPerUpdate:  wNs,
+	}
+
+	// Phase 2: watch resume byte-identity.
+	identical, err := checkResume(snapTemplate)
+	if err != nil {
+		return rep, err
+	}
+	rep.Publish.ResumeStreamsIdentical = identical
+
+	// Phase 3: the request campaign. Self-protection limits are lifted
+	// clear of the offered load — this measures serving cost, not
+	// shedding (which internal/apiserver's tests pin separately).
+	srv := apiserver.New(apiserver.Config{
+		RatePerSec:  1e12,
+		Burst:       1e12,
+		MaxClients:  cfg.Clients + 16,
+		MaxInFlight: 65536,
+	})
+	snap := snapTemplate
+	snap.Incidents = append([]incident.Incident(nil), snapTemplate.Incidents...)
+	srv.Update(snap)
+
+	setup := rand.New(rand.NewSource(cfg.Seed))
+	favZipf := rand.NewZipf(setup, cfg.ZipfS, 1, uint64(cfg.Incidents-1))
+	clients := make([]simClient, cfg.Clients)
+	for i := range clients {
+		clients[i] = simClient{
+			addr:     fmt.Sprintf("10.%d.%d.%d:1", i>>16&255, i>>8&255, i&255),
+			favorite: int(favZipf.Uint64()),
+			cursor:   srv.Epoch(),
+		}
+	}
+	detailPaths := make([]string, cfg.Incidents)
+	for i := range detailPaths {
+		detailPaths[i] = "/v1/incidents/" + snap.Incidents[i].ID
+	}
+
+	// Publisher: one incident mutated per publishEvery served requests,
+	// zipfian over the same popularity curve the clients follow.
+	pubCh := make(chan struct{}, 4)
+	pubDone := make(chan struct{})
+	var epochs uint64
+	go func() {
+		defer close(pubDone)
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+		zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Incidents-1))
+		rev := uint64(1) << 42
+		for range pubCh {
+			rev++
+			mutateIncident(&snap, int(zipf.Uint64()), rev)
+			srv.Update(snap)
+			epochs++
+		}
+	}()
+
+	var (
+		served                  atomic.Uint64
+		ok, notMod, gone, other atomic.Uint64
+		wg                      sync.WaitGroup
+		latencies               = make([][]int64, cfg.Workers)
+		m0, m1                  runtime.MemStats
+	)
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	wallStart := time.Now()
+	perWorker := cfg.Requests / cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			sink := newSink()
+			u := &url.URL{}
+			req := &http.Request{Method: http.MethodGet, URL: u, Header: make(http.Header, 2), Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1}
+			lo := w * cfg.Clients / cfg.Workers
+			hi := (w + 1) * cfg.Clients / cfg.Workers
+			lat := make([]int64, perWorker)
+			for i := 0; i < perWorker; i++ {
+				c := &clients[lo+rng.Intn(hi-lo)]
+				req.RemoteAddr = c.addr
+				op := rng.Intn(100)
+				var condTag *string
+				switch {
+				case op < 50: // conditional GET, favorite incident detail
+					u.Path, u.RawQuery = detailPaths[c.favorite], ""
+					condTag = &c.detailTag
+				case op < 75: // conditional GET, incident list
+					u.Path, u.RawQuery = "/v1/incidents", ""
+					condTag = &c.listTag
+				default: // watch catch-up from the client's cursor
+					u.Path = "/v1/watch"
+					u.RawQuery = "cursor=" + strconv.FormatUint(c.cursor, 10)
+				}
+				if condTag != nil && *condTag != "" {
+					req.Header["If-None-Match"] = []string{*condTag}
+				} else {
+					delete(req.Header, "If-None-Match")
+				}
+				sink.reset()
+				t0 := time.Now()
+				srv.ServeHTTP(sink, req)
+				lat[i] = time.Since(t0).Nanoseconds()
+				switch sink.status {
+				case http.StatusOK:
+					ok.Add(1)
+					if condTag != nil {
+						*condTag = sink.hdr.Get("ETag")
+					} else if next := sink.hdr.Get("X-Epoch"); next != "" {
+						c.cursor, _ = strconv.ParseUint(next, 10, 64)
+					}
+				case http.StatusNotModified:
+					notMod.Add(1)
+				case http.StatusGone:
+					// Cursor aged out of the backlog: resync forward, as
+					// a real console would after re-fetching resources.
+					gone.Add(1)
+					c.cursor = srv.Epoch()
+				default:
+					other.Add(1)
+				}
+				if n := served.Add(1); n%uint64(cfg.PublishEvery) == 0 {
+					select {
+					case pubCh <- struct{}{}:
+					default:
+					}
+				}
+			}
+			latencies[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+	runtime.ReadMemStats(&m1)
+	close(pubCh)
+	<-pubDone
+
+	all := make([]int64, 0, cfg.Workers*perWorker)
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	total := len(all)
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	rep.Requests = requestStats{
+		Total:            total,
+		WallSeconds:      wall.Seconds(),
+		RequestsPerSec:   float64(total) / wall.Seconds(),
+		P50Us:            us(all[total/2]),
+		P99Us:            us(all[total*99/100]),
+		MaxUs:            us(all[total-1]),
+		AllocsPerRequest: float64(m1.Mallocs-m0.Mallocs) / float64(total),
+		BytesPerRequest:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(total),
+		OK:               ok.Load(),
+		NotModified:      notMod.Load(),
+		Gone:             gone.Load(),
+		Other:            other.Load(),
+	}
+	rep.Publish.EpochsMinted = epochs
+	rep.Server = srv.Stats()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return rep, err
+	}
+	data = append(data, '\n')
+	if out == "" || out == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(out, data, 0o644)
+	}
+	if err != nil {
+		return rep, err
+	}
+
+	switch {
+	case rep.Requests.Other > 0:
+		return rep, fmt.Errorf("%d requests drew unexpected statuses", rep.Requests.Other)
+	case !rep.Publish.ResumeStreamsIdentical:
+		return rep, fmt.Errorf("watch resume streams diverged")
+	case rep.Publish.AllocReductionFactor < 2:
+		return rep, fmt.Errorf("delta publishing only %.2fx fewer allocs than wholesale (want ≥2x)",
+			rep.Publish.AllocReductionFactor)
+	}
+	return rep, nil
+}
+
+func main() {
+	cfg := campaign{}
+	flag.IntVar(&cfg.Clients, "clients", 100000, "simulated clients")
+	flag.IntVar(&cfg.Requests, "requests", 400000, "total requests across all clients")
+	flag.IntVar(&cfg.Workers, "workers", runtime.GOMAXPROCS(0), "concurrent request workers")
+	flag.IntVar(&cfg.Incidents, "incidents", 512, "tracked incidents in the fleet snapshot")
+	flag.IntVar(&cfg.Blacklist, "blacklist", 2048, "blacklist entries in the fleet snapshot")
+	flag.IntVar(&cfg.PublishEvery, "publish-every", 500, "mint one epoch per this many served requests")
+	flag.Float64Var(&cfg.ZipfS, "zipf-s", 1.2, "zipf exponent for incident popularity")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "campaign seed")
+	out := flag.String("o", "BENCH_api.json", "report output path (- for stdout)")
+	flag.Parse()
+
+	rep, err := run(cfg, *out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d clients, %d requests in %.2fs (%.0f req/s), p50 %.1fµs p99 %.1fµs, %.1f allocs/req; delta publish %.1fx fewer allocs\n",
+		cfg.Clients, rep.Requests.Total, rep.Requests.WallSeconds, rep.Requests.RequestsPerSec,
+		rep.Requests.P50Us, rep.Requests.P99Us, rep.Requests.AllocsPerRequest,
+		rep.Publish.AllocReductionFactor)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCampaignSmall runs a miniature campaign end to end and checks
+// the report invariants the CI artifact is consumed for.
+func TestCampaignSmall(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	cfg := campaign{
+		Clients: 500, Requests: 10000, Workers: 2,
+		Incidents: 32, Blacklist: 64, PublishEvery: 200,
+		ZipfS: 1.2, Seed: 7,
+	}
+	rep, err := run(cfg, out)
+	if err != nil {
+		t.Fatalf("campaign failed: %v", err)
+	}
+
+	if rep.Requests.Total != cfg.Requests {
+		t.Fatalf("total %d, want %d", rep.Requests.Total, cfg.Requests)
+	}
+	if rep.Requests.Other != 0 {
+		t.Fatalf("%d unexpected statuses", rep.Requests.Other)
+	}
+	if rep.Requests.OK == 0 || rep.Requests.NotModified == 0 {
+		t.Fatalf("degenerate status mix: %+v", rep.Requests)
+	}
+	if rep.Requests.P99Us < rep.Requests.P50Us || rep.Requests.P50Us <= 0 {
+		t.Fatalf("latency percentiles inverted: p50 %v p99 %v", rep.Requests.P50Us, rep.Requests.P99Us)
+	}
+	if !rep.Publish.ResumeStreamsIdentical {
+		t.Fatal("watch resume streams diverged")
+	}
+	if rep.Publish.AllocReductionFactor < 2 {
+		t.Fatalf("delta publish reduction only %.2fx", rep.Publish.AllocReductionFactor)
+	}
+	if rep.Publish.EpochsMinted == 0 {
+		t.Fatal("publisher minted no epochs")
+	}
+	if rep.Server["api-requests"] != uint64(cfg.Requests) {
+		t.Fatalf("server saw %d requests", rep.Server["api-requests"])
+	}
+
+	// The artifact on disk is the same report, valid JSON.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk report
+	if err := json.Unmarshal(data, &onDisk); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if onDisk.Requests.Total != rep.Requests.Total {
+		t.Fatalf("artifact diverges from returned report")
+	}
+}

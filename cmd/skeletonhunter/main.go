@@ -113,6 +113,7 @@ func run(cfg runConfig) error {
 	if d.API != nil {
 		defer d.API.Close()
 		fmt.Printf("query API: http://%s/v1/incidents\n", d.API.Addr())
+		fmt.Printf("watch feed: http://%s/v1/watch?cursor=0 (add &stream=sse to stream)\n", d.API.Addr())
 	}
 	var crash *faults.ControllerCrash
 	if cfg.crashAt > 0 {

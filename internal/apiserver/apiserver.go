@@ -13,19 +13,35 @@
 // ETag is a digest of its bytes, so If-None-Match revalidation returns
 // 304 precisely until the monitoring state actually changes.
 //
+// Publishing is *delta-rendered*: each Update compares the snapshot
+// against what the previous view already rendered — per-incident
+// change revisions (incident.Incident.Rev), an append-only alarm
+// stamp, an elementwise blacklist compare — and re-marshals only what
+// changed, stitching the incident list from per-incident pre-marshaled
+// fragments reused across epochs. A 32K-entry blacklist or a long
+// incident table therefore costs nothing to republish until it
+// actually changes. Updates that change anything (stats excluded; see
+// below) mint a new monotonically increasing *epoch*, and the change
+// set is retained in a bounded ring so clients can follow the plane
+// via the resumable /v1/watch surface (long-poll or SSE) instead of
+// polling — see watch.go.
+//
 // Self-protection mirrors the controller's transport server: a bounded
-// concurrent-request admission gate (503 + Retry-After when full) and
-// a per-client token-bucket rate limiter (429) keep one misbehaving
-// dashboard from starving the rest.
+// concurrent-request admission gate (503 + Retry-After when full), a
+// per-client token-bucket rate limiter (429) with idle-eviction
+// bounding the client table, and a capped watcher registry with
+// counted shedding and fell-behind eviction for the watch surface.
 package apiserver
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,9 +62,24 @@ type Config struct {
 	Burst      float64
 	// MaxInFlight bounds concurrently admitted requests (default 128).
 	MaxInFlight int
-	// MaxClients bounds the rate-limiter table; when it fills, the
-	// table resets rather than growing without bound (default 4096).
+	// MaxClients bounds the rate-limiter table; when it fills, buckets
+	// idle long enough to have refilled completely are evicted —
+	// never live (possibly throttled) ones (default 4096).
 	MaxClients int
+	// MaxWatchers bounds concurrently registered watch clients —
+	// blocked long-pollers plus open SSE streams; excess watch
+	// requests are shed with 503 (default 1024).
+	MaxWatchers int
+	// WatchBacklog is how many epochs of change events are retained
+	// for resumable watches; a cursor older than the backlog gets
+	// 410 Gone and must resync from the full resources (default 512).
+	WatchBacklog int
+	// MaxPollWait caps the long-poll wait_ms parameter (default 30s).
+	MaxPollWait time.Duration
+	// DisableDeltas forces every Update to re-marshal every resource
+	// wholesale — the pre-delta baseline, kept so the delta renderer
+	// can be benchmarked (and equivalence-tested) against it.
+	DisableDeltas bool
 
 	// now overrides the rate limiter's clock (tests).
 	now func() time.Time
@@ -67,6 +98,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxClients == 0 {
 		c.MaxClients = 4096
 	}
+	if c.MaxWatchers == 0 {
+		c.MaxWatchers = 1024
+	}
+	if c.WatchBacklog <= 0 {
+		c.WatchBacklog = 512
+	}
+	if c.MaxPollWait == 0 {
+		c.MaxPollWait = 30 * time.Second
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -82,7 +122,16 @@ type BlacklistEntry struct {
 }
 
 // Snapshot is the monitoring state the deployment renders into a view.
-// All fields are copies owned by the snapshot.
+// All fields are copies owned by the snapshot (the server never
+// mutates them, so callers may hand the same slices to consecutive
+// Updates).
+//
+// Delta contract: incidents are identified by ID and carry a change
+// revision (Incident.Rev) that is bumped on every mutation — an
+// incident whose (ID, Rev) pair matches the previous Update is served
+// from the previous rendering without re-marshaling. Rev zero means
+// "no tracking" and always re-renders. Alarms are append-only between
+// Updates; the blacklist is compared elementwise.
 type Snapshot struct {
 	Now       time.Duration
 	Incidents []incident.Incident
@@ -99,8 +148,18 @@ type resource struct {
 
 // view is one immutable generation of every served resource.
 type view struct {
+	epoch     uint64
 	resources map[string]resource // fixed paths
 	incidents map[string]resource // /v1/incidents/{id}
+}
+
+// incFrag is the cached rendering of one incident at one revision:
+// its list-summary JSON fragment (indented for in-place stitching
+// into the /v1/incidents body). The detail resource is reused from
+// the previous view directly.
+type incFrag struct {
+	rev     uint64
+	summary []byte
 }
 
 // Server is the HTTP read plane. Construct with New, feed with Update,
@@ -114,10 +173,26 @@ type Server struct {
 	mu      sync.Mutex
 	buckets map[string]*bucket
 
-	requests    atomic.Uint64
-	notModified atomic.Uint64
-	throttled   atomic.Uint64
-	rejected    atomic.Uint64
+	// Publisher state: owned by Update's caller (the deployment's
+	// engine goroutine — Update is single-writer by contract).
+	epoch     atomic.Uint64
+	frags     map[string]incFrag
+	listIDs   []string // incident order the published list was stitched in
+	blacklist []BlacklistEntry
+	alarmLen  int
+	alarmLast time.Duration
+
+	hub watchHub
+
+	requests     atomic.Uint64
+	notModified  atomic.Uint64
+	throttled    atomic.Uint64
+	rejected     atomic.Uint64
+	watchReqs    atomic.Uint64
+	watchEvents  atomic.Uint64
+	watchShed    atomic.Uint64
+	watchEvicted atomic.Uint64
+	watchResyncs atomic.Uint64
 
 	ln   net.Listener
 	http *http.Server
@@ -127,11 +202,14 @@ type Server struct {
 // Update.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		admit:   make(chan struct{}, cfg.MaxInFlight),
 		buckets: make(map[string]*bucket),
+		frags:   make(map[string]incFrag),
 	}
+	s.hub.init(cfg.WatchBacklog)
+	return s
 }
 
 // incidentView is the JSON shape of one incident. Durations serialize
@@ -263,60 +341,196 @@ func mustResource(v any) resource {
 	if err != nil {
 		panic(fmt.Sprintf("apiserver: marshal: %v", err))
 	}
-	b = append(b, '\n')
-	sum := sha256.Sum256(b)
-	return resource{body: b, etag: `"` + hex.EncodeToString(sum[:8]) + `"`}
+	return finishResource(append(b, '\n'))
+}
+
+// finishResource stamps a fully rendered body with its ETag.
+func finishResource(body []byte) resource {
+	sum := sha256.Sum256(body)
+	return resource{body: body, etag: `"` + hex.EncodeToString(sum[:8]) + `"`}
+}
+
+// summaryFragment renders one incident's list entry indented for
+// stitching into the /v1/incidents array (two levels deep), matching
+// json.MarshalIndent of the whole list byte for byte.
+func summaryFragment(in incident.Incident) []byte {
+	b, err := json.MarshalIndent(toIncidentView(in), "    ", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("apiserver: marshal: %v", err))
+	}
+	return b
+}
+
+// detailResource renders one incident's /v1/incidents/{id} body.
+func detailResource(in incident.Incident, now time.Duration) resource {
+	return mustResource(map[string]any{
+		"now_s":    seconds(now),
+		"incident": toDetail(in),
+	})
+}
+
+// stitchList assembles the /v1/incidents body from per-incident
+// summary fragments — no per-incident re-marshaling. The output is
+// byte-identical to mustResource over the equivalent map, which the
+// equivalence test pins.
+func stitchList(frags [][]byte, now time.Duration) resource {
+	nowJSON, _ := json.Marshal(seconds(now))
+	var buf bytes.Buffer
+	buf.WriteString("{\n  \"incidents\": [")
+	for i, f := range frags {
+		if i > 0 {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n    ")
+		buf.Write(f)
+	}
+	if len(frags) > 0 {
+		buf.WriteString("\n  ")
+	}
+	buf.WriteString("],\n  \"now_s\": ")
+	buf.Write(nowJSON)
+	buf.WriteString("\n}\n")
+	return finishResource(buf.Bytes())
 }
 
 // Update renders a snapshot into a fresh immutable view and swaps it
-// in. Called from the deployment's engine goroutine; handlers pick the
-// new view up on their next request.
+// in; handlers pick the new view up on their next request. Called from
+// the deployment's engine goroutine — Update is single-writer (the
+// delta caches are unguarded publisher state).
+//
+// Only resources whose content actually changed are re-marshaled (see
+// the Snapshot delta contract); if anything changed, the server's
+// epoch advances and the change set is published to the watch ring.
+// The stats resource re-renders every Update but never participates
+// in epochs or watch events: serving counters move on every request,
+// and a watch surface that woke on its own traffic would spin.
 func (s *Server) Update(snap Snapshot) {
+	prev := s.view.Load()
+	wholesale := prev == nil || s.cfg.DisableDeltas
+
 	v := &view{
 		resources: make(map[string]resource, 5),
 		incidents: make(map[string]resource, len(snap.Incidents)),
 	}
+	var changed []string
 
-	summaries := make([]incidentView, 0, len(snap.Incidents))
+	// Incidents: reuse the previous rendering for every (ID, Rev)
+	// pair already published; stitch the list from cached fragments.
+	frags := make([][]byte, 0, len(snap.Incidents))
+	ids := make([]string, 0, len(snap.Incidents))
+	listDirty := wholesale
 	for _, in := range snap.Incidents {
-		summaries = append(summaries, toIncidentView(in))
-		v.incidents[in.ID] = mustResource(map[string]any{
-			"now_s":    seconds(snap.Now),
-			"incident": toDetail(in),
-		})
-	}
-	v.resources["/v1/incidents"] = mustResource(map[string]any{
-		"now_s":     seconds(snap.Now),
-		"incidents": summaries,
-	})
-
-	alarms := make([]alarmView, 0, len(snap.Alarms))
-	for _, al := range snap.Alarms {
-		av := alarmView{AtSec: seconds(al.At), Anomalies: len(al.Anomalies)}
-		for _, vd := range al.Verdicts {
-			av.Verdicts = append(av.Verdicts, verdictView{
-				Layer: vd.Layer.String(), Detail: vd.Detail,
-				Components: vd.Components, Pairs: vd.Pairs,
-			})
+		ids = append(ids, in.ID)
+		f, haveFrag := s.frags[in.ID]
+		prevDet, havePrev := resource{}, false
+		if prev != nil {
+			prevDet, havePrev = prev.incidents[in.ID]
 		}
-		alarms = append(alarms, av)
+		if !wholesale && in.Rev != 0 && haveFrag && f.rev == in.Rev && havePrev {
+			v.incidents[in.ID] = prevDet
+			frags = append(frags, f.summary)
+			continue
+		}
+		frag := summaryFragment(in)
+		v.incidents[in.ID] = detailResource(in, snap.Now)
+		s.frags[in.ID] = incFrag{rev: in.Rev, summary: frag}
+		frags = append(frags, frag)
+		changed = append(changed, "/v1/incidents/"+in.ID)
+		listDirty = true
 	}
-	v.resources["/v1/alarms"] = mustResource(map[string]any{
-		"now_s":  seconds(snap.Now),
-		"alarms": alarms,
-	})
+	if !listDirty && !sameIDs(ids, s.listIDs) {
+		listDirty = true
+	}
+	if listDirty {
+		v.resources["/v1/incidents"] = stitchList(frags, snap.Now)
+		changed = append(changed, "/v1/incidents")
+	} else {
+		v.resources["/v1/incidents"] = prev.resources["/v1/incidents"]
+	}
+	s.listIDs = ids
 
-	v.resources["/v1/blacklist"] = mustResource(map[string]any{
-		"now_s":     seconds(snap.Now),
-		"blacklist": snap.Blacklist,
-	})
+	// Alarms: append-only between Updates, so (count, last-At) pins
+	// the content.
+	var alarmLast time.Duration
+	if n := len(snap.Alarms); n > 0 {
+		alarmLast = snap.Alarms[n-1].At
+	}
+	if wholesale || len(snap.Alarms) != s.alarmLen || alarmLast != s.alarmLast {
+		alarms := make([]alarmView, 0, len(snap.Alarms))
+		for _, al := range snap.Alarms {
+			av := alarmView{AtSec: seconds(al.At), Anomalies: len(al.Anomalies)}
+			for _, vd := range al.Verdicts {
+				av.Verdicts = append(av.Verdicts, verdictView{
+					Layer: vd.Layer.String(), Detail: vd.Detail,
+					Components: vd.Components, Pairs: vd.Pairs,
+				})
+			}
+			alarms = append(alarms, av)
+		}
+		v.resources["/v1/alarms"] = mustResource(map[string]any{
+			"now_s":  seconds(snap.Now),
+			"alarms": alarms,
+		})
+		changed = append(changed, "/v1/alarms")
+		s.alarmLen, s.alarmLast = len(snap.Alarms), alarmLast
+	} else {
+		v.resources["/v1/alarms"] = prev.resources["/v1/alarms"]
+	}
 
+	// Blacklist: compared elementwise — entries are tiny comparable
+	// structs, and the compare is what spares re-marshaling 32K of
+	// them every round.
+	if wholesale || !blacklistEqual(snap.Blacklist, s.blacklist) {
+		v.resources["/v1/blacklist"] = mustResource(map[string]any{
+			"now_s":     seconds(snap.Now),
+			"blacklist": snap.Blacklist,
+		})
+		changed = append(changed, "/v1/blacklist")
+		s.blacklist = append(s.blacklist[:0], snap.Blacklist...)
+	} else {
+		v.resources["/v1/blacklist"] = prev.resources["/v1/blacklist"]
+	}
+
+	// Stats: always re-rendered, never epoch-relevant.
 	v.resources["/v1/stats"] = mustResource(map[string]any{
 		"now_s":    seconds(snap.Now),
 		"counters": snap.Stats.Counters,
 	})
 
-	s.view.Store(v)
+	if len(changed) > 0 || prev == nil {
+		epoch := s.epoch.Add(1)
+		v.epoch = epoch
+		s.view.Store(v)
+		s.hub.publish(renderEvent(epoch, snap.Now, changed, v))
+	} else {
+		v.epoch = prev.epoch
+		s.view.Store(v)
+	}
+}
+
+// sameIDs reports whether two incident orderings are identical.
+func sameIDs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func blacklistEqual(a, b []BlacklistEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ServeHTTP implements the read API.
@@ -325,6 +539,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
 		jsonError(w, http.StatusMethodNotAllowed, "read-only API: GET/HEAD only")
+		return
+	}
+
+	path := strings.TrimSuffix(r.URL.Path, "/")
+
+	// The watch surface has its own self-protection (the bounded
+	// watcher registry) and can legitimately hold a request open for
+	// the whole long-poll wait — it must not pin admission slots the
+	// fast resource gets need.
+	if path == "/v1/watch" {
+		if !s.allow(clientKey(r)) {
+			s.throttled.Add(1)
+			w.Header().Set("Retry-After", "1")
+			jsonError(w, http.StatusTooManyRequests, "client rate limit exceeded")
+			return
+		}
+		s.serveWatch(w, r)
 		return
 	}
 
@@ -353,7 +584,6 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	path := strings.TrimSuffix(r.URL.Path, "/")
 	res, ok := v.resources[path]
 	if !ok {
 		if id, found := strings.CutPrefix(path, "/v1/incidents/"); found {
@@ -367,12 +597,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("ETag", res.etag)
 	w.Header().Set("Cache-Control", "no-cache") // revalidate, don't assume fresh
+	w.Header().Set("X-Epoch", strconv.FormatUint(v.epoch, 10))
 	if etagMatches(r.Header.Get("If-None-Match"), res.etag) {
 		s.notModified.Add(1)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	// Set explicitly so HEAD responses size the body they elide; for
+	// GET it matches the single Write below exactly.
+	w.Header().Set("Content-Length", strconv.Itoa(len(res.body)))
 	if r.Method == http.MethodHead {
 		return
 	}
@@ -444,12 +678,22 @@ func (s *Server) Close() error {
 	return s.http.Close()
 }
 
+// Epoch returns the current incident-plane epoch (0 before the first
+// Update).
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
 // Stats reports the server's own serving counters.
 func (s *Server) Stats() map[string]uint64 {
 	return map[string]uint64{
-		"api-requests":     s.requests.Load(),
-		"api-not-modified": s.notModified.Load(),
-		"api-throttled":    s.throttled.Load(),
-		"api-rejected":     s.rejected.Load(),
+		"api-requests":      s.requests.Load(),
+		"api-not-modified":  s.notModified.Load(),
+		"api-throttled":     s.throttled.Load(),
+		"api-rejected":      s.rejected.Load(),
+		"api-epoch":         s.epoch.Load(),
+		"api-watch-reqs":    s.watchReqs.Load(),
+		"api-watch-events":  s.watchEvents.Load(),
+		"api-watch-shed":    s.watchShed.Load(),
+		"api-watch-evicted": s.watchEvicted.Load(),
+		"api-watch-resyncs": s.watchResyncs.Load(),
 	}
 }

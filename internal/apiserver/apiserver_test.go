@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -170,6 +171,77 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+// TestHeadContentLength pins the HEAD/ETag interplay: a 200 HEAD
+// carries the Content-Length of the body it elides (so monitors can
+// size resources without fetching them), and a 304 — HEAD or GET —
+// carries no body length at all.
+func TestHeadContentLength(t *testing.T) {
+	s := New(Config{})
+	s.Update(testSnapshot(10 * time.Minute))
+
+	full := get(t, s, "/v1/incidents", nil)
+	wantLen := strconv.Itoa(full.Body.Len())
+	if got := full.Header().Get("Content-Length"); got != wantLen {
+		t.Fatalf("GET Content-Length %q, want %q", got, wantLen)
+	}
+	etag := full.Header().Get("ETag")
+
+	head := func(hdr map[string]string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodHead, "/v1/incidents", nil)
+		req.RemoteAddr = "192.0.2.1:1"
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		return w
+	}
+
+	w := head(nil)
+	if w.Code != http.StatusOK || w.Body.Len() != 0 {
+		t.Fatalf("HEAD: %d, %d body bytes", w.Code, w.Body.Len())
+	}
+	if got := w.Header().Get("Content-Length"); got != wantLen {
+		t.Fatalf("HEAD Content-Length %q, want %q", got, wantLen)
+	}
+	if w.Header().Get("ETag") != etag {
+		t.Fatalf("HEAD ETag %q, want %q", w.Header().Get("ETag"), etag)
+	}
+
+	// Conditional HEAD against the current tag: 304, no length claim.
+	w = head(map[string]string{"If-None-Match": etag})
+	if w.Code != http.StatusNotModified || w.Header().Get("Content-Length") != "" {
+		t.Fatalf("conditional HEAD: %d, Content-Length %q", w.Code, w.Header().Get("Content-Length"))
+	}
+}
+
+func TestETagMatches(t *testing.T) {
+	const tag = `"abc123"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{tag, true},
+		{`"zzz"`, false},
+		{"*", true},
+		{"W/" + tag, true},
+		{`"one", "two", ` + tag, true},
+		{`"one","two",` + tag, true},
+		{`"one", W/` + tag + `, "two"`, true},
+		{"  " + tag + "  ", true},
+		{`"one", "two"`, false},
+		{"abc123", false},   // unquoted: not the same tag
+		{`W/"zzz"`, false},  // weak prefix on the wrong tag
+		{`"ABC123"`, false}, // tags are case-sensitive
+	}
+	for _, c := range cases {
+		if got := etagMatches(c.header, tag); got != c.want {
+			t.Fatalf("etagMatches(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
 func TestRateLimitPerClient(t *testing.T) {
 	clock := time.Unix(0, 0)
 	s := New(Config{RatePerSec: 1, Burst: 2, now: func() time.Time { return clock }})
@@ -218,6 +290,89 @@ func TestRateLimitTableBounded(t *testing.T) {
 	s.mu.Unlock()
 	if n > 4 {
 		t.Fatalf("bucket table grew to %d entries", n)
+	}
+}
+
+// TestRateLimitThrottledSurvivesEviction is the regression test for
+// the burst-bypass bug: the old limiter reset the whole bucket table
+// whenever it hit MaxClients, so any address spray handed every
+// throttled client a fresh full bucket. Now a spray must not launder
+// an existing client's debt.
+func TestRateLimitThrottledSurvivesEviction(t *testing.T) {
+	clock := time.Unix(0, 0)
+	s := New(Config{RatePerSec: 1, Burst: 2, MaxClients: 3, now: func() time.Time { return clock }})
+	s.Update(testSnapshot(time.Minute))
+
+	hit := func(addr string) int {
+		req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+		req.RemoteAddr = addr + ":1"
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		return w.Code
+	}
+
+	// Client A exhausts its burst and is throttled.
+	if hit("192.0.2.1") != 200 || hit("192.0.2.1") != 200 {
+		t.Fatal("burst rejected")
+	}
+	if code := hit("192.0.2.1"); code != http.StatusTooManyRequests {
+		t.Fatalf("throttled request: %d", code)
+	}
+
+	// An address spray fills (and overflows) the table while every
+	// bucket is live — nothing is evictable, so newcomers fail closed…
+	for i := 0; i < 20; i++ {
+		hit(fmt.Sprintf("198.51.100.%d", i+1))
+	}
+	// …and client A is STILL throttled: its bucket must have survived.
+	if code := hit("192.0.2.1"); code != http.StatusTooManyRequests {
+		t.Fatalf("throttled client laundered its debt through the spray: %d", code)
+	}
+	s.mu.Lock()
+	n := len(s.buckets)
+	s.mu.Unlock()
+	if n > 3 {
+		t.Fatalf("bucket table grew to %d entries", n)
+	}
+
+	// After a full refill interval (Burst/Rate = 2s) idle spray buckets
+	// are evictable, so a genuinely new client gets in — and client A,
+	// fully refilled, is indistinguishable from fresh.
+	clock = clock.Add(2 * time.Second)
+	if code := hit("203.0.113.9"); code != 200 {
+		t.Fatalf("new client after idle eviction: %d", code)
+	}
+	if code := hit("192.0.2.1"); code != 200 {
+		t.Fatalf("refilled client: %d", code)
+	}
+}
+
+// TestRateLimitFailsClosedUnderSpray pins the full-table behavior:
+// when no bucket is idle enough to evict, unknown clients are refused
+// rather than granted an untracked free request.
+func TestRateLimitFailsClosedUnderSpray(t *testing.T) {
+	clock := time.Unix(0, 0)
+	s := New(Config{RatePerSec: 1, Burst: 2, MaxClients: 2, now: func() time.Time { return clock }})
+	if !s.allow("a") || !s.allow("b") {
+		t.Fatal("table fill rejected")
+	}
+	if s.allow("c") {
+		t.Fatal("newcomer admitted with a full table of live buckets")
+	}
+	// Existing clients keep being served from their own buckets.
+	if !s.allow("a") {
+		t.Fatal("existing client refused")
+	}
+	// Once the table's buckets have fully refilled, eviction frees a
+	// slot and the newcomer mints a bucket.
+	clock = clock.Add(2 * time.Second)
+	if !s.allow("c") {
+		t.Fatal("newcomer refused after idle eviction")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.buckets) > 2 {
+		t.Fatalf("table holds %d buckets", len(s.buckets))
 	}
 }
 

@@ -1,9 +1,13 @@
 // Per-client token-bucket rate limiting. Buckets refill continuously
 // at RatePerSec up to Burst; each admitted request spends one token.
 // The table is bounded: when MaxClients distinct clients have buckets,
-// the table resets wholesale — a deliberate trade that briefly refills
-// every bucket rather than letting an address-spraying client grow the
-// map without bound.
+// a new client may only mint one by evicting buckets that have been
+// idle long enough to have refilled completely — forgetting those
+// grants nothing, so a throttled client can never launder its debt
+// through the eviction (the old wholesale reset handed every throttled
+// client a fresh full bucket whenever any address-spray filled the
+// table). If no bucket is evictable the newcomer is refused outright:
+// under an active spray the table fails closed instead of open.
 package apiserver
 
 import "time"
@@ -21,8 +25,8 @@ func (s *Server) allow(client string) bool {
 	defer s.mu.Unlock()
 	b, ok := s.buckets[client]
 	if !ok {
-		if len(s.buckets) >= s.cfg.MaxClients {
-			s.buckets = make(map[string]*bucket)
+		if len(s.buckets) >= s.cfg.MaxClients && !s.evictIdleLocked(now) {
+			return false
 		}
 		b = &bucket{tokens: s.cfg.Burst, last: now}
 		s.buckets[client] = b
@@ -39,4 +43,20 @@ func (s *Server) allow(client string) bool {
 	}
 	b.tokens--
 	return true
+}
+
+// evictIdleLocked drops every bucket idle for at least a full refill
+// (Burst/RatePerSec seconds): such a client would come back to a full
+// bucket anyway, so evicting it is unobservable. Reports whether any
+// slot was freed. Runs under s.mu, only on the full-table insert path.
+func (s *Server) evictIdleLocked(now time.Time) bool {
+	idle := time.Duration(float64(time.Second) * s.cfg.Burst / s.cfg.RatePerSec)
+	evicted := false
+	for k, b := range s.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(s.buckets, k)
+			evicted = true
+		}
+	}
+	return evicted
 }

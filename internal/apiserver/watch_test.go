@@ -1,0 +1,414 @@
+// Tests for the epoch/watch surface: epoch minting, catch-up reads,
+// byte-identical resume, cursor error handling, watcher shedding,
+// long-poll wakeup, and SSE over a real listener.
+package apiserver
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// revSnapshot is testSnapshot with the incident carrying a change
+// revision, so the delta renderer can recognize it as unchanged.
+func revSnapshot(now time.Duration, rev uint64) Snapshot {
+	snap := testSnapshot(now)
+	for i := range snap.Incidents {
+		snap.Incidents[i].Rev = rev
+	}
+	return snap
+}
+
+func TestEpochAdvancesOnlyOnChange(t *testing.T) {
+	s := New(Config{})
+	if s.Epoch() != 0 {
+		t.Fatalf("epoch before first update: %d", s.Epoch())
+	}
+	s.Update(revSnapshot(time.Minute, 1))
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch after first update: %d", s.Epoch())
+	}
+
+	// Same content, new wall-clock Now, different stats: no new epoch —
+	// stats churn on every request and must not wake watchers.
+	snap := revSnapshot(2*time.Minute, 1)
+	snap.Stats.Counters = map[string]uint64{"api-requests": 999}
+	s.Update(snap)
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch after no-change update: %d", s.Epoch())
+	}
+
+	// Incident mutated (revision moved): epoch advances.
+	s.Update(revSnapshot(3*time.Minute, 2))
+	if s.Epoch() != 2 {
+		t.Fatalf("epoch after change: %d", s.Epoch())
+	}
+}
+
+// watchLines fetches /v1/watch from a cursor (no wait) and returns the
+// response plus its NDJSON lines.
+func watchLines(t *testing.T, s *Server, cursor uint64) (*httptest.ResponseRecorder, []string) {
+	t.Helper()
+	w := get(t, s, fmt.Sprintf("/v1/watch?cursor=%d", cursor), nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("watch cursor=%d: status %d: %s", cursor, w.Code, w.Body.String())
+	}
+	body := strings.TrimSuffix(w.Body.String(), "\n")
+	if body == "" {
+		return w, nil
+	}
+	return w, strings.Split(body, "\n")
+}
+
+func TestWatchCatchup(t *testing.T) {
+	s := New(Config{RatePerSec: 1000, Burst: 1000})
+	for rev := uint64(1); rev <= 3; rev++ {
+		s.Update(revSnapshot(time.Duration(rev)*time.Minute, rev))
+	}
+
+	w, lines := watchLines(t, s, 0)
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 events, got %d", len(lines))
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type %q", ct)
+	}
+	if w.Header().Get("X-Epoch") != "3" {
+		t.Fatalf("X-Epoch %q", w.Header().Get("X-Epoch"))
+	}
+	for i, line := range lines {
+		var ev struct {
+			Epoch     uint64                     `json:"epoch"`
+			NowSec    float64                    `json:"now_s"`
+			Changed   []string                   `json:"changed"`
+			Resources map[string]json.RawMessage `json:"resources"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event %d: invalid JSON: %v", i, err)
+		}
+		if ev.Epoch != uint64(i+1) {
+			t.Fatalf("event %d: epoch %d", i, ev.Epoch)
+		}
+		if len(ev.Changed) == 0 || len(ev.Resources) != len(ev.Changed) {
+			t.Fatalf("event %d: changed %v vs %d resources", i, ev.Changed, len(ev.Resources))
+		}
+		// Every changed path carries its full new body, compacted but
+		// content-equal to what a GET of the path now serves (the last
+		// event's bodies are the current view's).
+		for _, path := range ev.Changed {
+			if _, ok := ev.Resources[path]; !ok {
+				t.Fatalf("event %d: changed path %s missing from resources", i, path)
+			}
+		}
+	}
+
+	// Catch-up from a mid-stream cursor yields only the tail.
+	_, tail := watchLines(t, s, 2)
+	if len(tail) != 1 || tail[0] != lines[2] {
+		t.Fatalf("cursor=2 tail mismatch: %q", tail)
+	}
+	// Caught-up cursor with no wait: empty 200, X-Epoch echoes cursor.
+	w, rest := watchLines(t, s, 3)
+	if len(rest) != 0 || w.Header().Get("X-Epoch") != "3" {
+		t.Fatalf("caught-up watch: %d lines, X-Epoch %q", len(rest), w.Header().Get("X-Epoch"))
+	}
+}
+
+// TestWatchResumeByteIdentical pins the acceptance bar: a client that
+// disconnects mid-campaign and resumes from its cursor sees the same
+// bytes as one that read the whole stream in one go.
+func TestWatchResumeByteIdentical(t *testing.T) {
+	s := New(Config{RatePerSec: 1000, Burst: 1000})
+	for rev := uint64(1); rev <= 6; rev++ {
+		snap := revSnapshot(time.Duration(rev)*time.Minute, rev)
+		snap.Incidents[0].AlarmCount = int(rev)
+		s.Update(snap)
+	}
+
+	_, uninterrupted := watchLines(t, s, 0)
+	if len(uninterrupted) != 6 {
+		t.Fatalf("expected 6 events, got %d", len(uninterrupted))
+	}
+
+	// Interrupted client: read, "disconnect" after the second event,
+	// resume from the epoch it last saw.
+	_, first := watchLines(t, s, 0)
+	first = first[:2]
+	var ev struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal([]byte(first[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	_, rest := watchLines(t, s, ev.Epoch)
+	resumed := append(first, rest...)
+
+	if len(resumed) != len(uninterrupted) {
+		t.Fatalf("resumed %d events vs %d uninterrupted", len(resumed), len(uninterrupted))
+	}
+	for i := range resumed {
+		if resumed[i] != uninterrupted[i] {
+			t.Fatalf("event %d differs after resume:\n%s\nvs\n%s", i, resumed[i], uninterrupted[i])
+		}
+	}
+}
+
+func TestWatchCursorErrors(t *testing.T) {
+	s := New(Config{WatchBacklog: 2, RatePerSec: 1000, Burst: 1000})
+	s.Update(revSnapshot(time.Minute, 1))
+
+	for _, bad := range []string{"/v1/watch?cursor=abc", "/v1/watch?cursor=-1", "/v1/watch?cursor=99"} {
+		if w := get(t, s, bad, nil); w.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", bad, w.Code)
+		}
+	}
+	if w := get(t, s, "/v1/watch?cursor=0&wait_ms=abc", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed wait_ms: status %d", w.Code)
+	}
+
+	// Age cursor 0 out of the 2-deep backlog: epochs 1..4 minted, ring
+	// holds {3,4}, so cursor 0 (needs epoch 1) is gone.
+	for rev := uint64(2); rev <= 4; rev++ {
+		s.Update(revSnapshot(time.Duration(rev)*time.Minute, rev))
+	}
+	w := get(t, s, "/v1/watch?cursor=0", nil)
+	if w.Code != http.StatusGone {
+		t.Fatalf("aged-out cursor: status %d", w.Code)
+	}
+	var gone struct {
+		Oldest uint64 `json:"oldest"`
+		Epoch  uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &gone); err != nil {
+		t.Fatal(err)
+	}
+	if gone.Oldest != 3 || gone.Epoch != 4 {
+		t.Fatalf("gone body: %+v", gone)
+	}
+	if s.Stats()["api-watch-resyncs"] != 1 {
+		t.Fatalf("resync counter: %v", s.Stats())
+	}
+	// Cursor 2 still works: ring[0].epoch is 3, so 2 is exactly at the
+	// retention edge.
+	if _, lines := watchLines(t, s, 2); len(lines) != 2 {
+		t.Fatalf("edge cursor: %d events", len(lines))
+	}
+}
+
+func TestWatchShedAtCap(t *testing.T) {
+	s := New(Config{MaxWatchers: 1, RatePerSec: 1000, Burst: 1000})
+	s.Update(revSnapshot(time.Minute, 1))
+
+	// Occupy the single watcher slot as a blocked long-poller would.
+	if !s.hub.register(s.cfg.MaxWatchers) {
+		t.Fatal("first registration refused")
+	}
+	w := get(t, s, "/v1/watch?cursor=1&wait_ms=5000", nil)
+	if w.Code != http.StatusServiceUnavailable || w.Header().Get("Retry-After") == "" {
+		t.Fatalf("watcher cap: status %d", w.Code)
+	}
+	if s.Stats()["api-watch-shed"] != 1 {
+		t.Fatalf("shed counter: %v", s.Stats())
+	}
+	s.hub.unregister()
+	// With the slot free, a caught-up poll with a tiny wait completes.
+	if w = get(t, s, "/v1/watch?cursor=1&wait_ms=1", nil); w.Code != http.StatusOK {
+		t.Fatalf("after release: status %d", w.Code)
+	}
+}
+
+// TestLongPollWakesOnUpdate pins that a blocked long-poller returns as
+// soon as an epoch is minted, not after its full wait.
+func TestLongPollWakesOnUpdate(t *testing.T) {
+	s := New(Config{RatePerSec: 1000, Burst: 1000})
+	s.Update(revSnapshot(time.Minute, 1))
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		req := httptest.NewRequest(http.MethodGet, "/v1/watch?cursor=1&wait_ms=30000", nil)
+		req.RemoteAddr = "192.0.2.9:1"
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		done <- w
+	}()
+
+	// Wait for the poller to block (registered in the hub), then mint
+	// an epoch.
+	for i := 0; ; i++ {
+		s.hub.mu.Lock()
+		active := s.hub.active
+		s.hub.mu.Unlock()
+		if active == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("long-poller never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Update(revSnapshot(2*time.Minute, 2))
+
+	select {
+	case w := <-done:
+		if w.Code != http.StatusOK || w.Header().Get("X-Epoch") != "2" {
+			t.Fatalf("woken poll: status %d, X-Epoch %q", w.Code, w.Header().Get("X-Epoch"))
+		}
+		if !strings.Contains(w.Body.String(), `"epoch":2`) {
+			t.Fatalf("woken poll body: %s", w.Body.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poller did not wake on publish")
+	}
+}
+
+// readSSEFrames reads n SSE frames (id + data pairs) off a stream.
+func readSSEFrames(t *testing.T, r *bufio.Reader, n int) []string {
+	t.Helper()
+	var frames []string
+	var id, data string
+	for len(frames) < n {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("sse read after %d frames: %v", len(frames), err)
+		}
+		line = strings.TrimSuffix(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && data != "":
+			frames = append(frames, id+"\x00"+data)
+			id, data = "", ""
+		}
+	}
+	return frames
+}
+
+// TestSSEStreamAndResume exercises SSE over a real listener: frames
+// arrive as epochs are minted, and a second client resuming via
+// Last-Event-ID receives byte-identical data lines.
+func TestSSEStreamAndResume(t *testing.T) {
+	s := New(Config{RatePerSec: 100000, Burst: 100000})
+	s.Update(revSnapshot(time.Minute, 1))
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/watch?cursor=0&stream=sse", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	// First frame replays epoch 1; then mint two more live.
+	frames := readSSEFrames(t, br, 1)
+	s.Update(revSnapshot(2*time.Minute, 2))
+	s.Update(revSnapshot(3*time.Minute, 3))
+	frames = append(frames, readSSEFrames(t, br, 2)...)
+	cancel()
+
+	for i, f := range frames {
+		id, data, _ := strings.Cut(f, "\x00")
+		if id != strconv.Itoa(i+1) {
+			t.Fatalf("frame %d: id %q", i, id)
+		}
+		if !strings.Contains(data, fmt.Sprintf(`"epoch":%d`, i+1)) {
+			t.Fatalf("frame %d: data %s", i, data)
+		}
+	}
+
+	// Resume from epoch 1 via Last-Event-ID: frames 2 and 3, data
+	// byte-identical to the live stream's.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	req2, _ := http.NewRequestWithContext(ctx2, http.MethodGet, base+"/v1/watch?stream=sse", nil)
+	req2.Header.Set("Last-Event-ID", "1")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	resumed := readSSEFrames(t, bufio.NewReader(resp2.Body), 2)
+	for i, f := range resumed {
+		if f != frames[i+1] {
+			t.Fatalf("resumed frame %d differs:\n%s\nvs\n%s", i, f, frames[i+1])
+		}
+	}
+}
+
+// TestWatchBypassesAdmission pins that blocked long-pollers do not pin
+// the admission gate's slots.
+func TestWatchBypassesAdmission(t *testing.T) {
+	s := New(Config{MaxInFlight: 1})
+	s.Update(revSnapshot(time.Minute, 1))
+	s.admit <- struct{}{} // saturate the resource gate
+	if w := get(t, s, "/v1/watch?cursor=1", nil); w.Code != http.StatusOK {
+		t.Fatalf("watch under saturated admission: %d", w.Code)
+	}
+	if w := get(t, s, "/v1/stats", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("resource get should still shed: %d", w.Code)
+	}
+}
+
+func TestAppendCompact(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"{\n  \"a\": 1\n}\n", `{"a":1}`},
+		{`{"s": "ke\"ep  spaces\n"}`, `{"s":"ke\"ep  spaces\n"}`},
+		{"[1, 2,\t3]", "[1,2,3]"},
+	}
+	for _, c := range cases {
+		if got := string(appendCompact(nil, []byte(c.in))); got != c.want {
+			t.Fatalf("appendCompact(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Compacting an indented marshal matches a compact marshal.
+	v := map[string]any{"x": []any{"a b", 1.5, true}, "y": "q\"z"}
+	ind, _ := json.MarshalIndent(v, "", "  ")
+	com, _ := json.Marshal(v)
+	if got := appendCompact(nil, append(ind, '\n')); !bytes.Equal(got, com) {
+		t.Fatalf("compact mismatch: %s vs %s", got, com)
+	}
+}
+
+// TestHubSince covers the ring's retention edges directly.
+func TestHubSince(t *testing.T) {
+	var h watchHub
+	h.init(3)
+	if evs, ok := h.since(0); !ok || len(evs) != 0 {
+		t.Fatalf("empty ring: %v %v", evs, ok)
+	}
+	for e := uint64(1); e <= 5; e++ {
+		h.publish(epochEvent{epoch: e, data: []byte{byte(e)}})
+	}
+	// Ring holds 3..5.
+	if _, ok := h.since(1); ok {
+		t.Fatal("cursor 1 should have aged out")
+	}
+	if evs, ok := h.since(2); !ok || len(evs) != 3 || evs[0].epoch != 3 {
+		t.Fatalf("cursor 2: %v %v", evs, ok)
+	}
+	if evs, ok := h.since(4); !ok || len(evs) != 1 || evs[0].epoch != 5 {
+		t.Fatalf("cursor 4: %v %v", evs, ok)
+	}
+	if evs, ok := h.since(5); !ok || len(evs) != 0 {
+		t.Fatalf("cursor 5: %v %v", evs, ok)
+	}
+}

@@ -133,6 +133,16 @@ type Deployment struct {
 	inferences    map[cluster.TaskID]skeleton.Inference
 	secrets       map[cluster.TaskID]string
 	lastCkpt      *Checkpoint
+
+	// refreshAPI's cached snapshot inputs: the cloned incident set,
+	// alarm copy and rendered blacklist entries are rebuilt only when
+	// their sources actually changed (correlator revision; append-only
+	// alarm/blacklist lengths — every mutation point calls refreshAPI,
+	// so a length is a sound change stamp). See refreshAPI.
+	apiIncidents    []incident.Incident
+	apiIncidentsRev uint64
+	apiAlarms       []analyzer.Alarm
+	apiBlacklist    []apiserver.BlacklistEntry
 }
 
 // New builds and wires a deployment.

@@ -12,7 +12,6 @@ import (
 	"skeletonhunter/internal/analyzer"
 	"skeletonhunter/internal/apiserver"
 	"skeletonhunter/internal/component"
-	"skeletonhunter/internal/incident"
 	"skeletonhunter/internal/probe"
 )
 
@@ -134,33 +133,50 @@ func sortRecords(recs []probe.Record) []probe.Record {
 // the engine goroutine wherever incident or alarm state can change
 // (alarm handling, sweeps, crash recovery); a cheap no-op without a
 // server.
+//
+// The snapshot inputs are cached between refreshes and rebuilt only
+// dirty: the incident set is re-cloned only when the correlator's
+// mutation revision moved, and the alarm copy / blacklist rendering
+// only when their (append-only between refreshes — crash recovery
+// passes through a zero-length refresh) lengths changed. The cached
+// slices are immutable once handed to the API server, which is what
+// lets its delta renderer reuse pre-marshaled fragments across epochs
+// instead of re-marshaling a 32K-entry blacklist every round.
 func (d *Deployment) refreshAPI() {
 	if d.API == nil {
 		return
 	}
 	bl := d.Analyzer.Blacklist()
-	ids := make([]component.ID, 0, len(bl))
-	for id := range bl {
-		ids = append(ids, id)
+	if len(bl) != len(d.apiBlacklist) {
+		ids := make([]component.ID, 0, len(bl))
+		for id := range bl {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		entries := make([]apiserver.BlacklistEntry, 0, len(ids))
+		for _, id := range ids {
+			entries = append(entries, apiserver.BlacklistEntry{
+				Component: id,
+				Class:     component.ClassOf(id).String(),
+				SinceSec:  bl[id].Seconds(),
+			})
+		}
+		d.apiBlacklist = entries
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	entries := make([]apiserver.BlacklistEntry, 0, len(ids))
-	for _, id := range ids {
-		entries = append(entries, apiserver.BlacklistEntry{
-			Component: id,
-			Class:     component.ClassOf(id).String(),
-			SinceSec:  bl[id].Seconds(),
-		})
-	}
-	var incs []incident.Incident
 	if d.Incidents != nil {
-		incs = d.Incidents.Incidents()
+		if rev := d.Incidents.Rev(); d.apiIncidents == nil || rev != d.apiIncidentsRev {
+			d.apiIncidents = d.Incidents.Incidents()
+			d.apiIncidentsRev = rev
+		}
+	}
+	if alarms := d.Analyzer.Alarms(); len(alarms) != len(d.apiAlarms) {
+		d.apiAlarms = append([]analyzer.Alarm(nil), alarms...)
 	}
 	d.API.Update(apiserver.Snapshot{
 		Now:       d.Engine.Now(),
-		Incidents: incs,
-		Alarms:    append([]analyzer.Alarm(nil), d.Analyzer.Alarms()...),
-		Blacklist: entries,
+		Incidents: d.apiIncidents,
+		Alarms:    d.apiAlarms,
+		Blacklist: d.apiBlacklist,
 		Stats:     d.Stats(),
 	})
 }

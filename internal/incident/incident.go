@@ -189,6 +189,14 @@ type Incident struct {
 	AlarmCount int
 	Reopens    int
 
+	// Rev is the incident's change revision: the correlator's global
+	// monotonic mutation counter, stamped onto the incident at every
+	// fold that touches it. Consumers that re-publish incidents (the
+	// query API's delta renderer) compare it to skip re-rendering
+	// unchanged records. Serving metadata, not history — it stays out
+	// of Fingerprint.
+	Rev uint64
+
 	Evidence Evidence
 }
 
@@ -254,6 +262,11 @@ type Correlator struct {
 	latest    map[component.ID]*Incident // most recent incident per component
 	byID      map[string]*Incident
 	nextSeq   int
+	// rev counts mutations, monotonically across crashes and restores
+	// (so a rebuilt post-crash ledger never collides with a cached
+	// pre-crash revision). Each touched incident is stamped with the
+	// value current at its mutation.
+	rev uint64
 }
 
 // New builds a correlator over the given evidence sources.
@@ -297,10 +310,12 @@ func (c *Correlator) ObserveAlarm(al analyzer.Alarm) {
 			inc.LastAlarmAt = al.At
 			inc.AlarmCount++
 			inc.Evidence = c.gather(comp, al)
+			c.touch(inc)
 			c.Obs.Inc(obs.IncidentsReopened)
 		default:
 			inc.LastAlarmAt = al.At
 			inc.AlarmCount++
+			c.touch(inc)
 		}
 	}
 }
@@ -322,11 +337,23 @@ func (c *Correlator) open(comp component.ID, al analyzer.Alarm, firstAnomaly tim
 		AlarmCount:     1,
 		Evidence:       c.gather(comp, al),
 	}
+	c.touch(inc)
 	c.incidents = append(c.incidents, inc)
 	c.latest[comp] = inc
 	c.byID[inc.ID] = inc
 	c.Obs.Inc(obs.IncidentsOpened)
 }
+
+// touch stamps an incident with the next mutation revision.
+func (c *Correlator) touch(inc *Incident) {
+	c.rev++
+	inc.Rev = c.rev
+}
+
+// Rev returns the correlator's mutation revision: it advances on
+// every fold that changes any incident (and on Crash/Restore), so an
+// unchanged Rev means the incident set is unchanged.
+func (c *Correlator) Rev() uint64 { return c.rev }
 
 // gather assembles the evidence bundle for a component at alarm time.
 func (c *Correlator) gather(comp component.ID, al analyzer.Alarm) Evidence {
@@ -384,6 +411,7 @@ func (c *Correlator) NoteMitigated(comp component.ID, at time.Duration, how stri
 	inc.MitigatedAt = at
 	inc.TimeToMitigate = at - inc.OpenedAt
 	inc.Mitigation = how
+	c.touch(inc)
 	c.Obs.Inc(obs.IncidentsMitigated)
 }
 
@@ -396,6 +424,7 @@ func (c *Correlator) Sweep(now time.Duration) {
 		if inc.State == Mitigating && now-inc.LastAlarmAt >= c.cfg.QuietWindow {
 			inc.State = Resolved
 			inc.ResolvedAt = now
+			c.touch(inc)
 			c.Obs.Inc(obs.IncidentsResolved)
 		}
 	}

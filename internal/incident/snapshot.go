@@ -21,6 +21,7 @@ const SnapshotVersion = 1
 type Snapshot struct {
 	Version   int
 	NextSeq   int
+	Rev       uint64
 	Incidents []Incident
 }
 
@@ -30,6 +31,7 @@ func (c *Correlator) Snapshot() Snapshot {
 	s := Snapshot{
 		Version:   SnapshotVersion,
 		NextSeq:   c.nextSeq,
+		Rev:       c.rev,
 		Incidents: make([]Incident, len(c.incidents)),
 	}
 	for i, inc := range c.incidents {
@@ -41,11 +43,18 @@ func (c *Correlator) Snapshot() Snapshot {
 // Restore replaces the correlator's state with a snapshot's. The
 // latest-per-component index rebuilds from open order: later incidents
 // for a component supersede earlier ones, exactly as they were minted.
+// The mutation revision stays monotonic (and bumps): restoring changes
+// the visible incident set, and a revision from before the crash must
+// never be reused for different content.
 func (c *Correlator) Restore(s Snapshot) error {
 	if s.Version != SnapshotVersion {
 		return fmt.Errorf("incident: snapshot version %d, want %d", s.Version, SnapshotVersion)
 	}
 	c.nextSeq = s.NextSeq
+	if s.Rev > c.rev {
+		c.rev = s.Rev
+	}
+	c.rev++
 	c.incidents = make([]*Incident, len(s.Incidents))
 	c.latest = make(map[component.ID]*Incident, len(s.Incidents))
 	c.byID = make(map[string]*Incident, len(s.Incidents))
@@ -59,12 +68,15 @@ func (c *Correlator) Restore(s Snapshot) error {
 }
 
 // Crash models the incident plane dying with its controller: every
-// record is lost until a checkpoint restores them.
+// record is lost until a checkpoint restores them. The mutation
+// revision survives (and bumps): it is serving metadata that must stay
+// monotonic so post-crash incidents never alias pre-crash renderings.
 func (c *Correlator) Crash() {
 	c.incidents = nil
 	c.latest = make(map[component.ID]*Incident)
 	c.byID = make(map[string]*Incident)
 	c.nextSeq = 0
+	c.rev++
 }
 
 // Fingerprint digests the incident history into a stable hash: equal

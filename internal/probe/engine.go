@@ -186,9 +186,12 @@ func (re *RoundEngine) execute(run []*OverlayAgent, now time.Duration) {
 		for _, sp := range spans {
 			re.runSpan(ctx, sp, run, now, fast)
 		}
-		d := time.Since(busy)
-		re.Obs.Add(obs.WorkerBusyNanos, uint64(d))
-		re.Obs.Add(obs.WorkerWallNanos, uint64(d))
+		re.Obs.Add(obs.WorkerBusyNanos, uint64(time.Since(busy)))
+		// Offered capacity = parallel-section wall × 1 worker, measured
+		// from the same start as the parallel branch — recording busy
+		// time here instead pinned utilization at 100% regardless of
+		// -workers, making the percentage incomparable across counts.
+		re.Obs.Add(obs.WorkerWallNanos, uint64(time.Since(start)))
 	} else {
 		// Stable task→slot affinity, no work stealing: a task's agents
 		// always execute on the same slot (trace-cache locality across
@@ -228,11 +231,15 @@ func (re *RoundEngine) execute(run []*OverlayAgent, now time.Duration) {
 		re.Sink.Commit(now)
 		re.Obs.ObserveDuration("stage-ingest-ms", time.Since(commit))
 	} else {
+		// Serial-fallback delivery is a different code path with
+		// different costs (per-agent, through the telemetry injector) —
+		// folding it into stage-ingest-ms made that histogram bimodal
+		// and useless for comparing fast-path rounds.
 		deliver := time.Now()
 		for _, a := range run {
 			a.deliver()
 		}
-		re.Obs.ObserveDuration("stage-ingest-ms", time.Since(deliver))
+		re.Obs.ObserveDuration("stage-deliver-ms", time.Since(deliver))
 	}
 }
 
