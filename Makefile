@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-api bench-ci bench-all cover smoke fuzz
+.PHONY: all build test race vet fmt-check bench bench-api bench-ci bench-remedy bench-all cover smoke fuzz
 
 all: build vet test
 
@@ -64,6 +64,15 @@ bench-ci:
 # stream is not byte-identical to an uninterrupted one.
 bench-api:
 	$(GO) run ./cmd/loadgen -o BENCH_api.json
+
+# Self-healing campaign benchmark: the three-fault heal campaign's
+# time-to-repair p50/p99 plus the two-arm goodput comparison (healed
+# vs blacklist-only) under a job-restart loop. Fails unless all three
+# faults heal and the healed arm completes strictly more training
+# iterations than detection alone — the remediation plane must pay for
+# itself, not just run.
+bench-remedy:
+	$(GO) run ./cmd/remedybench -o BENCH_remedy.json
 
 # Full benchmark sweep (every figure/table generator), human-readable.
 bench-all:

@@ -1,0 +1,289 @@
+// Command remedybench benchmarks the self-healing remediation plane
+// and emits BENCH_remedy.json for CI artifact diffing. It runs two
+// phases on the same simulated fabric:
+//
+//  1. A three-fault heal campaign (RNIC hard-down, ToR-side port down,
+//     drifted offload table) with remediation armed, harvesting the
+//     time-to-repair of every healed incident into p50/p99.
+//  2. A two-arm goodput comparison under a job-restart loop: the same
+//     fault schedule with remediation on ("healed") and off
+//     ("blacklist-only"). The healed arm must win — the command exits
+//     nonzero if closing the repair loop does not yield strictly more
+//     training iterations than detection alone.
+//
+// Usage:
+//
+//	remedybench [-seed 47] [-segments 60] [-o BENCH_remedy.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/hunter"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/remedy"
+	"skeletonhunter/internal/topology"
+	"skeletonhunter/internal/trainsim"
+)
+
+// Report is the benchmark's JSON output.
+type Report struct {
+	Config   ConfigInfo  `json:"config"`
+	TTR      TTRInfo     `json:"ttr"`
+	Goodput  GoodputInfo `json:"goodput"`
+	Finished string      `json:"finished"`
+}
+
+type ConfigInfo struct {
+	Hosts    int   `json:"hosts"`
+	Rails    int   `json:"rails"`
+	Seed     int64 `json:"seed"`
+	Segments int   `json:"goodput_segments"`
+}
+
+// TTRInfo summarizes the heal campaign: how many incidents the plane
+// repaired and the distribution of their time-to-repair clocks.
+type TTRInfo struct {
+	Repaired  int       `json:"repaired"`
+	Committed int       `json:"actions_committed"`
+	SamplesS  []float64 `json:"samples_s"`
+	P50s      float64   `json:"p50_s"`
+	P99s      float64   `json:"p99_s"`
+}
+
+// GoodputInfo is the payoff claim in numbers: training iterations
+// completed through the fault with and without the repair loop.
+type GoodputInfo struct {
+	Healed        int `json:"healed_iterations"`
+	BlacklistOnly int `json:"blacklist_only_iterations"`
+	Delta         int `json:"delta_iterations"`
+}
+
+// benchSpec mirrors the acceptance campaign fabric: two pods of eight
+// hosts so every drain play has spare capacity to land on.
+var benchSpec = topology.Spec{Pods: 2, HostsPerPod: 8, Rails: 8, AggPerPod: 2, Spines: 2}
+
+// benchRemedyConfig tunes the plane for the compressed timescale: a
+// two-minute verify window and budget room for the three repairs.
+func benchRemedyConfig() *remedy.Config {
+	return &remedy.Config{
+		Window:      10 * time.Minute,
+		Budget:      4,
+		BlastRadius: 0.5,
+		Cooldown:    30 * time.Minute,
+		VerifyAfter: 2 * time.Minute,
+	}
+}
+
+// fastLag removes the minutes-scale container lifecycle delays: the
+// benchmark wants the fleet training from the first simulated second.
+func fastLag() cluster.LagModel {
+	return cluster.LagModel{
+		CreateLag:    func(*rand.Rand, int) time.Duration { return 0 },
+		StartupDelay: func(*rand.Rand) time.Duration { return time.Second },
+		StopLag:      func(*rand.Rand) time.Duration { return 0 },
+	}
+}
+
+func main() {
+	seed := flag.Int64("seed", 47, "simulation seed")
+	segments := flag.Int("segments", 60, "30-second goodput segments per arm")
+	out := flag.String("o", "BENCH_remedy.json", "report output path")
+	flag.Parse()
+
+	rep := &Report{
+		Config: ConfigInfo{
+			Hosts:    benchSpec.Pods * benchSpec.HostsPerPod,
+			Rails:    benchSpec.Rails,
+			Seed:     *seed,
+			Segments: *segments,
+		},
+	}
+
+	ttr, err := healCampaign(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remedybench:", err)
+		os.Exit(1)
+	}
+	rep.TTR = *ttr
+
+	healed, err := goodputArm(*seed, *segments, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remedybench:", err)
+		os.Exit(1)
+	}
+	blacklist, err := goodputArm(*seed, *segments, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remedybench:", err)
+		os.Exit(1)
+	}
+	rep.Goodput = GoodputInfo{
+		Healed:        healed,
+		BlacklistOnly: blacklist,
+		Delta:         healed - blacklist,
+	}
+	rep.Finished = time.Now().UTC().Format(time.RFC3339)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "remedybench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "remedybench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("remedybench: %d repaired, TTR p50 %.0fs p99 %.0fs\n", rep.TTR.Repaired, rep.TTR.P50s, rep.TTR.P99s)
+	fmt.Printf("remedybench: goodput healed=%d blacklist-only=%d (Δ%+d iterations) → %s\n",
+		healed, blacklist, rep.Goodput.Delta, *out)
+
+	if rep.TTR.Repaired < 3 {
+		fmt.Fprintf(os.Stderr, "remedybench: FAIL: only %d of 3 faults healed\n", rep.TTR.Repaired)
+		os.Exit(1)
+	}
+	if healed <= blacklist {
+		fmt.Fprintf(os.Stderr, "remedybench: FAIL: healed goodput %d <= blacklist-only %d\n", healed, blacklist)
+		os.Exit(1)
+	}
+}
+
+// injectFaults plants the three-fault schedule on three distinct task
+// hosts: an RNIC hard-down, a ToR-side rail-link port down, and a
+// drifted RNIC offload flow table.
+func injectFaults(d *hunter.Deployment, task *cluster.Task) error {
+	a := task.Containers[0].Addrs[0]
+	if _, err := d.Injector.Inject(faults.RNICPortDown, faults.Target{Host: a.Host, Rail: a.Rail}); err != nil {
+		return err
+	}
+	b := task.Containers[1].Addrs[3]
+	nic := topology.NIC{Host: b.Host, Rail: 3}
+	link := topology.MakeLinkID(nic.ID(), d.Fabric.ToR(d.Fabric.PodOf(b.Host), 3))
+	if _, err := d.Injector.Inject(faults.SwitchPortDown, faults.Target{Link: link}); err != nil {
+		return err
+	}
+	c := task.Containers[2].Addrs[5]
+	_, err := d.Injector.Inject(faults.OffloadingFailure, faults.Target{Host: c.Host, Rail: c.Rail})
+	return err
+}
+
+// healCampaign runs the three-fault campaign with remediation armed
+// and distills the time-to-repair distribution from the incident log.
+func healCampaign(seed int64) (*TTRInfo, error) {
+	d, err := hunter.New(hunter.Options{
+		Seed:   seed,
+		Spec:   benchSpec,
+		Lag:    fastLag(),
+		Remedy: benchRemedyConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	task, err := d.SubmitTask(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		return nil, err
+	}
+	d.Run(7 * time.Minute)
+	if err := injectFaults(d, task); err != nil {
+		return nil, err
+	}
+	// Enough quiet time for every repair to plan, execute, verify and
+	// commit — the TTR clock stops at the verify commit.
+	d.Run(18 * time.Minute)
+
+	ttr := &TTRInfo{}
+	for _, inc := range d.Incidents.Incidents() {
+		if inc.RepairedAt != 0 && inc.TimeToRepair > 0 {
+			ttr.Repaired++
+			ttr.SamplesS = append(ttr.SamplesS, inc.TimeToRepair.Seconds())
+		}
+	}
+	for _, a := range d.Remedy.Audit() {
+		if a.State == remedy.StateCommitted {
+			ttr.Committed++
+		}
+	}
+	sort.Float64s(ttr.SamplesS)
+	ttr.P50s = percentile(ttr.SamplesS, 0.50)
+	ttr.P99s = percentile(ttr.SamplesS, 0.99)
+	return ttr, nil
+}
+
+// percentile returns the nearest-rank percentile of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// goodputArm measures training progress through a hard RNIC failure
+// under a job-restart loop: a failed job resubmits on the next
+// 30-second segment boundary. With remediation on, the restart lands
+// on healed capacity and sticks; blacklist-only leaves the containers
+// in place, so every restart dies at the collective timeout.
+func goodputArm(seed int64, segments int, withRemedy bool) (int, error) {
+	opts := hunter.Options{
+		Seed: seed,
+		Spec: benchSpec,
+		Lag:  fastLag(),
+	}
+	if withRemedy {
+		opts.Remedy = benchRemedyConfig()
+	}
+	d, err := hunter.New(opts)
+	if err != nil {
+		return 0, err
+	}
+	task, err := d.SubmitTask(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		return 0, err
+	}
+	d.Run(7 * time.Minute)
+
+	a := task.Containers[0].Addrs[0]
+	if _, err := d.Injector.Inject(faults.RNICPortDown, faults.Target{Host: a.Host, Rail: a.Rail}); err != nil {
+		return 0, err
+	}
+
+	total := 0
+	job, err := trainsim.Start(d.Engine, d.Net, task, trainsim.Config{IterBase: 10 * time.Second})
+	if err != nil {
+		return 0, err
+	}
+	for seg := 0; seg < segments; seg++ {
+		d.Run(30 * time.Second)
+		if job != nil && job.Failed {
+			total += job.Iterations
+			job.Stop()
+			job = nil
+			continue
+		}
+		if job == nil {
+			if j, err := trainsim.Start(d.Engine, d.Net, task, trainsim.Config{IterBase: 10 * time.Second}); err == nil {
+				job = j
+			}
+		}
+	}
+	if job != nil {
+		total += job.Iterations
+		job.Stop()
+	}
+	return total, nil
+}

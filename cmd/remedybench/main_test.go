@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{nil, 0.5, 0},
+		{[]float64{10}, 0.5, 10},
+		{[]float64{10}, 0.99, 10},
+		{[]float64{10, 20}, 0.5, 10},
+		{[]float64{10, 20, 30, 40}, 0.5, 20},
+		{[]float64{10, 20, 30, 40}, 0.99, 40},
+		{[]float64{10, 20, 30, 40}, 0.01, 10},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("percentile(%v, %v) = %v, want %v", tc.sorted, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestBenchmarkPhases drives both phases at the benchmark's real
+// shape (shorter goodput horizon): the heal campaign must repair all
+// three faults with a sane TTR distribution, and the healed goodput
+// arm must strictly beat blacklist-only — the gate the command
+// enforces.
+func TestBenchmarkPhases(t *testing.T) {
+	ttr, err := healCampaign(47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttr.Repaired < 3 || ttr.Committed < 3 {
+		t.Fatalf("heal campaign repaired %d / committed %d, want >= 3", ttr.Repaired, ttr.Committed)
+	}
+	if ttr.P50s <= 0 || ttr.P99s < ttr.P50s {
+		t.Fatalf("TTR percentiles p50=%v p99=%v", ttr.P50s, ttr.P99s)
+	}
+
+	healed, err := goodputArm(47, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blacklist, err := goodputArm(47, 20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed <= blacklist {
+		t.Fatalf("healed goodput %d <= blacklist-only %d", healed, blacklist)
+	}
+}

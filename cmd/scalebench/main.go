@@ -12,9 +12,17 @@
 // at every worker count, or the command fails. Wall-clock figures of
 // course vary with the machine; the campaign outcome does not.
 //
+// The -campaign flag selects the variant: "probe" (the default,
+// detection only) or "heal", which arms the remediation plane and —
+// after the measured rounds — runs a settle phase so planned repairs
+// execute and their verify windows commit. In heal mode the outcome
+// carries repaired-incident and remedy-action counts, the remedy
+// ledger folds into the cross-worker fingerprint check, and -gate2x
+// additionally fails the run if no incident was actually healed.
+//
 // Usage:
 //
-//	scalebench [-hosts 4096] [-rounds 30] [-workers 1,4,16] [-short] [-o BENCH_scale.json]
+//	scalebench [-hosts 4096] [-rounds 30] [-workers 1,4,16] [-campaign heal] [-short] [-o BENCH_scale.json]
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"skeletonhunter/internal/hunter"
 	"skeletonhunter/internal/obs"
 	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/remedy"
 	"skeletonhunter/internal/topology"
 )
 
@@ -62,7 +71,8 @@ type ConfigInfo struct {
 	MeasureRounds int    `json:"measure_rounds"`
 	Workers       []int  `json:"workers"`
 	GOMAXPROCS    int    `json:"gomaxprocs"`
-	Mode          string `json:"mode"` // "full" or "short"
+	Mode          string `json:"mode"`     // "full" or "short"
+	Campaign      string `json:"campaign"` // "probe" or "heal"
 }
 
 type FleetInfo struct {
@@ -102,6 +112,10 @@ type OutcomeInfo struct {
 	Incidents   int    `json:"incidents"`
 	ProbesSent  uint64 `json:"probes_sent"`
 	RecordsSeen uint64 `json:"records_ingested"`
+	// Heal-campaign fields: zero (and omitted) in probe mode.
+	Repaired        int `json:"incidents_repaired,omitempty"`
+	RemedyCommitted int `json:"remedy_committed,omitempty"`
+	RemedyEscalated int `json:"remedy_escalated,omitempty"`
 }
 
 // fastestLag removes the minutes-scale container lifecycle delays of
@@ -121,6 +135,7 @@ func main() {
 	warmup := flag.Int("warmup", 45, "warmup probing rounds before faults are injected")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workersFlag := flag.String("workers", "1,4,16", "comma-separated round-engine worker matrix")
+	campaign := flag.String("campaign", "probe", `campaign variant: "probe" (detect only) or "heal" (remediation plane armed)`)
 	short := flag.Bool("short", false, "CI mode: shrink hosts/rounds/warmup unless set explicitly")
 	gate2x := flag.Bool("gate2x", false, "fail unless the largest worker count is ≥2× faster than workers=1 (skipped on <4 cores)")
 	out := flag.String("o", "BENCH_scale.json", "report output path")
@@ -147,8 +162,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scalebench:", err)
 		os.Exit(2)
 	}
+	if *campaign != "probe" && *campaign != "heal" {
+		fmt.Fprintf(os.Stderr, "scalebench: bad -campaign %q (want probe or heal)\n", *campaign)
+		os.Exit(2)
+	}
 
-	rep, err := runMatrix(*hosts, *rounds, *warmup, *seed, workers, mode, *verbose)
+	rep, err := runMatrix(*hosts, *rounds, *warmup, *seed, workers, mode, *campaign, *verbose)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scalebench:", err)
 		os.Exit(1)
@@ -167,6 +186,10 @@ func main() {
 		fmt.Printf("scalebench: workers=%-2d %6.1f rounds/sec, %8.0f allocs/round, util %d%%, fp %s\n",
 			wp.Workers, wp.RoundsPerSec, wp.AllocsPerRound, wp.UtilizationPct, wp.Fingerprint[:12])
 	}
+	if *campaign == "heal" {
+		fmt.Printf("scalebench: heal campaign: %d incidents repaired, %d actions committed, %d escalated\n",
+			rep.Outcome.Repaired, rep.Outcome.RemedyCommitted, rep.Outcome.RemedyEscalated)
+	}
 	fmt.Printf("scalebench: %d hosts, deterministic=%v → %s\n", rep.Config.Hosts, rep.Deterministic, *out)
 
 	if !rep.Deterministic {
@@ -175,7 +198,22 @@ func main() {
 	}
 	if *gate2x {
 		gateSpeedup(rep)
+		if *campaign == "heal" {
+			gateHealed(rep)
+		}
 	}
+}
+
+// gateHealed is the heal campaign's acceptance floor under -gate2x:
+// the settle phase must have committed at least one repair with its
+// TTR clock stamped, or detection worked but remediation did not.
+func gateHealed(rep *Report) {
+	if rep.Outcome.Repaired < 1 || rep.Outcome.RemedyCommitted < 1 {
+		fmt.Fprintf(os.Stderr, "scalebench: FAIL: heal campaign repaired %d incidents (%d committed actions), want ≥1\n",
+			rep.Outcome.Repaired, rep.Outcome.RemedyCommitted)
+		os.Exit(1)
+	}
+	fmt.Printf("scalebench: healed gate passed (%d repaired)\n", rep.Outcome.Repaired)
 }
 
 func parseWorkers(s string) ([]int, error) {
@@ -228,17 +266,18 @@ func gateSpeedup(rep *Report) {
 	}
 }
 
-func runMatrix(hosts, rounds, warmup int, seed int64, workers []int, mode string, verbose bool) (*Report, error) {
+func runMatrix(hosts, rounds, warmup int, seed int64, workers []int, mode, campaign string, verbose bool) (*Report, error) {
 	rep := &Report{
 		Config: ConfigInfo{
 			Hosts: hosts, Seed: seed,
 			WarmupRounds: warmup, MeasureRounds: rounds,
 			Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0), Mode: mode,
+			Campaign: campaign,
 		},
 		Deterministic: true,
 	}
 	for _, w := range workers {
-		wp, fleet, outcome, err := run(hosts, rounds, warmup, seed, w, verbose)
+		wp, fleet, outcome, err := run(hosts, rounds, warmup, seed, w, campaign == "heal", verbose)
 		if err != nil {
 			return nil, err
 		}
@@ -264,9 +303,9 @@ func runMatrix(hosts, rounds, warmup int, seed int64, workers []int, mode string
 	return rep, nil
 }
 
-func run(hosts, rounds, warmup int, seed int64, workers int, verbose bool) (*WorkerPerf, *FleetInfo, *OutcomeInfo, error) {
+func run(hosts, rounds, warmup int, seed int64, workers int, heal, verbose bool) (*WorkerPerf, *FleetInfo, *OutcomeInfo, error) {
 	spec := topology.Production(hosts)
-	d, err := hunter.New(hunter.Options{
+	opts := hunter.Options{
 		Seed:    seed,
 		Spec:    spec,
 		Lag:     fastestLag(),
@@ -275,7 +314,14 @@ func run(hosts, rounds, warmup int, seed int64, workers int, verbose bool) (*Wor
 		// measured phase at the campaign's compressed timescale.
 		Detect:           detect.Config{ShortWindow: 10 * time.Second},
 		AnalysisInterval: 10 * time.Second,
-	})
+	}
+	if heal {
+		// A compressed verify window keeps the post-measurement settle
+		// phase short: repairs planned during the measured rounds commit
+		// within the two simulated minutes run after the clock stops.
+		opts.Remedy = &remedy.Config{VerifyAfter: 30 * time.Second}
+	}
+	d, err := hunter.New(opts)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -338,6 +384,12 @@ func run(hosts, rounds, warmup int, seed int64, workers int, verbose bool) (*Wor
 	}
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&m1)
+	if heal {
+		// Settle outside the measured window: let planned repairs
+		// execute and their verify deadlines pass so the audit ledger
+		// (and the fingerprint it folds into) reflects committed state.
+		d.Run(2 * time.Minute)
+	}
 	d.Analyzer.Flush(d.Engine.Now())
 	after := d.Stats().Counters
 
@@ -370,6 +422,17 @@ func run(hosts, rounds, warmup int, seed int64, workers int, verbose bool) (*Wor
 		Incidents:   incidents,
 		ProbesSent:  after[obs.ProbesSent.String()],
 		RecordsSeen: after[obs.RecordsIngested.String()],
+	}
+	if d.Remedy != nil {
+		outcome.Repaired = int(after[obs.IncidentsRepaired.String()])
+		for _, a := range d.Remedy.Audit() {
+			switch a.State {
+			case remedy.StateCommitted:
+				outcome.RemedyCommitted++
+			case remedy.StateEscalated:
+				outcome.RemedyEscalated++
+			}
+		}
 	}
 	return wp, fleet, outcome, nil
 }

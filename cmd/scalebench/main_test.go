@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseWorkers(t *testing.T) {
+	good := map[string][]int{
+		"1":        {1},
+		"1,4,16":   {1, 4, 16},
+		" 2 , 8 ,": {2, 8},
+	}
+	for in, want := range good {
+		got, err := parseWorkers(in)
+		if err != nil {
+			t.Errorf("parseWorkers(%q): %v", in, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("parseWorkers(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("parseWorkers(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+	for _, in := range []string{"", ",", "0", "-1", "x", "1,zero"} {
+		if _, err := parseWorkers(in); err == nil {
+			t.Errorf("parseWorkers(%q): no error", in)
+		}
+	}
+}
+
+// TestGateHealedPasses covers the heal gate's accepting path; the
+// failing path calls os.Exit and is exercised by the command itself.
+func TestGateHealedPasses(t *testing.T) {
+	gateHealed(&Report{Outcome: OutcomeInfo{Repaired: 3, RemedyCommitted: 3}})
+}

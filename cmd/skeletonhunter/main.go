@@ -24,6 +24,7 @@ import (
 	"skeletonhunter/internal/hunter"
 	"skeletonhunter/internal/metrics"
 	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/remedy"
 	"skeletonhunter/internal/topology"
 )
 
@@ -48,6 +49,11 @@ func main() {
 	crashDown := flag.Duration("crash-down", 90*time.Second, "how long a crashed controller stays down before recovering")
 	ckptInterval := flag.Duration("checkpoint-interval", 2*time.Minute, "control-plane checkpoint period (0 = no periodic checkpoints)")
 	httpAddr := flag.String("http", "", "serve the operator query API on this address (e.g. 127.0.0.1:8080) while the run executes")
+	remedyOn := flag.Bool("remedy", false, "enable the self-healing remediation plane: policy-driven repair with safety rails and verify-then-commit")
+	remedyDry := flag.Bool("remedy-dry-run", false, "remediation records repair intent without executing anything (implies -remedy)")
+	remedyBudget := flag.Int("remedy-budget", 4, "max remediation actions per budget window")
+	remedyWindow := flag.Duration("remedy-window", 10*time.Minute, "remediation budget window")
+	remedyBlast := flag.Float64("remedy-blast", 0.25, "max fraction of hosts simultaneously under remediation")
 	flag.Parse()
 
 	cfg := runConfig{
@@ -71,6 +77,14 @@ func main() {
 		ckptInterval: *ckptInterval,
 		httpAddr:     *httpAddr,
 	}
+	if *remedyOn || *remedyDry {
+		cfg.remedy = &remedy.Config{
+			Budget:      *remedyBudget,
+			Window:      *remedyWindow,
+			BlastRadius: *remedyBlast,
+			DryRun:      *remedyDry,
+		}
+	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "skeletonhunter:", err)
 		os.Exit(1)
@@ -91,6 +105,7 @@ type runConfig struct {
 	crashDown    time.Duration
 	ckptInterval time.Duration
 	httpAddr     string
+	remedy       *remedy.Config
 }
 
 func (c runConfig) telemetryEnabled() bool {
@@ -106,6 +121,7 @@ func run(cfg runConfig) error {
 		Workers:            workers,
 		CheckpointInterval: cfg.ckptInterval,
 		HTTPAddr:           cfg.httpAddr,
+		Remedy:             cfg.remedy,
 	})
 	if err != nil {
 		return err
@@ -210,6 +226,7 @@ func run(cfg runConfig) error {
 	}
 	fmt.Printf("blacklist: %d components\n", len(d.Analyzer.Blacklist()))
 	reportIncidents(d)
+	reportRemedy(d)
 	reportCrash(d, crash)
 	if verbose {
 		fmt.Printf("pipeline: %s over %d task shard(s)\n", d.Analyzer.Stats(), d.Analyzer.Shards())
@@ -234,6 +251,34 @@ func reportIncidents(d *hunter.Deployment) {
 			fmt.Printf(", mitigated by %s after %s", in.Mitigation, in.TimeToMitigate.Round(time.Second))
 		}
 		fmt.Println()
+	}
+}
+
+// reportRemedy prints the remediation audit ledger: every repair the
+// engine planned, what the rails did with it, and the incidents' TTR
+// clocks.
+func reportRemedy(d *hunter.Deployment) {
+	if d.Remedy == nil {
+		return
+	}
+	audit := d.Remedy.Audit()
+	deferred, verifying := d.Remedy.Pending()
+	mode := ""
+	if d.Remedy.Config().DryRun {
+		mode = " (dry run)"
+	}
+	fmt.Printf("remediation%s: %d actions (%d deferred, %d verifying)\n", mode, len(audit), deferred, verifying)
+	for _, a := range audit {
+		fmt.Printf("  remedy#%d %-19s %-11s %s", a.ID, a.Kind, a.State, a.Component)
+		if a.Detail != "" {
+			fmt.Printf(" — %s", a.Detail)
+		}
+		fmt.Println()
+	}
+	for _, in := range d.Incidents.Incidents() {
+		if in.RepairedAt > 0 {
+			fmt.Printf("  %s %s repaired after %s (ttr)\n", in.ID, in.Component, in.TimeToRepair.Round(time.Second))
+		}
 	}
 }
 

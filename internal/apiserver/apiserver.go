@@ -226,9 +226,12 @@ type incidentView struct {
 	LastAlarmSec   float64      `json:"last_alarm_s"`
 	TimeToDetect   float64      `json:"time_to_detect_s"`
 	TimeToMitigate float64      `json:"time_to_mitigate_s,omitempty"`
+	RepairedSec    float64      `json:"repaired_s,omitempty"`
+	TimeToRepair   float64      `json:"time_to_repair_s,omitempty"`
 	Mitigation     string       `json:"mitigation,omitempty"`
 	AlarmCount     int          `json:"alarm_count"`
 	Reopens        int          `json:"reopens"`
+	Remediation    []string     `json:"remediation,omitempty"`
 }
 
 // incidentDetail adds the evidence bundle to the detail endpoint.
@@ -297,9 +300,12 @@ func toIncidentView(in incident.Incident) incidentView {
 		LastAlarmSec:   seconds(in.LastAlarmAt),
 		TimeToDetect:   seconds(in.TimeToDetect),
 		TimeToMitigate: seconds(in.TimeToMitigate),
+		RepairedSec:    seconds(in.RepairedAt),
+		TimeToRepair:   seconds(in.TimeToRepair),
 		Mitigation:     in.Mitigation,
 		AlarmCount:     in.AlarmCount,
 		Reopens:        in.Reopens,
+		Remediation:    in.Evidence.Remediation,
 	}
 }
 

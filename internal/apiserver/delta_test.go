@@ -111,6 +111,18 @@ func TestDeltaMatchesWholesale(t *testing.T) {
 	mutateOne(&snap, 3, rev)
 	update("one incident mutated")
 
+	// A remediation pass touches the incident: audit notes land in the
+	// evidence, the repair clock stamps, and the revision bumps — the
+	// delta path must re-render the fragment with the new fields.
+	rev++
+	snap.Incidents[3].Evidence.Remediation = append(snap.Incidents[3].Evidence.Remediation,
+		"remedy#1 drain-host: planned for host/3",
+		"remedy#1 drain-host: executed (cordoned host 3, migrated 2 container(s))")
+	snap.Incidents[3].RepairedAt = now + 30*time.Second
+	snap.Incidents[3].TimeToRepair = 30 * time.Second
+	snap.Incidents[3].Rev = rev
+	update("incident remediated")
+
 	snap.Alarms = append(snap.Alarms, analyzer.Alarm{At: now, Verdicts: nil})
 	update("alarm appended")
 

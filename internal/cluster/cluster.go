@@ -209,6 +209,7 @@ type ControlPlane struct {
 	taskSeq  int
 	vniSeq   overlay.VNI
 	hostBusy []bool
+	cordoned []bool
 	handlers []Handler
 }
 
@@ -235,7 +236,53 @@ func NewControlPlane(eng *sim.Engine, fab *topology.Fabric, ovl *overlay.Network
 		tasks:    make(map[TaskID]*Task),
 		vniSeq:   100,
 		hostBusy: make([]bool, fab.Hosts()),
+		cordoned: make([]bool, fab.Hosts()),
 	}
+}
+
+// CordonHost marks a host unschedulable for placement: Submit and
+// MigrateContainer never land a container on it. Running containers
+// stay put — draining is a separate, explicit step (DrainHost), so a
+// cordon alone never disrupts workloads. Idempotent; reports whether
+// the host index is valid.
+func (cp *ControlPlane) CordonHost(h int) bool {
+	if h < 0 || h >= len(cp.cordoned) {
+		return false
+	}
+	cp.cordoned[h] = true
+	return true
+}
+
+// UncordonHost readmits a host to placement. Idempotent.
+func (cp *ControlPlane) UncordonHost(h int) {
+	if h >= 0 && h < len(cp.cordoned) {
+		cp.cordoned[h] = false
+	}
+}
+
+// HostCordoned reports whether a host is cordoned.
+func (cp *ControlPlane) HostCordoned(h int) bool {
+	return h >= 0 && h < len(cp.cordoned) && cp.cordoned[h]
+}
+
+// CordonedHosts returns the cordoned host indices in ascending order.
+func (cp *ControlPlane) CordonedHosts() []int {
+	var out []int
+	for h, c := range cp.cordoned {
+		if c {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// placeable reports whether a host can receive a new container: free,
+// not cordoned, and not vetoed by the scheduler (blacklist).
+func (cp *ControlPlane) placeable(h int) bool {
+	if cp.hostBusy[h] || cp.cordoned[h] {
+		return false
+	}
+	return cp.HostSchedulable == nil || cp.HostSchedulable(h)
 }
 
 // Subscribe registers a lifecycle event handler. Handlers run
@@ -280,13 +327,11 @@ func (cp *ControlPlane) Submit(spec TaskSpec) (*Task, error) {
 	nContainers := spec.Par.NumGPUs() / spec.GPUsPerContainer
 
 	// First-fit host allocation, one container per host, skipping
-	// hosts the scheduler veto (blacklisted) marks unschedulable.
+	// hosts the scheduler veto (blacklisted) or a cordon marks
+	// unschedulable.
 	hosts := make([]int, 0, nContainers)
 	for h := 0; h < len(cp.hostBusy) && len(hosts) < nContainers; h++ {
-		if cp.hostBusy[h] {
-			continue
-		}
-		if cp.HostSchedulable != nil && !cp.HostSchedulable(h) {
+		if !cp.placeable(h) {
 			continue
 		}
 		hosts = append(hosts, h)
@@ -458,10 +503,7 @@ func (cp *ControlPlane) MigrateContainer(id ContainerID) (*Container, error) {
 	}
 	dst := -1
 	for h := 0; h < len(cp.hostBusy); h++ {
-		if h == c.Host || cp.hostBusy[h] {
-			continue
-		}
-		if cp.HostSchedulable != nil && !cp.HostSchedulable(h) {
+		if h == c.Host || !cp.placeable(h) {
 			continue
 		}
 		dst = h
@@ -483,6 +525,78 @@ func (cp *ControlPlane) MigrateContainer(id ContainerID) (*Container, error) {
 		}
 	}
 	cp.emit(Event{Kind: EvContainerMigrated, At: cp.Engine.Now(), Task: task, Container: c})
+	return c, nil
+}
+
+// DrainHost live-migrates every Running container off a host, in task
+// submission order. It stops at the first container that cannot be
+// placed (all spares busy, cordoned or blacklisted) and returns that
+// error alongside the count already moved — a partial drain leaves the
+// remaining containers running where they are rather than killing
+// them. Draining does not cordon; callers that want the host to stay
+// empty cordon it first.
+func (cp *ControlPlane) DrainHost(h int) (moved int, err error) {
+	for _, t := range cp.Tasks() {
+		for _, c := range t.Containers {
+			if c.Host != h || c.State != Running {
+				continue
+			}
+			if _, merr := cp.MigrateContainer(c.ID); merr != nil {
+				return moved, merr
+			}
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+// ErrNotRestartable reports a restart attempt on a container that is
+// not a crashed member of an unfinished task.
+var ErrNotRestartable = errors.New("cluster: container not restartable")
+
+// RestartContainer re-runs a crashed (Terminated) container of an
+// unfinished task on the first free, schedulable host — the
+// remediation path for issue 17 container-runtime crashes. The
+// container re-homes, re-attaches its endpoints and emits
+// EvContainerRunning so the monitoring plane picks it back up.
+func (cp *ControlPlane) RestartContainer(id ContainerID) (*Container, error) {
+	var task *Task
+	var c *Container
+	for _, t := range cp.tasks {
+		for _, cc := range t.Containers {
+			if cc.ID == id {
+				task, c = t, cc
+			}
+		}
+	}
+	if c == nil {
+		return nil, ErrNotFound
+	}
+	if c.State != Terminated || task.Finished {
+		return nil, ErrNotRestartable
+	}
+	dst := -1
+	for h := 0; h < len(cp.hostBusy); h++ {
+		if !cp.placeable(h) {
+			continue
+		}
+		dst = h
+		break
+	}
+	if dst < 0 {
+		return nil, ErrNoMigration
+	}
+	cp.hostBusy[dst] = true
+	c.Host = dst
+	c.State = Running
+	c.RunningAt = cp.Engine.Now()
+	for rail := range c.Addrs {
+		c.Addrs[rail].Host = dst
+		if err := cp.Overlay.AttachEndpoint(c.Addrs[rail]); err != nil {
+			panic(fmt.Sprintf("cluster: restart attach %v: %v", c.Addrs[rail], err))
+		}
+	}
+	cp.emit(Event{Kind: EvContainerRunning, At: cp.Engine.Now(), Task: task, Container: c})
 	return c, nil
 }
 

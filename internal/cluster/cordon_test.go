@@ -1,0 +1,212 @@
+// Cordon, drain and restart tests: the remediation plane's cluster
+// primitives. The invariants the remedy engine leans on: migration
+// and placement never land on a cordoned host, a drain with no spares
+// fails cleanly with the container still running, and a restart of a
+// crashed container re-homes its endpoints like a migration does.
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/overlay"
+	"skeletonhunter/internal/parallelism"
+)
+
+func TestCordonIsIdempotentAndListed(t *testing.T) {
+	_, cp := newTestPlane(t, 4)
+	if !cp.CordonHost(2) {
+		t.Fatal("cordon of a valid host rejected")
+	}
+	if !cp.CordonHost(2) {
+		t.Fatal("repeat cordon rejected (should be idempotent)")
+	}
+	if !cp.HostCordoned(2) || cp.HostCordoned(1) {
+		t.Fatal("cordon state wrong")
+	}
+	cp.CordonHost(0)
+	if got := cp.CordonedHosts(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("cordoned hosts = %v, want [0 2]", got)
+	}
+	cp.UncordonHost(2)
+	if cp.HostCordoned(2) {
+		t.Fatal("uncordon did not lift the cordon")
+	}
+	if cp.CordonHost(-1) || cp.CordonHost(99) {
+		t.Fatal("out-of-range cordon accepted")
+	}
+}
+
+func TestSubmitSkipsCordonedHosts(t *testing.T) {
+	_, cp := newTestPlane(t, 4)
+	cp.CordonHost(0)
+	cp.CordonHost(2)
+	task, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range task.Containers {
+		if cp.HostCordoned(c.Host) {
+			t.Fatalf("container placed on cordoned host %d", c.Host)
+		}
+	}
+	// Cordoning the rest exhausts capacity for the next task.
+	cp.CordonHost(1)
+	cp.CordonHost(3)
+	if _, err := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 1, DP: 1}}); err != ErrNoCapacity {
+		t.Fatalf("err = %v, want ErrNoCapacity with all hosts cordoned", err)
+	}
+}
+
+// TestMigrateNeverLandsOnCordonedHost cordons every spare but one and
+// requires the migration to land there — then cordons it too and
+// requires a clean ErrNoMigration.
+func TestMigrateNeverLandsOnCordonedHost(t *testing.T) {
+	eng, cp := newTestPlane(t, 6)
+	task, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	eng.RunUntil(time.Minute)
+	// Hosts 0,1 busy; cordon spares 2,3,4 — only 5 is eligible.
+	for _, h := range []int{2, 3, 4} {
+		cp.CordonHost(h)
+	}
+	moved, err := cp.MigrateContainer(task.Containers[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Host != 5 {
+		t.Fatalf("migrated to %d, want the only uncordoned spare 5", moved.Host)
+	}
+	// The first migration freed host 0; cordon it and host 5 so no
+	// destination remains at all.
+	cp.CordonHost(0)
+	cp.CordonHost(5)
+	if _, err := cp.MigrateContainer(task.Containers[1].ID); err != ErrNoMigration {
+		t.Fatalf("err = %v, want ErrNoMigration with all spares cordoned", err)
+	}
+	// The failed migration leaves the container running in place.
+	if task.Containers[1].State != Running {
+		t.Fatalf("container state = %v after failed migration, want Running", task.Containers[1].State)
+	}
+}
+
+func TestDrainHostMovesAllResidents(t *testing.T) {
+	eng, cp := newTestPlane(t, 4)
+	task, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	eng.RunUntil(time.Minute)
+	victim := task.Containers[0].Host
+	cp.CordonHost(victim)
+	moved, err := cp.DrainHost(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 1 {
+		t.Fatalf("moved = %d, want 1", moved)
+	}
+	for _, c := range task.Containers {
+		if c.Host == victim {
+			t.Fatalf("container %s still on drained host %d", c.ID, victim)
+		}
+		if cp.HostCordoned(c.Host) {
+			t.Fatalf("container %s landed on a cordoned host", c.ID)
+		}
+	}
+	// A second drain is a no-op, not an error: idempotent re-execution
+	// is what lets a restored checkpoint replay a pre-crash plan.
+	if moved, err := cp.DrainHost(victim); err != nil || moved != 0 {
+		t.Fatalf("re-drain: moved=%d err=%v, want 0, nil", moved, err)
+	}
+}
+
+// TestDrainHostNoSpares exhausts capacity: the drain must terminate
+// cleanly with ErrNoMigration, not spin or evict the container.
+func TestDrainHostNoSpares(t *testing.T) {
+	eng, cp := newTestPlane(t, 2)
+	task, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	eng.RunUntil(time.Minute)
+	victim := task.Containers[0].Host
+	cp.CordonHost(victim)
+	moved, err := cp.DrainHost(victim)
+	if err != ErrNoMigration {
+		t.Fatalf("err = %v, want ErrNoMigration", err)
+	}
+	if moved != 0 {
+		t.Fatalf("moved = %d with no spares", moved)
+	}
+	if task.Containers[0].State != Running || task.Containers[0].Host != victim {
+		t.Fatal("failed drain disturbed the resident container")
+	}
+}
+
+func TestRestartContainerReplaces(t *testing.T) {
+	eng, cp := newTestPlane(t, 4)
+	task, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	eng.RunUntil(time.Minute)
+	victim := task.Containers[0]
+	oldHost := victim.Host
+	cp.CrashContainer(victim.ID)
+	var restarted []ContainerID
+	cp.Subscribe(func(ev Event) {
+		if ev.Kind == EvContainerRunning {
+			restarted = append(restarted, ev.Container.ID)
+		}
+	})
+
+	c, err := cp.RestartContainer(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State != Running {
+		t.Fatalf("state = %v after restart", c.State)
+	}
+	if c.Host == oldHost && cp.hostBusy[oldHost] != true {
+		t.Fatal("restart host accounting inconsistent")
+	}
+	// Endpoints re-homed and reattached on the restart host.
+	for _, a := range c.Addrs {
+		if a.Host != c.Host {
+			t.Fatalf("address %v not re-homed", a)
+		}
+		got, ok := cp.Overlay.Endpoint(task.VNI, a.IP)
+		if !ok || got.Host != c.Host {
+			t.Fatalf("endpoint %s not reattached", a.IP)
+		}
+	}
+	// Peer routes point at the restart host.
+	peer := task.Containers[1]
+	e, ok := cp.Overlay.VSwitch(peer.Host).Lookup(overlay.FlowKey{VNI: task.VNI, Dst: c.Addrs[0].IP})
+	if !ok || e.Action.RemoteHost != c.Host {
+		t.Fatalf("peer flow rule not updated: %+v", e)
+	}
+	if len(restarted) != 1 || restarted[0] != victim.ID {
+		t.Fatalf("restart events = %v", restarted)
+	}
+}
+
+func TestRestartContainerErrors(t *testing.T) {
+	eng, cp := newTestPlane(t, 2)
+	task, _ := cp.Submit(TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 1}})
+	eng.RunUntil(time.Minute)
+	if _, err := cp.RestartContainer("nope"); err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	// A running container is not restartable.
+	if _, err := cp.RestartContainer(task.Containers[0].ID); err != ErrNotRestartable {
+		t.Fatalf("err = %v, want ErrNotRestartable", err)
+	}
+	// Crashed, but the only host is cordoned: no placement.
+	victim := task.Containers[0]
+	cp.CrashContainer(victim.ID)
+	cp.CordonHost(0)
+	cp.CordonHost(1)
+	if _, err := cp.RestartContainer(victim.ID); err != ErrNoMigration {
+		t.Fatalf("err = %v, want ErrNoMigration with every host cordoned", err)
+	}
+	// Finished tasks stay down.
+	cp.UncordonHost(0)
+	cp.UncordonHost(1)
+	cp.FinishTask(task.ID)
+	eng.RunUntil(2 * time.Minute)
+	if _, err := cp.RestartContainer(task.Containers[1].ID); err != ErrNotRestartable {
+		t.Fatalf("err = %v, want ErrNotRestartable for a finished task", err)
+	}
+}

@@ -150,6 +150,29 @@ func LinkSwitches(id ID) []topology.NodeID {
 	return out
 }
 
+// LinkHosts returns the host indices of a link component's NIC
+// endpoints, in endpoint order: one host for a rail-attachment link
+// (nic--tor), none for a switch-switch link.
+func LinkHosts(id ID) []int {
+	l, ok := LinkOf(id)
+	if !ok {
+		return nil
+	}
+	s := string(l)
+	i := strings.Index(s, "--")
+	if i < 0 {
+		return nil
+	}
+	var out []int
+	for _, end := range []string{s[:i], s[i+2:]} {
+		var h, r int
+		if n, err := fmt.Sscanf(end, "nic/h%d/r%d", &h, &r); err == nil && n == 2 {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
 // ContainerOf returns the container name of a container-runtime
 // component — the cluster ContainerID ("<task>/c<idx>") when the
 // localizer had control-plane access, or a raw "vni<N>/<ip>" overlay

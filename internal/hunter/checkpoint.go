@@ -37,14 +37,19 @@ import (
 	"skeletonhunter/internal/incident"
 	"skeletonhunter/internal/obs"
 	"skeletonhunter/internal/probe"
+	"skeletonhunter/internal/remedy"
 	"skeletonhunter/internal/skeleton"
 )
 
 // CheckpointVersion is the deployment checkpoint format version.
 // Version 2 added the incident plane's state: incident records are
 // operator-durable artifacts, so they ride the checkpoint verbatim
-// rather than being rebuilt by replay.
-const CheckpointVersion = 2
+// rather than being rebuilt by replay. Version 3 added the
+// remediation plane: the audit ledger, deferred queue, cooldowns and
+// budget window ride along so healing survives a controller crash —
+// in-flight verifies resume because their deadlines are data the next
+// tick scans, not timers the dead process held.
+const CheckpointVersion = 3
 
 // Checkpoint is a durable image of the monitoring system's control
 // plane at one instant.
@@ -55,6 +60,7 @@ type Checkpoint struct {
 	Controller controller.Snapshot
 	Analyzer   analyzer.Snapshot
 	Incidents  incident.Snapshot
+	Remedy     remedy.Snapshot
 
 	BlockedHosts []int
 	Migrations   int
@@ -77,6 +83,7 @@ func (d *Deployment) Checkpoint() *Checkpoint {
 		Controller:   d.Controller.Snapshot(),
 		Analyzer:     d.Analyzer.SnapshotState(),
 		Incidents:    incident.Snapshot{Version: incident.SnapshotVersion},
+		Remedy:       remedy.Snapshot{Version: remedy.SnapshotVersion},
 		BlockedHosts: d.BlockedHosts(),
 		Migrations:   d.migrations,
 		Secrets:      copyTaskMap(d.secrets),
@@ -84,6 +91,9 @@ func (d *Deployment) Checkpoint() *Checkpoint {
 	}
 	if d.Incidents != nil {
 		ck.Incidents = d.Incidents.Snapshot()
+	}
+	if d.Remedy != nil {
+		ck.Remedy = d.Remedy.Snapshot()
 	}
 	d.lastCkpt = ck
 	d.Obs.Inc(obs.CheckpointsTaken)
@@ -105,6 +115,9 @@ func (d *Deployment) CrashController() {
 	d.Analyzer.Crash()
 	if d.Incidents != nil {
 		d.Incidents.Crash()
+	}
+	if d.Remedy != nil {
+		d.Remedy.Crash()
 	}
 	d.blockedHosts = make(map[int]bool)
 	d.migrations = 0
@@ -136,6 +149,11 @@ func (d *Deployment) RecoverFrom(ck *Checkpoint) error {
 	d.Analyzer.RestoreState(ck.Analyzer)
 	if d.Incidents != nil {
 		if err := d.Incidents.Restore(ck.Incidents); err != nil {
+			return err
+		}
+	}
+	if d.Remedy != nil {
+		if err := d.Remedy.Restore(ck.Remedy); err != nil {
 			return err
 		}
 	}
@@ -206,6 +224,7 @@ func (d *Deployment) RecoverFromLast() error {
 				Epoch:   d.Controller.Epoch(),
 			},
 			Incidents: incident.Snapshot{Version: incident.SnapshotVersion},
+			Remedy:    remedy.Snapshot{Version: remedy.SnapshotVersion},
 		}
 	}
 	return d.RecoverFrom(ck)
@@ -251,6 +270,9 @@ func (d *Deployment) Fingerprint() string {
 	}
 	if d.Incidents != nil {
 		fmt.Fprintf(h, "inc %s\n", d.Incidents.Fingerprint())
+	}
+	if d.Remedy != nil {
+		fmt.Fprintf(h, "rem %s\n", d.Remedy.Fingerprint())
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -6,6 +6,7 @@
 package hunter
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"skeletonhunter/internal/parallelism"
 	"skeletonhunter/internal/pipeline"
 	"skeletonhunter/internal/probe"
+	"skeletonhunter/internal/remedy"
 	"skeletonhunter/internal/sim"
 	"skeletonhunter/internal/skeleton"
 	"skeletonhunter/internal/topology"
@@ -83,6 +85,12 @@ type Options struct {
 	// DisableIncidents turns the incident plane off entirely.
 	Incidents        incident.Config
 	DisableIncidents bool
+	// Remedy, when non-nil, enables the self-healing remediation plane:
+	// the policy engine consumes the incident stream each sweep and
+	// repairs localized faults behind the configured safety rails
+	// (Config.Hosts is filled in from the fabric if zero). Requires the
+	// incident plane.
+	Remedy *remedy.Config
 	// HTTPAddr, when non-empty, serves the operator query API on that
 	// address ("127.0.0.1:0" picks a free port; read it back from
 	// Deployment.API.Addr()). API tunes the server's self-protection.
@@ -106,6 +114,9 @@ type Deployment struct {
 	// Incidents folds alarms into long-lived operator incidents with
 	// evidence bundles (nil when Options.DisableIncidents).
 	Incidents *incident.Correlator
+	// Remedy is the self-healing policy engine (nil unless
+	// Options.Remedy was set).
+	Remedy *remedy.Engine
 	// API is the HTTP read plane over the deployment's monitoring
 	// state (nil unless Options.HTTPAddr was set).
 	API *apiserver.Server
@@ -119,6 +130,7 @@ type Deployment struct {
 	OnAlarm func(analyzer.Alarm)
 
 	probeInterval time.Duration
+	sweepInterval time.Duration
 	autoMigrate   bool
 	feedbackOff   bool
 	telemetry     *faults.TelemetryInjector
@@ -239,8 +251,20 @@ func New(opts Options) (*Deployment, error) {
 		if sweep == 0 {
 			sweep = 30 * time.Second
 		}
+		d.sweepInterval = sweep
+		if opts.Remedy != nil {
+			rc := *opts.Remedy
+			if rc.Hosts == 0 {
+				rc.Hosts = fab.Hosts()
+			}
+			d.Remedy = remedy.NewEngine(rc, d.remedyOps())
+			d.Remedy.Obs = st
+		}
 		eng.Every(sweep, sweep, "incident-sweep", func(now time.Duration) {
 			d.Incidents.Sweep(now)
+			if d.Remedy != nil {
+				d.Remedy.Tick(now, d.Incidents.Incidents())
+			}
 			d.refreshAPI()
 		})
 	}
@@ -410,21 +434,33 @@ func (d *Deployment) handleAlarm(al analyzer.Alarm) {
 		return
 	}
 	for _, c := range al.Components() {
-		migrated := 0
+		migrated, stranded := 0, 0
 		if host, ok := component.HostOf(c); ok {
 			d.blockedHosts[host] = true
 			if d.autoMigrate {
 				for _, task := range d.CP.Tasks() {
 					for _, ct := range task.Containers {
 						if ct.Host == host && ct.State == cluster.Running {
-							if _, err := d.CP.MigrateContainer(ct.ID); err == nil {
+							switch _, err := d.CP.MigrateContainer(ct.ID); {
+							case err == nil:
 								d.migrations++
 								migrated++
+							case errors.Is(err, cluster.ErrNoMigration):
+								// Every spare is blacklisted or cordoned: the
+								// container is stranded on a known-bad host.
+								// Count it and note it on the incident so the
+								// condition pages instead of vanishing.
+								d.Obs.Inc(obs.MigrationsExhausted)
+								stranded++
 							}
 						}
 					}
 				}
 			}
+		}
+		if stranded > 0 && d.Incidents != nil {
+			d.Incidents.NoteRemediation(c, fmt.Sprintf(
+				"auto-migration exhausted: %d container(s) stranded (no schedulable spare)", stranded))
 		}
 		// The analyzer put the component on the §8 blacklist the moment
 		// the alarm raised; that (plus any migration) is the mitigation
@@ -482,6 +518,12 @@ func (d *Deployment) startAgent(task *cluster.Task, ct *cluster.Container) {
 func (d *Deployment) onClusterEvent(ev cluster.Event) {
 	switch ev.Kind {
 	case cluster.EvContainerRunning:
+		// A container with a StoppedAt stamp is a remediation restart of
+		// a crashed container, not a first start: its earlier departure
+		// was counted, so the departure ledger rolls back one.
+		if ev.Container.StoppedAt > 0 && d.stopped[ev.Task.ID] > 0 {
+			d.stopped[ev.Task.ID]--
+		}
 		d.startAgent(ev.Task, ev.Container)
 	case cluster.EvContainerStopped:
 		if a, ok := d.agents[ev.Container.ID]; ok {
@@ -632,6 +674,11 @@ func (d *Deployment) Stats() obs.Snapshot {
 		snap.Counters["incidents-open"] = uint64(open)
 		snap.Counters["incidents-mitigating"] = uint64(mitigating)
 		snap.Counters["incidents-resolved-now"] = uint64(resolved)
+	}
+	if d.Remedy != nil {
+		deferred, verifying := d.Remedy.Pending()
+		snap.Counters["remedy-deferred-now"] = uint64(deferred)
+		snap.Counters["remedy-verifying-now"] = uint64(verifying)
 	}
 	if d.API != nil {
 		for k, v := range d.API.Stats() {

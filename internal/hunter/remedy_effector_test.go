@@ -1,0 +1,145 @@
+// Unit tests for the deployment-side remediation effectors: how each
+// ActionKind lands on the control plane, how rollback lifts cordons,
+// and what the verify-then-commit health check observes. The engine's
+// policy and rails are tested in internal/remedy; these pin mechanism.
+package hunter
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/remedy"
+	"skeletonhunter/internal/topology"
+)
+
+func effectorDeployment(t *testing.T) (*Deployment, *cluster.Task) {
+	t.Helper()
+	d, err := New(Options{Seed: 7, Spec: healSpec, Lag: fastLag()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := d.SubmitTask(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(2 * time.Minute)
+	return d, task
+}
+
+func TestRemedyExecuteRestartContainer(t *testing.T) {
+	d, task := effectorDeployment(t)
+	victim := task.Containers[0]
+	d.CP.CrashContainer(victim.ID)
+	detail, err := d.remedyExecute(remedy.KindRestartContainer, component.Container(string(victim.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "restarted "+string(victim.ID)) {
+		t.Fatalf("detail = %q", detail)
+	}
+	if victim.State != cluster.Running {
+		t.Fatalf("container state = %v after restart", victim.State)
+	}
+	// A running container is not restartable: the error propagates.
+	if _, err := d.remedyExecute(remedy.KindRestartContainer, component.Container(string(victim.ID))); err == nil {
+		t.Fatal("restart of a running container did not error")
+	}
+}
+
+func TestRemedyExecuteCordonDrainSwitch(t *testing.T) {
+	d, task := effectorDeployment(t)
+	pod := d.Fabric.PodOf(task.Containers[0].Host)
+	sw := d.Fabric.ToR(pod, 0)
+	comp := component.Switch(sw)
+	detail, err := d.remedyExecute(remedy.KindCordonDrainSwitch, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(detail, "cordoned") || !strings.Contains(detail, string(sw)) {
+		t.Fatalf("detail = %q", detail)
+	}
+	span := d.Fabric.HostsUnder(sw)
+	for _, h := range span {
+		if !d.CP.HostCordoned(h) {
+			t.Fatalf("host %d under %s not cordoned", h, sw)
+		}
+	}
+	for _, c := range task.Containers {
+		if d.CP.HostCordoned(c.Host) {
+			t.Fatalf("container %s still on a cordoned host after drain", c.ID)
+		}
+	}
+	// Rollback lifts exactly the cordons the action took.
+	d.remedyRollback(remedy.KindCordonDrainSwitch, comp, span)
+	if got := d.CP.CordonedHosts(); len(got) != 0 {
+		t.Fatalf("cordons survived rollback: %v", got)
+	}
+	// Rollback of an in-place repair is a no-op.
+	d.remedyRollback(remedy.KindClearOffload, comp, nil)
+}
+
+func TestRemedyExecuteErrors(t *testing.T) {
+	d, _ := effectorDeployment(t)
+	cases := []struct {
+		kind remedy.ActionKind
+		comp component.ID
+	}{
+		{remedy.KindRestartContainer, component.RNIC(0, 0)},        // not a container
+		{remedy.KindRestartContainer, component.Container("nope")}, // unknown container
+		{remedy.KindDrainHost, component.Switch("tor/p0/r0")},      // no host to drain
+		{remedy.KindCordonDrainSwitch, component.RNIC(0, 0)},       // no switch to cordon
+		{remedy.KindClearOffload, component.Switch("tor/p0/r0")},   // not an RNIC
+		{remedy.KindClearOffload, component.RNIC(0, 0)},            // nothing stale to clear
+		{remedy.ActionKind(99), component.RNIC(0, 0)},              // unknown kind
+	}
+	for _, tc := range cases {
+		if _, err := d.remedyExecute(tc.kind, tc.comp); err == nil {
+			t.Errorf("%v on %s: no error", tc.kind, tc.comp)
+		}
+	}
+}
+
+func TestRemedySwitchFromLink(t *testing.T) {
+	d, _ := effectorDeployment(t)
+	tor, agg := d.Fabric.ToR(0, 0), d.Fabric.Agg(0, 0)
+	link := topology.MakeLinkID(tor, agg)
+	sw, ok := d.remedySwitch(component.Link(link))
+	if !ok {
+		t.Fatalf("no switch resolved from link %s", link)
+	}
+	if sw != tor && sw != agg {
+		t.Fatalf("resolved %s, want an endpoint of %s", sw, link)
+	}
+	if _, ok := d.remedySwitch(component.HostBoard(0)); ok {
+		t.Fatal("host-scoped component resolved to a switch")
+	}
+}
+
+// TestRemedyHealthySeesOffloadDrift pins the verify check's offload
+// signal: a drifted flow table is unhealthy until the entries are
+// restored, independent of alarm timing.
+func TestRemedyHealthySeesOffloadDrift(t *testing.T) {
+	d, task := effectorDeployment(t)
+	a := task.Containers[0].Addrs[0]
+	comp := component.RNIC(a.Host, a.Rail)
+	if !d.remedyHealthy(comp, d.Engine.Now()) {
+		t.Fatal("pristine RNIC reported unhealthy")
+	}
+	if _, err := d.Injector.Inject(faults.OffloadingFailure, faults.Target{Host: a.Host, Rail: a.Rail}); err != nil {
+		t.Fatal(err)
+	}
+	if d.remedyHealthy(comp, d.Engine.Now()) {
+		t.Fatal("drifted offload table reported healthy")
+	}
+	if _, err := d.remedyExecute(remedy.KindClearOffload, comp); err != nil {
+		t.Fatal(err)
+	}
+	if !d.remedyHealthy(comp, d.Engine.Now()) {
+		t.Fatal("cleared offload table still reported unhealthy")
+	}
+}

@@ -138,6 +138,10 @@ type Evidence struct {
 	// Verdicts are the localization details ("[underlay] …") that named
 	// this incident's component in the triggering alarm.
 	Verdicts []string
+	// Remediation is the self-healing audit trail: one line per
+	// remediation-plane event touching this incident (planned, deferred,
+	// executed, committed, rolled back, escalated), in event order.
+	Remediation []string
 }
 
 func (e Evidence) clone() Evidence {
@@ -145,6 +149,7 @@ func (e Evidence) clone() Evidence {
 	out.Records = append([]probe.Record(nil), e.Records...)
 	out.Queues = append([]QueueSample(nil), e.Queues...)
 	out.Verdicts = append([]string(nil), e.Verdicts...)
+	out.Remediation = append([]string(nil), e.Remediation...)
 	if e.Offload != nil {
 		od := *e.Offload
 		od.Inconsistent = append([]overlay.FlowKey(nil), e.Offload.Inconsistent...)
@@ -175,12 +180,18 @@ type Incident struct {
 	// opening alarm — when the symptom started being observable.
 	FirstAnomalyAt time.Duration
 
+	// RepairedAt stamps when a remediation action against the component
+	// was verified healthy and committed (zero = not repaired).
+	RepairedAt time.Duration
+
 	// SLO clocks: TimeToDetect is open minus first anomaly (how long
 	// the symptom ran before the system raised it); TimeToMitigate is
 	// mitigation minus open (how long operators/automation took to
-	// act).
+	// act); TimeToRepair is committed repair minus open — the clock
+	// SHIFT argues actually bounds training goodput.
 	TimeToDetect   time.Duration
 	TimeToMitigate time.Duration
+	TimeToRepair   time.Duration
 
 	// Mitigation describes what acted ("blacklist", "migration").
 	Mitigation string
@@ -307,6 +318,8 @@ func (c *Correlator) ObserveAlarm(al analyzer.Alarm) {
 			inc.ResolvedAt = 0
 			inc.MitigatedAt = 0
 			inc.Mitigation = ""
+			inc.RepairedAt = 0
+			inc.TimeToRepair = 0
 			inc.LastAlarmAt = al.At
 			inc.AlarmCount++
 			inc.Evidence = c.gather(comp, al)
@@ -415,6 +428,48 @@ func (c *Correlator) NoteMitigated(comp component.ID, at time.Duration, how stri
 	c.Obs.Inc(obs.IncidentsMitigated)
 }
 
+// NoteRemediation appends one line to the component's latest
+// incident's remediation audit trail. Reports whether an incident
+// existed to annotate.
+func (c *Correlator) NoteRemediation(comp component.ID, note string) bool {
+	inc := c.latest[comp]
+	if inc == nil {
+		return false
+	}
+	inc.Evidence.Remediation = append(inc.Evidence.Remediation, note)
+	c.touch(inc)
+	return true
+}
+
+// NoteRepaired stops the component's latest incident's time-to-repair
+// clock: a remediation action was verified healthy and committed. An
+// incident still Open also turns Mitigating (the repair is the
+// mitigation); resolution still waits for the quiet window, so a
+// repair that does not actually silence the symptom flap-reopens like
+// any other premature mitigation. An already-Resolved incident still
+// takes the stamp — a fast repair can silence the symptom so quickly
+// that the quiet window resolves the incident before the remediation
+// plane's verify confirms, and the TTR clock must not lose that
+// repair. No-op (false) without an incident or when already repaired.
+func (c *Correlator) NoteRepaired(comp component.ID, at time.Duration, how string) bool {
+	inc := c.latest[comp]
+	if inc == nil || inc.RepairedAt != 0 {
+		return false
+	}
+	inc.RepairedAt = at
+	inc.TimeToRepair = at - inc.OpenedAt
+	if inc.State == Open {
+		inc.State = Mitigating
+		inc.MitigatedAt = at
+		inc.TimeToMitigate = at - inc.OpenedAt
+		inc.Mitigation = how
+		c.Obs.Inc(obs.IncidentsMitigated)
+	}
+	c.touch(inc)
+	c.Obs.Inc(obs.IncidentsRepaired)
+	return true
+}
+
 // Sweep advances resolution: every mitigating incident whose component
 // has stayed quiet for the quiet window resolves. Called periodically
 // from the engine loop; iteration is in open order, so resolution
@@ -437,6 +492,15 @@ func (c *Correlator) Incidents() []Incident {
 		out[i] = inc.clone()
 	}
 	return out
+}
+
+// Latest returns a deep copy of the component's most recent incident.
+func (c *Correlator) Latest(comp component.ID) (Incident, bool) {
+	inc, ok := c.latest[comp]
+	if !ok {
+		return Incident{}, false
+	}
+	return inc.clone(), true
 }
 
 // Incident returns a deep copy of one incident by ID.

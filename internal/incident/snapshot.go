@@ -14,8 +14,10 @@ import (
 	"skeletonhunter/internal/component"
 )
 
-// SnapshotVersion is the incident snapshot format version.
-const SnapshotVersion = 1
+// SnapshotVersion is the incident snapshot format version. Version 2
+// added the remediation fields (RepairedAt, TimeToRepair, the
+// evidence audit trail); older snapshots are not readable.
+const SnapshotVersion = 2
 
 // Snapshot is the correlator's serializable state.
 type Snapshot struct {
@@ -86,11 +88,11 @@ func (c *Correlator) Crash() {
 func (c *Correlator) Fingerprint() string {
 	h := sha256.New()
 	for _, inc := range c.incidents {
-		fmt.Fprintf(h, "inc %s %s %s %s %d %d %d %d %d %d %d %d %q\n",
+		fmt.Fprintf(h, "inc %s %s %s %s %d %d %d %d %d %d %d %d %d %d %q\n",
 			inc.ID, inc.Component, inc.State, inc.Severity,
 			inc.OpenedAt, inc.MitigatedAt, inc.ResolvedAt, inc.LastAlarmAt,
-			inc.TimeToDetect, inc.TimeToMitigate, inc.AlarmCount, inc.Reopens,
-			inc.Mitigation)
+			inc.TimeToDetect, inc.TimeToMitigate, inc.RepairedAt, inc.TimeToRepair,
+			inc.AlarmCount, inc.Reopens, inc.Mitigation)
 		ev := inc.Evidence
 		fmt.Fprintf(h, " ev %d %d %d\n", ev.GatheredAt, ev.TotalRecords, len(ev.Records))
 		for _, r := range ev.Records {
@@ -104,6 +106,9 @@ func (c *Correlator) Fingerprint() string {
 		}
 		for _, v := range ev.Verdicts {
 			fmt.Fprintf(h, " v %s\n", v)
+		}
+		for _, m := range ev.Remediation {
+			fmt.Fprintf(h, " m %s\n", m)
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))

@@ -99,6 +99,33 @@ const (
 	// parallel section multiplied by the worker count — the capacity the
 	// busy time is measured against. busy/wall is worker utilization.
 	WorkerWallNanos
+	// IncidentsRepaired counts incidents whose time-to-repair clock was
+	// stopped by a committed remediation.
+	IncidentsRepaired
+	// MigrationsExhausted counts auto-migration attempts that found no
+	// schedulable spare (all free hosts blacklisted or cordoned) — each
+	// one is a container stranded on a known-bad host.
+	MigrationsExhausted
+	// RemedyActionsExecuted counts remediation actions the policy engine
+	// executed against the control plane.
+	RemedyActionsExecuted
+	// RemedyActionsDeferred counts remediation actions postponed by a
+	// safety rail (window budget or blast-radius cap); deferred actions
+	// re-queue, they are never dropped.
+	RemedyActionsDeferred
+	// RemedyActionsCommitted counts executed actions whose post-action
+	// health re-check passed.
+	RemedyActionsCommitted
+	// RemedyActionsRolledBack counts executed actions undone because the
+	// symptom persisted through the verify window.
+	RemedyActionsRolledBack
+	// RemedyActionsEscalated counts actions handed to a human operator:
+	// execution failures, failed verifies, and plans whose blast radius
+	// can never fit under the cap.
+	RemedyActionsEscalated
+	// RemedyDryRunIntents counts actions the engine would have executed
+	// in dry-run mode (intent recorded, nothing touched).
+	RemedyDryRunIntents
 
 	numCounters
 )
@@ -161,6 +188,22 @@ func (c Counter) String() string {
 		return "worker-busy-nanos"
 	case WorkerWallNanos:
 		return "worker-wall-nanos"
+	case IncidentsRepaired:
+		return "incidents-repaired"
+	case MigrationsExhausted:
+		return "migrations-exhausted"
+	case RemedyActionsExecuted:
+		return "remedy-actions-executed"
+	case RemedyActionsDeferred:
+		return "remedy-actions-deferred"
+	case RemedyActionsCommitted:
+		return "remedy-actions-committed"
+	case RemedyActionsRolledBack:
+		return "remedy-actions-rolled-back"
+	case RemedyActionsEscalated:
+		return "remedy-actions-escalated"
+	case RemedyDryRunIntents:
+		return "remedy-dry-run-intents"
 	default:
 		return fmt.Sprintf("counter(%d)", int(c))
 	}

@@ -1,0 +1,522 @@
+// Package remedy is the self-healing remediation plane: a
+// deterministic policy engine that consumes the incident stream and
+// closes the loop the paper's deployment left open (§8 stops at
+// blacklisting; the Fig. 18 offload-drift recovery was a human
+// action). It maps each incident's component class onto a repair
+// action against the cluster control plane — restart a crashed
+// container, drain a bad host's containers to spares, cordon+drain a
+// switch, or clear a drifted RNIC offload flow table — and runs every
+// action behind safety rails.
+//
+// The rails exist because repair is itself a hazard: cordons and
+// drains mutate the very topology the localizer reasons over (the
+// "Ghost in the Datacenter" failure mode), so the engine enforces a
+// per-window action budget, a blast-radius cap on the fraction of
+// hosts simultaneously under remediation, and a per-component
+// cooldown. Actions that do not fit DEFER to a FIFO queue and retry —
+// they are never dropped. Every executed action is provisional until
+// a verify-then-commit re-check: if the symptom persists through the
+// verify window the action is rolled back (cordons lifted) and the
+// incident escalated to a human in the audit log. A dry-run mode
+// walks the identical decision machine — same plans, same deferrals,
+// same budget accounting — but records intent instead of touching the
+// control plane.
+//
+// The engine is single-writer and engine-agnostic like the incident
+// correlator: the deployment ticks it from the simulation goroutine,
+// and every decision is a pure function of (state, incident list,
+// now), so identical runs heal identically — the property the
+// checkpoint fingerprint pins across worker counts and crash
+// recovery. Verification deadlines are plain timestamps scanned at
+// tick time rather than scheduled timers, so a restored checkpoint
+// resumes pending verifies without help.
+package remedy
+
+import (
+	"fmt"
+	"time"
+
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/incident"
+	"skeletonhunter/internal/obs"
+)
+
+// ActionKind is the repair a policy selected.
+type ActionKind int
+
+const (
+	// KindRestartContainer re-runs a crashed container on a fresh host
+	// (issue 17, container-runtime defects).
+	KindRestartContainer ActionKind = iota
+	// KindDrainHost cordons a host and live-migrates its containers to
+	// spares — the §8 quick-recovery path for bad RNICs, host boards
+	// and host-scoped faults.
+	KindDrainHost
+	// KindCordonDrainSwitch cordons every host under a ToR/agg switch
+	// and drains them — the heavy hammer for shared-fate fabric faults.
+	KindCordonDrainSwitch
+	// KindClearOffload re-synchronizes a drifted RNIC offload flow
+	// table in place (the Fig. 18 quick recovery).
+	KindClearOffload
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case KindRestartContainer:
+		return "restart-container"
+	case KindDrainHost:
+		return "drain-host"
+	case KindCordonDrainSwitch:
+		return "cordon-drain-switch"
+	case KindClearOffload:
+		return "clear-offload"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ActionState is an audit entry's lifecycle position.
+type ActionState int
+
+const (
+	// StatePlanned: minted this tick, not yet past the rails.
+	StatePlanned ActionState = iota
+	// StateDeferred: a rail (budget, blast radius) postponed it; queued
+	// FIFO for the next tick.
+	StateDeferred
+	// StateVerifying: executed; awaiting the verify-then-commit check.
+	StateVerifying
+	// StateCommitted: the post-action health re-check passed.
+	StateCommitted
+	// StateRolledBack: the symptom persisted; the action was undone and
+	// the incident escalated.
+	StateRolledBack
+	// StateEscalated: handed to a human without a committed repair
+	// (execution failed, or the plan can never fit the blast cap).
+	StateEscalated
+)
+
+func (s ActionState) String() string {
+	switch s {
+	case StatePlanned:
+		return "planned"
+	case StateDeferred:
+		return "deferred"
+	case StateVerifying:
+		return "verifying"
+	case StateCommitted:
+		return "committed"
+	case StateRolledBack:
+		return "rolled-back"
+	case StateEscalated:
+		return "escalated"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Action is one audit-ledger entry: a repair the engine planned,
+// with its full lifecycle stamped in sim time.
+type Action struct {
+	ID        int
+	Kind      ActionKind
+	Component component.ID
+	Incident  string // incident ID that triggered the plan
+	// Hosts the action takes out of service while active (blast-radius
+	// accounting): the drained host, or every host under a cordoned
+	// switch. Empty for in-place repairs.
+	Hosts []int
+
+	PlannedAt  time.Duration
+	ExecutedAt time.Duration // zero until executed (or dry-run "executed")
+	VerifyAt   time.Duration // when the health re-check is due
+	ResolvedAt time.Duration // commit / rollback / escalate time
+
+	State     ActionState
+	DryRun    bool
+	Deferrals int    // times a rail postponed this action
+	Detail    string // effector or escalation detail
+}
+
+// clone deep-copies an action.
+func (a Action) clone() Action {
+	a.Hosts = append([]int(nil), a.Hosts...)
+	return a
+}
+
+// Intent renders the action's policy decision — what would run,
+// against what — independent of execution outcome. Dry-run audits
+// match real audits intent-for-intent.
+func (a Action) Intent() string {
+	return fmt.Sprintf("%s %s", a.Kind, a.Component)
+}
+
+// Config tunes the engine. Zero values take the defaults.
+type Config struct {
+	// Hosts is the fabric size the blast-radius fraction is measured
+	// against. Required (the deployment fills it in).
+	Hosts int
+	// Window and Budget: at most Budget actions execute (or dry-run)
+	// per Window (defaults 10 min, 4).
+	Window time.Duration
+	Budget int
+	// BlastRadius caps the fraction of hosts simultaneously out of
+	// service to in-flight remediation (default 0.25). A plan whose own
+	// footprint exceeds the cap escalates instead of deferring forever.
+	BlastRadius float64
+	// Cooldown is the minimum gap between resolved actions on the same
+	// component (default 10 min) — a flapping component pages a human
+	// instead of being remediated in a loop at full speed.
+	Cooldown time.Duration
+	// VerifyAfter is the delay between execution and the
+	// verify-then-commit health re-check (default 2 min).
+	VerifyAfter time.Duration
+	// DryRun records intent without executing anything.
+	DryRun bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 10 * time.Minute
+	}
+	if c.Budget == 0 {
+		c.Budget = 4
+	}
+	if c.BlastRadius == 0 {
+		c.BlastRadius = 0.25
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 10 * time.Minute
+	}
+	if c.VerifyAfter == 0 {
+		c.VerifyAfter = 2 * time.Minute
+	}
+	return c
+}
+
+// maxBlastHosts returns the blast-radius cap in whole hosts (at least
+// one, so a single-host drain is always admissible).
+func (c Config) maxBlastHosts() int {
+	n := int(c.BlastRadius * float64(c.Hosts))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Ops are the control-plane effectors the deployment wires in. The
+// engine owns policy and sequencing; Ops own mechanism. All calls run
+// on the engine goroutine.
+type Ops struct {
+	// AffectedHosts projects the hosts an action would take out of
+	// service, for blast-radius accounting before execution.
+	AffectedHosts func(kind ActionKind, comp component.ID) []int
+	// Execute performs the repair. The returned detail lands in the
+	// audit entry; an error escalates the action.
+	Execute func(kind ActionKind, comp component.ID) (detail string, err error)
+	// Rollback undoes an action's topology mutations (lifts cordons)
+	// after a failed execute or verify. Migrated containers stay where
+	// they landed — there is no un-migrate.
+	Rollback func(kind ActionKind, comp component.ID, hosts []int)
+	// Healthy is the verify-then-commit check: has the component been
+	// symptom-free since the action executed?
+	Healthy func(comp component.ID, executedAt time.Duration) bool
+	// NoteAudit mirrors an audit transition into the incident's
+	// evidence trail (nil = skip).
+	NoteAudit func(comp component.ID, note string)
+	// NoteRepaired stops the incident's time-to-repair clock on commit
+	// (nil = skip).
+	NoteRepaired func(comp component.ID, at time.Duration, how string)
+}
+
+// Engine is the remediation policy engine. Single-writer: the
+// deployment ticks it from the engine goroutine.
+type Engine struct {
+	// Obs, when set, receives remediation counters.
+	Obs *obs.Stats
+
+	cfg Config
+	ops Ops
+
+	seq   int
+	audit []*Action
+	// byComp tracks the unresolved (planned/deferred/verifying) action
+	// per component: one repair in flight per component at a time.
+	byComp map[component.ID]*Action
+	// done marks (incident, component) pairs already handled — either
+	// committed or dry-run intended — so one incident yields one
+	// remediation, not one per tick.
+	done map[string]bool
+	// cooldownUntil is the per-component earliest next plan time.
+	cooldownUntil map[component.ID]time.Duration
+	// deferred is the FIFO retry queue (action IDs).
+	deferred []int
+
+	windowStart time.Duration
+	windowUsed  int
+	activeHosts int // hosts under in-flight (verifying) remediation
+}
+
+// NewEngine builds an engine over the given effectors.
+func NewEngine(cfg Config, ops Ops) *Engine {
+	return &Engine{
+		cfg:           cfg.withDefaults(),
+		ops:           ops,
+		byComp:        make(map[component.ID]*Action),
+		done:          make(map[string]bool),
+		cooldownUntil: make(map[component.ID]time.Duration),
+	}
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+func doneKey(incidentID string, comp component.ID) string {
+	return incidentID + "|" + string(comp)
+}
+
+func (e *Engine) note(a *Action, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if e.ops.NoteAudit != nil {
+		e.ops.NoteAudit(a.Component, fmt.Sprintf("remedy#%d %s: %s", a.ID, a.Kind, msg))
+	}
+}
+
+// Tick advances the plane at now: verifies due actions, refills the
+// budget window, retries deferred actions, and plans repairs for
+// unhandled incidents. Incidents must arrive in open order (the
+// correlator's natural order), which makes every decision — and
+// therefore the audit ledger — deterministic.
+func (e *Engine) Tick(now time.Duration, incs []incident.Incident) {
+	// Budget window roll-over: windows are aligned to multiples of
+	// Window so the schedule is a function of now, not of tick history.
+	if ws := now - (now % e.cfg.Window); ws != e.windowStart {
+		e.windowStart = ws
+		e.windowUsed = 0
+	}
+
+	// Verify-then-commit for every due in-flight action, in ledger
+	// order. Deadlines are scanned, not scheduled, so a crash/restore
+	// between execute and verify just re-checks at the next tick.
+	for _, a := range e.audit {
+		if a.State != StateVerifying || now < a.VerifyAt {
+			continue
+		}
+		e.resolveVerify(a, now)
+	}
+
+	// Candidate pass: deferred actions first (FIFO — defer must never
+	// become drop), then fresh plans from the incident stream.
+	retry := e.deferred
+	e.deferred = nil
+	for _, id := range retry {
+		e.admit(e.audit[id], now)
+	}
+	for i := range incs {
+		in := &incs[i]
+		if in.State == incident.Resolved || in.RepairedAt != 0 {
+			continue
+		}
+		if e.done[doneKey(in.ID, in.Component)] {
+			continue
+		}
+		if e.byComp[in.Component] != nil {
+			continue // one repair in flight per component
+		}
+		if until, ok := e.cooldownUntil[in.Component]; ok && now < until {
+			continue
+		}
+		kind, ok := PolicyFor(in)
+		if !ok {
+			continue // no automated play for this class; humans own it
+		}
+		a := &Action{
+			ID:        e.seq,
+			Kind:      kind,
+			Component: in.Component,
+			Incident:  in.ID,
+			PlannedAt: now,
+			State:     StatePlanned,
+			DryRun:    e.cfg.DryRun,
+		}
+		if e.ops.AffectedHosts != nil {
+			a.Hosts = e.ops.AffectedHosts(kind, in.Component)
+		}
+		e.seq++
+		e.audit = append(e.audit, a)
+		e.byComp[in.Component] = a
+		e.note(a, "planned for %s", in.ID)
+		e.admit(a, now)
+	}
+}
+
+// admit runs an action through the safety rails and executes it if
+// they pass; otherwise it defers (or escalates an impossible plan).
+func (e *Engine) admit(a *Action, now time.Duration) {
+	capHosts := e.cfg.maxBlastHosts()
+	if len(a.Hosts) > capHosts {
+		// This plan can never fit under the blast cap; deferring would
+		// starve it forever, so it pages instead.
+		a.State = StateEscalated
+		a.ResolvedAt = now
+		a.Detail = fmt.Sprintf("blast radius %d hosts exceeds cap %d", len(a.Hosts), capHosts)
+		e.finish(a, now)
+		e.Obs.Inc(obs.RemedyActionsEscalated)
+		e.note(a, "escalated: %s", a.Detail)
+		return
+	}
+	if e.windowUsed >= e.cfg.Budget || e.activeHosts+len(a.Hosts) > capHosts {
+		if a.State != StateDeferred {
+			e.note(a, "deferred (budget %d/%d, blast %d+%d/%d)",
+				e.windowUsed, e.cfg.Budget, e.activeHosts, len(a.Hosts), capHosts)
+		}
+		a.State = StateDeferred
+		a.Deferrals++
+		e.deferred = append(e.deferred, a.ID)
+		e.Obs.Inc(obs.RemedyActionsDeferred)
+		return
+	}
+	e.execute(a, now)
+}
+
+// execute fires the effector (or records dry-run intent) and starts
+// the verify clock. Budget and blast accounting are identical in both
+// modes so a dry-run audit predicts the real one.
+func (e *Engine) execute(a *Action, now time.Duration) {
+	e.windowUsed++
+	a.ExecutedAt = now
+	a.VerifyAt = now + e.cfg.VerifyAfter
+	a.State = StateVerifying
+	e.activeHosts += len(a.Hosts)
+	if a.DryRun {
+		a.Detail = "dry-run: intent recorded, nothing executed"
+		e.Obs.Inc(obs.RemedyDryRunIntents)
+		e.note(a, "dry-run intent: would %s", a.Intent())
+		return
+	}
+	detail, err := e.ops.Execute(a.Kind, a.Component)
+	if err != nil {
+		a.State = StateEscalated
+		a.ResolvedAt = now
+		a.Detail = fmt.Sprintf("execute failed: %v", err)
+		e.activeHosts -= len(a.Hosts)
+		if e.ops.Rollback != nil {
+			e.ops.Rollback(a.Kind, a.Component, a.Hosts)
+		}
+		e.finish(a, now)
+		e.Obs.Inc(obs.RemedyActionsEscalated)
+		e.note(a, "escalated: %s", a.Detail)
+		return
+	}
+	a.Detail = detail
+	e.Obs.Inc(obs.RemedyActionsExecuted)
+	e.note(a, "executed: %s", detail)
+}
+
+// resolveVerify settles one due in-flight action: commit on health,
+// roll back and escalate on a persisting symptom.
+func (e *Engine) resolveVerify(a *Action, now time.Duration) {
+	e.activeHosts -= len(a.Hosts)
+	a.ResolvedAt = now
+	if a.DryRun {
+		// Nothing ran, so there is nothing to verify; the intent simply
+		// leaves the in-flight set so blast accounting matches reality.
+		a.State = StateCommitted
+		e.done[doneKey(a.Incident, a.Component)] = true
+		e.finish(a, now)
+		return
+	}
+	if e.ops.Healthy == nil || e.ops.Healthy(a.Component, a.ExecutedAt) {
+		a.State = StateCommitted
+		e.done[doneKey(a.Incident, a.Component)] = true
+		e.finish(a, now)
+		e.Obs.Inc(obs.RemedyActionsCommitted)
+		e.note(a, "committed: healthy since execution")
+		if e.ops.NoteRepaired != nil {
+			e.ops.NoteRepaired(a.Component, now, "remedy:"+a.Kind.String())
+		}
+		return
+	}
+	a.State = StateRolledBack
+	a.Detail += "; symptom persisted through verify window"
+	if e.ops.Rollback != nil {
+		e.ops.Rollback(a.Kind, a.Component, a.Hosts)
+	}
+	e.finish(a, now)
+	e.Obs.Inc(obs.RemedyActionsRolledBack)
+	e.Obs.Inc(obs.RemedyActionsEscalated)
+	e.note(a, "rolled back and escalated: symptom persisted")
+}
+
+// finish clears in-flight tracking and arms the component cooldown.
+func (e *Engine) finish(a *Action, now time.Duration) {
+	if e.byComp[a.Component] == a {
+		delete(e.byComp, a.Component)
+	}
+	e.cooldownUntil[a.Component] = now + e.cfg.Cooldown
+}
+
+// Audit returns a deep copy of the action ledger, in plan order.
+func (e *Engine) Audit() []Action {
+	out := make([]Action, len(e.audit))
+	for i, a := range e.audit {
+		out[i] = a.clone()
+	}
+	return out
+}
+
+// Pending reports how many actions are deferred or awaiting verify.
+func (e *Engine) Pending() (deferred, verifying int) {
+	for _, a := range e.audit {
+		switch a.State {
+		case StateDeferred:
+			deferred++
+		case StateVerifying:
+			verifying++
+		}
+	}
+	return
+}
+
+// PolicyFor maps an incident onto the repair play for its component
+// class — the policy table of DESIGN.md §13. The boolean reports
+// whether an automated play exists; classes without one (e.g. a bare
+// switch-config drift with no locatable switch) stay human-owned.
+func PolicyFor(in *incident.Incident) (ActionKind, bool) {
+	switch in.Class {
+	case component.ClassContainerRuntime:
+		return KindRestartContainer, true
+	case component.ClassRNIC:
+		// Fig. 18: offload-table drift repairs in place; anything else
+		// wrong with an RNIC means evacuating the host.
+		if od := in.Evidence.Offload; od != nil && len(od.Inconsistent) > 0 {
+			return KindClearOffload, true
+		}
+		return KindDrainHost, true
+	case component.ClassHostBoard, component.ClassVirtualSwitch:
+		return KindDrainHost, true
+	case component.ClassInterHostNetwork:
+		if _, ok := component.SwitchOf(in.Component); ok {
+			return KindCordonDrainSwitch, true
+		}
+		// A link with a NIC endpoint pins a host: evacuate it. A
+		// switch-switch link cordons its lower-tier endpoint.
+		if hs := component.LinkHosts(in.Component); len(hs) > 0 {
+			return KindDrainHost, true
+		}
+		if len(component.LinkSwitches(in.Component)) > 0 {
+			return KindCordonDrainSwitch, true
+		}
+		return 0, false
+	case component.ClassConfiguration:
+		if _, ok := component.HostOf(in.Component); ok {
+			return KindDrainHost, true
+		}
+		if _, ok := component.SwitchOf(in.Component); ok {
+			return KindCordonDrainSwitch, true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}

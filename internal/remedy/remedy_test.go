@@ -1,0 +1,421 @@
+// Unit tests for the remediation engine's policy table and safety
+// rails: budgets defer (never drop), oversize plans escalate, the
+// blast-radius cap bounds concurrent evacuations, cooldowns rate-limit
+// flappers, dry-run walks the same decision machine without touching
+// the effectors, and the snapshot round-trips bit-identically.
+package remedy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/incident"
+	"skeletonhunter/internal/overlay"
+)
+
+// fakeOps is a scripted effector surface that records every call.
+type fakeOps struct {
+	hosts    map[component.ID][]int // projected footprint per component
+	healthy  map[component.ID]bool  // verify verdicts (default healthy)
+	execErr  map[component.ID]error
+	executed []string
+	rolled   []string
+	notes    []string
+	repaired []component.ID
+}
+
+func newFakeOps() *fakeOps {
+	return &fakeOps{
+		hosts:   make(map[component.ID][]int),
+		healthy: make(map[component.ID]bool),
+		execErr: make(map[component.ID]error),
+	}
+}
+
+func (f *fakeOps) ops() Ops {
+	return Ops{
+		AffectedHosts: func(kind ActionKind, comp component.ID) []int { return f.hosts[comp] },
+		Execute: func(kind ActionKind, comp component.ID) (string, error) {
+			if err := f.execErr[comp]; err != nil {
+				return "", err
+			}
+			f.executed = append(f.executed, fmt.Sprintf("%s %s", kind, comp))
+			return "ok", nil
+		},
+		Rollback: func(kind ActionKind, comp component.ID, hosts []int) {
+			f.rolled = append(f.rolled, string(comp))
+		},
+		Healthy: func(comp component.ID, executedAt time.Duration) bool {
+			ok, scripted := f.healthy[comp]
+			return !scripted || ok
+		},
+		NoteAudit:    func(comp component.ID, note string) { f.notes = append(f.notes, note) },
+		NoteRepaired: func(comp component.ID, at time.Duration, how string) { f.repaired = append(f.repaired, comp) },
+	}
+}
+
+func openIncident(id string, comp component.ID) incident.Incident {
+	return incident.Incident{
+		ID:        id,
+		Component: comp,
+		Class:     component.ClassOf(comp),
+		State:     incident.Open,
+		OpenedAt:  time.Minute,
+	}
+}
+
+func TestPolicyTable(t *testing.T) {
+	drifted := openIncident("i-rnic", component.RNIC(3, 1))
+	drifted.Evidence.Offload = &overlay.OffloadDump{
+		Inconsistent: []overlay.FlowKey{{VNI: 7}},
+	}
+	cases := []struct {
+		in   incident.Incident
+		want ActionKind
+		ok   bool
+	}{
+		{openIncident("i-ctr", component.Container("t0/c1")), KindRestartContainer, true},
+		{drifted, KindClearOffload, true},
+		{openIncident("i-rnic2", component.RNIC(4, 0)), KindDrainHost, true},
+		{openIncident("i-hb", component.HostBoard(5)), KindDrainHost, true},
+		{openIncident("i-vsw", component.VSwitch(6)), KindDrainHost, true},
+		{openIncident("i-tor", component.Switch("tor/p0/r1")), KindCordonDrainSwitch, true},
+		{openIncident("i-link", component.ID("link/nic/h2/r0--tor/p0/r0")), KindDrainHost, true},
+		{openIncident("i-tr", component.ID("link/tor/p0/r0--agg/p0/a0")), KindCordonDrainSwitch, true},
+		{openIncident("i-cfg-h", component.HostConfig(7)), KindDrainHost, true},
+		{openIncident("i-cfg-s", component.SwitchConfig("agg/p1/a0")), KindCordonDrainSwitch, true},
+		{openIncident("i-cfg-x", component.ID("config/clock-skew")), 0, false},
+	}
+	for _, c := range cases {
+		kind, ok := PolicyFor(&c.in)
+		if ok != c.ok || (ok && kind != c.want) {
+			t.Errorf("PolicyFor(%s): got (%v, %v), want (%v, %v)", c.in.Component, kind, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestBudgetDefersNotDrops exceeds the per-window budget and requires
+// the overflow to queue FIFO and execute in the next window.
+func TestBudgetDefersNotDrops(t *testing.T) {
+	f := newFakeOps()
+	e := NewEngine(Config{Hosts: 16, Budget: 1, Window: 10 * time.Minute, VerifyAfter: time.Minute}, f.ops())
+	incs := []incident.Incident{
+		openIncident("i-0", component.HostBoard(0)),
+		openIncident("i-1", component.HostBoard(1)),
+	}
+	f.hosts[incs[0].Component] = []int{0}
+	f.hosts[incs[1].Component] = []int{1}
+
+	e.Tick(time.Minute, incs)
+	if got := len(f.executed); got != 1 {
+		t.Fatalf("executed %d actions in window, budget is 1", got)
+	}
+	if d, _ := e.Pending(); d != 1 {
+		t.Fatalf("deferred = %d, want 1", d)
+	}
+
+	// Still inside the window: the deferral holds, nothing is dropped.
+	e.Tick(5*time.Minute, incs)
+	if d, _ := e.Pending(); d != 1 {
+		t.Fatalf("mid-window deferred = %d, want 1", d)
+	}
+
+	// Window rolls over: the queued action runs.
+	e.Tick(10*time.Minute+time.Second, incs)
+	if got := len(f.executed); got != 2 {
+		t.Fatalf("executed %d actions after roll-over, want 2", got)
+	}
+	audit := e.Audit()
+	if audit[1].Deferrals == 0 {
+		t.Fatal("overflow action recorded no deferrals")
+	}
+}
+
+// TestBlastRadiusCap holds a second evacuation back while the first is
+// in flight, and escalates a plan that can never fit.
+func TestBlastRadiusCap(t *testing.T) {
+	f := newFakeOps()
+	// 16 hosts at 0.25 → cap 4 simultaneous evacuated hosts.
+	e := NewEngine(Config{Hosts: 16, Budget: 10, BlastRadius: 0.25, VerifyAfter: 5 * time.Minute}, f.ops())
+	a := openIncident("i-a", component.HostBoard(0))
+	b := openIncident("i-b", component.SwitchConfig("tor/p0/r0"))
+	huge := openIncident("i-c", component.SwitchConfig("spine/s0"))
+	f.hosts[a.Component] = []int{0}
+	f.hosts[b.Component] = []int{0, 1, 2, 3}
+	f.hosts[huge.Component] = []int{0, 1, 2, 3, 4, 5, 6, 7}
+
+	e.Tick(time.Minute, []incident.Incident{a, b, huge})
+	if got := len(f.executed); got != 1 {
+		t.Fatalf("executed %d, want 1 (host drain only; switch drain exceeds active cap)", got)
+	}
+	audit := e.Audit()
+	if audit[1].State != StateDeferred {
+		t.Fatalf("4-host plan state = %s, want deferred while 1 host is active", audit[1].State)
+	}
+	if audit[2].State != StateEscalated {
+		t.Fatalf("8-host plan state = %s, want escalated (can never fit cap 4)", audit[2].State)
+	}
+
+	// First drain verifies and commits; capacity frees; the deferred
+	// switch drain now fits exactly.
+	e.Tick(7*time.Minute, []incident.Incident{a, b})
+	if got := len(f.executed); got != 2 {
+		t.Fatalf("executed %d after capacity freed, want 2", got)
+	}
+}
+
+// TestCooldown blocks a re-plan on the same component until the
+// cooldown elapses, then allows it for a fresh incident.
+func TestCooldown(t *testing.T) {
+	f := newFakeOps()
+	e := NewEngine(Config{Hosts: 8, Cooldown: 30 * time.Minute, VerifyAfter: time.Minute, Budget: 10}, f.ops())
+	comp := component.HostBoard(2)
+	f.hosts[comp] = []int{2}
+
+	e.Tick(time.Minute, []incident.Incident{openIncident("i-first", comp)})
+	e.Tick(3*time.Minute, nil) // verify commits
+	if len(f.repaired) != 1 {
+		t.Fatalf("repaired %v, want one commit", f.repaired)
+	}
+
+	// A fresh incident on the same component inside the cooldown stays
+	// untouched.
+	e.Tick(10*time.Minute, []incident.Incident{openIncident("i-again", comp)})
+	if len(f.executed) != 1 {
+		t.Fatalf("executed %d, want cooldown to hold the second plan", len(f.executed))
+	}
+
+	// After the cooldown it remediates again.
+	e.Tick(40*time.Minute, []incident.Incident{openIncident("i-again", comp)})
+	if len(f.executed) != 2 {
+		t.Fatalf("executed %d after cooldown, want 2", len(f.executed))
+	}
+}
+
+// TestVerifyRollback scripts a persisting symptom: the action must
+// roll back, escalate, and not mark the incident repaired.
+func TestVerifyRollback(t *testing.T) {
+	f := newFakeOps()
+	e := NewEngine(Config{Hosts: 8, VerifyAfter: time.Minute}, f.ops())
+	comp := component.HostBoard(1)
+	f.hosts[comp] = []int{1}
+	f.healthy[comp] = false
+
+	e.Tick(time.Minute, []incident.Incident{openIncident("i-sick", comp)})
+	e.Tick(3*time.Minute, nil)
+
+	audit := e.Audit()
+	if audit[0].State != StateRolledBack {
+		t.Fatalf("state = %s, want rolled-back", audit[0].State)
+	}
+	if len(f.rolled) != 1 {
+		t.Fatalf("rollback calls = %d, want 1", len(f.rolled))
+	}
+	if len(f.repaired) != 0 {
+		t.Fatalf("NoteRepaired fired on a failed verify: %v", f.repaired)
+	}
+}
+
+// TestExecuteFailureEscalates turns an effector error into an
+// escalation with rollback, freeing the component for later plans.
+func TestExecuteFailureEscalates(t *testing.T) {
+	f := newFakeOps()
+	e := NewEngine(Config{Hosts: 8}, f.ops())
+	comp := component.HostBoard(3)
+	f.hosts[comp] = []int{3}
+	f.execErr[comp] = errors.New("no spare capacity")
+
+	e.Tick(time.Minute, []incident.Incident{openIncident("i-x", comp)})
+	audit := e.Audit()
+	if audit[0].State != StateEscalated {
+		t.Fatalf("state = %s, want escalated", audit[0].State)
+	}
+	if _, v := e.Pending(); v != 0 {
+		t.Fatalf("verifying = %d after failed execute, want 0", v)
+	}
+}
+
+// TestDryRunMatchesRealIntent runs the same incident stream through a
+// real engine and a dry-run engine: the planned intents must be
+// identical, and the dry-run must never call an effector.
+func TestDryRunMatchesRealIntent(t *testing.T) {
+	stream := []incident.Incident{
+		openIncident("i-0", component.HostBoard(0)),
+		openIncident("i-1", component.RNIC(1, 0)),
+		openIncident("i-2", component.Container("t0/c0")),
+	}
+	run := func(dry bool) ([]string, *fakeOps) {
+		f := newFakeOps()
+		f.hosts[stream[0].Component] = []int{0}
+		f.hosts[stream[1].Component] = []int{1}
+		e := NewEngine(Config{Hosts: 8, Budget: 10, VerifyAfter: time.Minute, DryRun: dry}, f.ops())
+		e.Tick(time.Minute, stream)
+		e.Tick(3*time.Minute, stream)
+		var intents []string
+		for _, a := range e.Audit() {
+			intents = append(intents, a.Intent())
+		}
+		return intents, f
+	}
+	real, realOps := run(false)
+	dry, dryOps := run(true)
+	if fmt.Sprint(real) != fmt.Sprint(dry) {
+		t.Fatalf("intent mismatch:\nreal %v\ndry  %v", real, dry)
+	}
+	if len(dryOps.executed) != 0 || len(dryOps.rolled) != 0 || len(dryOps.repaired) != 0 {
+		t.Fatalf("dry run touched effectors: exec=%v rolled=%v repaired=%v",
+			dryOps.executed, dryOps.rolled, dryOps.repaired)
+	}
+	if len(realOps.executed) != 3 {
+		t.Fatalf("real run executed %d, want 3", len(realOps.executed))
+	}
+}
+
+// TestSnapshotRoundTrip restores a snapshot into a fresh engine and
+// requires a bit-identical fingerprint and identical onward behavior.
+func TestSnapshotRoundTrip(t *testing.T) {
+	f := newFakeOps()
+	cfg := Config{Hosts: 16, Budget: 1, VerifyAfter: 5 * time.Minute}
+	e := NewEngine(cfg, f.ops())
+	incs := []incident.Incident{
+		openIncident("i-0", component.HostBoard(0)),
+		openIncident("i-1", component.HostBoard(1)),
+	}
+	f.hosts[incs[0].Component] = []int{0}
+	f.hosts[incs[1].Component] = []int{1}
+	e.Tick(time.Minute, incs) // one verifying, one deferred
+
+	snap := e.Snapshot()
+	if snap.Version != SnapshotVersion {
+		t.Fatalf("snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+
+	f2 := newFakeOps()
+	f2.hosts = f.hosts
+	e2 := NewEngine(cfg, f2.ops())
+	if err := e2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fingerprint() != e2.Fingerprint() {
+		t.Fatal("fingerprint diverged across snapshot/restore")
+	}
+	d1, v1 := e.Pending()
+	d2, v2 := e2.Pending()
+	if d1 != d2 || v1 != v2 {
+		t.Fatalf("pending diverged: (%d,%d) vs (%d,%d)", d1, v1, d2, v2)
+	}
+
+	// Both engines continue identically: verify commits, deferral runs
+	// in the next window.
+	e.Tick(11*time.Minute, incs)
+	e2.Tick(11*time.Minute, incs)
+	if e.Fingerprint() != e2.Fingerprint() {
+		t.Fatal("fingerprint diverged after post-restore tick")
+	}
+
+	bad := snap
+	bad.Version = 99
+	if err := e2.Restore(bad); err == nil {
+		t.Fatal("restore accepted an unknown snapshot version")
+	}
+}
+
+// TestCrashClearsState models the controller dying: the ledger is
+// empty until a restore brings it back.
+func TestCrashClearsState(t *testing.T) {
+	f := newFakeOps()
+	e := NewEngine(Config{Hosts: 8}, f.ops())
+	f.hosts[component.HostBoard(0)] = []int{0}
+	e.Tick(time.Minute, []incident.Incident{openIncident("i-0", component.HostBoard(0))})
+	snap := e.Snapshot()
+
+	e.Crash()
+	if len(e.Audit()) != 0 {
+		t.Fatal("audit survived a crash")
+	}
+	if err := e.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Audit()) != 1 {
+		t.Fatal("restore did not bring the ledger back")
+	}
+}
+
+// TestKindStateStringsAndConfig pins the audit-facing labels —
+// including the out-of-range fallbacks a corrupt snapshot could
+// surface — and the defaulted configuration the engine reports.
+func TestKindStateStringsAndConfig(t *testing.T) {
+	kinds := map[ActionKind]string{
+		KindRestartContainer:  "restart-container",
+		KindDrainHost:         "drain-host",
+		KindCordonDrainSwitch: "cordon-drain-switch",
+		KindClearOffload:      "clear-offload",
+		ActionKind(99):        "kind(99)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	states := map[ActionState]string{
+		StatePlanned:    "planned",
+		StateDeferred:   "deferred",
+		StateVerifying:  "verifying",
+		StateCommitted:  "committed",
+		StateRolledBack: "rolled-back",
+		StateEscalated:  "escalated",
+		ActionState(99): "state(99)",
+	}
+	for s, want := range states {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+
+	e := NewEngine(Config{Hosts: 16}, Ops{})
+	cfg := e.Config()
+	if cfg.Budget != 4 || cfg.Window != 10*time.Minute || cfg.BlastRadius != 0.25 ||
+		cfg.Cooldown != 10*time.Minute || cfg.VerifyAfter != 2*time.Minute {
+		t.Fatalf("defaulted config = %+v", cfg)
+	}
+}
+
+// TestSnapshotCarriesDoneAndCooldowns drives an engine through a full
+// commit so the snapshot's done-set and cooldown walk (derived from
+// the ledger in first-plan order) is exercised, then restores into a
+// fresh engine and requires bit-identical fingerprints and an intact
+// cooldown: the restored engine must not re-plan the repaired work.
+func TestSnapshotCarriesDoneAndCooldowns(t *testing.T) {
+	f := newFakeOps()
+	cfg := Config{Hosts: 16, Budget: 4, Window: 10 * time.Minute, VerifyAfter: time.Minute, Cooldown: time.Hour}
+	e := NewEngine(cfg, f.ops())
+	inc := openIncident("i-0", component.HostBoard(2))
+	f.hosts[inc.Component] = []int{2}
+	e.Tick(time.Minute, []incident.Incident{inc})
+	e.Tick(3*time.Minute, []incident.Incident{inc}) // verify deadline passed → committed
+
+	s := e.Snapshot()
+	if len(s.Done) != 1 || len(s.Cooldowns) != 1 {
+		t.Fatalf("snapshot done=%v cooldowns=%v, want one of each", s.Done, s.Cooldowns)
+	}
+	if s.Cooldowns[0].Component != inc.Component || s.Cooldowns[0].Until != 3*time.Minute+time.Hour {
+		t.Fatalf("cooldown = %+v", s.Cooldowns[0])
+	}
+
+	r := NewEngine(cfg, f.ops())
+	if err := r.Restore(s); err != nil {
+		t.Fatal(err)
+	}
+	if r.Fingerprint() != e.Fingerprint() {
+		t.Fatal("restored engine fingerprint diverged")
+	}
+	// The restored done-set suppresses a re-plan of the same incident.
+	before := len(f.executed)
+	r.Tick(4*time.Minute, []incident.Incident{inc})
+	if len(f.executed) != before {
+		t.Fatal("restored engine re-executed a committed repair")
+	}
+}

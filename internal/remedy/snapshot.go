@@ -1,0 +1,143 @@
+// Checkpoint/restore for the remediation plane. The audit ledger is
+// the durable artifact: it is both the operator-facing record of what
+// the system did to the cluster and the engine's own working state
+// (in-flight verifies, deferred queue, cooldowns, budget usage are
+// all derivable from or stored beside it). Versioning it into the
+// deployment checkpoint makes healing survive a controller crash
+// bit-identically — a restored engine re-checks pending verifies at
+// its next tick because deadlines are data, not timers.
+package remedy
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"skeletonhunter/internal/component"
+)
+
+// SnapshotVersion is the remedy snapshot format version.
+const SnapshotVersion = 1
+
+// Snapshot is the engine's serializable state.
+type Snapshot struct {
+	Version     int
+	Seq         int
+	Audit       []Action
+	Deferred    []int // action IDs, FIFO order
+	Done        []string
+	Cooldowns   []Cooldown
+	WindowStart time.Duration
+	WindowUsed  int
+}
+
+// Cooldown is one per-component cooldown deadline.
+type Cooldown struct {
+	Component component.ID
+	Until     time.Duration
+}
+
+// Snapshot deep-copies the engine's state. Map-backed fields
+// serialize in deterministic (audit-derived or sorted) order so equal
+// states snapshot equal.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		Version:     SnapshotVersion,
+		Seq:         e.seq,
+		Audit:       make([]Action, len(e.audit)),
+		Deferred:    append([]int(nil), e.deferred...),
+		WindowStart: e.windowStart,
+		WindowUsed:  e.windowUsed,
+	}
+	for i, a := range e.audit {
+		s.Audit[i] = a.clone()
+	}
+	// done and cooldowns persist in first-plan order by walking the
+	// ledger, which is deterministic where map iteration is not.
+	seenDone := make(map[string]bool, len(e.done))
+	seenCool := make(map[component.ID]bool, len(e.cooldownUntil))
+	for _, a := range e.audit {
+		if k := doneKey(a.Incident, a.Component); e.done[k] && !seenDone[k] {
+			seenDone[k] = true
+			s.Done = append(s.Done, k)
+		}
+		if until, ok := e.cooldownUntil[a.Component]; ok && !seenCool[a.Component] {
+			seenCool[a.Component] = true
+			s.Cooldowns = append(s.Cooldowns, Cooldown{Component: a.Component, Until: until})
+		}
+	}
+	return s
+}
+
+// Restore replaces the engine's state with a snapshot's. In-flight
+// tracking (one action per component) and blast-radius occupancy
+// rebuild from the ledger rather than being stored.
+func (e *Engine) Restore(s Snapshot) error {
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("remedy: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	e.seq = s.Seq
+	e.windowStart = s.WindowStart
+	e.windowUsed = s.WindowUsed
+	e.audit = make([]*Action, len(s.Audit))
+	e.byComp = make(map[component.ID]*Action)
+	e.activeHosts = 0
+	for i := range s.Audit {
+		a := s.Audit[i].clone()
+		e.audit[i] = &a
+		switch a.State {
+		case StatePlanned, StateDeferred, StateVerifying:
+			e.byComp[a.Component] = &a
+		}
+		if a.State == StateVerifying {
+			e.activeHosts += len(a.Hosts)
+		}
+	}
+	e.deferred = append([]int(nil), s.Deferred...)
+	e.done = make(map[string]bool, len(s.Done))
+	for _, k := range s.Done {
+		e.done[k] = true
+	}
+	e.cooldownUntil = make(map[component.ID]time.Duration, len(s.Cooldowns))
+	for _, c := range s.Cooldowns {
+		e.cooldownUntil[c.Component] = c.Until
+	}
+	return nil
+}
+
+// Crash models the remediation plane dying with its controller: the
+// ledger, queues and rails are lost until a checkpoint restores them.
+// Cluster-side effects of already-executed actions (cordons, migrated
+// containers) survive — they are infrastructure state, not controller
+// state — and re-executing a restored pre-crash plan against them is
+// idempotent.
+func (e *Engine) Crash() {
+	e.seq = 0
+	e.audit = nil
+	e.byComp = make(map[component.ID]*Action)
+	e.done = make(map[string]bool)
+	e.cooldownUntil = make(map[component.ID]time.Duration)
+	e.deferred = nil
+	e.windowStart = 0
+	e.windowUsed = 0
+	e.activeHosts = 0
+}
+
+// Fingerprint digests the remediation history into a stable hash:
+// equal ledgers — plans, rails decisions, outcomes, timing — hash
+// equal. The deployment folds this into its determinism probe.
+func (e *Engine) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "w %d %d\n", e.windowStart, e.windowUsed)
+	for _, a := range e.audit {
+		fmt.Fprintf(h, "act %d %s %s %s %v %d %d %d %d %s %t %d %q\n",
+			a.ID, a.Kind, a.Component, a.Incident, a.Hosts,
+			a.PlannedAt, a.ExecutedAt, a.VerifyAt, a.ResolvedAt,
+			a.State, a.DryRun, a.Deferrals, a.Detail)
+	}
+	for _, id := range e.deferred {
+		fmt.Fprintf(h, "def %d\n", id)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -683,6 +683,46 @@ func (f *Fabric) SwitchNodes() []NodeID {
 	return out
 }
 
+// HostsUnder returns the hosts whose traffic traverses a switch, in
+// ascending order: the pod's hosts for a ToR or aggregation switch,
+// every host for a spine. Unknown nodes return nil. Remediation uses
+// this to bound the blast radius of a cordon+drain.
+func (f *Fabric) HostsUnder(n NodeID) []int {
+	s := string(n)
+	var p, x int
+	switch {
+	case len(s) > 4 && s[:4] == "tor/":
+		if c, err := fmt.Sscanf(s, "tor/p%d/r%d", &p, &x); err != nil || c != 2 {
+			return nil
+		}
+	case len(s) > 4 && s[:4] == "agg/":
+		if c, err := fmt.Sscanf(s, "agg/p%d/a%d", &p, &x); err != nil || c != 2 {
+			return nil
+		}
+	case len(s) > 6 && s[:6] == "spine/":
+		out := make([]int, f.hosts)
+		for h := range out {
+			out[h] = h
+		}
+		return out
+	default:
+		return nil
+	}
+	if p < 0 || p >= f.Spec.Pods {
+		return nil
+	}
+	lo := p * f.Spec.HostsPerPod
+	hi := lo + f.Spec.HostsPerPod
+	if hi > f.hosts {
+		hi = f.hosts
+	}
+	out := make([]int, 0, hi-lo)
+	for h := lo; h < hi; h++ {
+		out = append(out, h)
+	}
+	return out
+}
+
 // LinksOfNode returns all links incident to a node.
 func (f *Fabric) LinksOfNode(n NodeID) []LinkID {
 	var out []LinkID
