@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-api bench-ci bench-remedy bench-all cover smoke fuzz
+.PHONY: all build test race vet fmt-check bench bench-api bench-ci bench-correlate bench-remedy bench-all cover smoke fuzz
 
 all: build vet test
 
@@ -54,6 +54,15 @@ bench-ci:
 	$(GO) test -run xxx -bench IncidentCorrelator -benchmem ./internal/incident | tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -o BENCH_incident.json
 	GOGC=50 $(GO) run ./cmd/scalebench -short -gate2x -o BENCH_scale.json
+	GOGC=50 $(GO) run ./cmd/scalebench -short -gate2x -campaign gray -o BENCH_scale_gray.json
+
+# Second-layer gray-failure detection benchmark: the same seeded
+# campaign run with and without internal/correlate armed, scored
+# localization-strict against a mixed gray + hard fault schedule.
+# Fails unless the correlate arm strictly improves gray-fault recall
+# without degrading hard-fault recall or alarm precision.
+bench-correlate:
+	$(GO) run ./cmd/correlatebench -o BENCH_correlate.json
 
 # Read-plane serving campaign: 100K simulated clients replaying a
 # zipfian conditional-GET + watch mix against the incident API

@@ -1,0 +1,421 @@
+// Command correlatebench scores the second-layer gray-failure detector
+// (internal/correlate) against the first layer it augments. It runs the
+// same seeded campaign twice — once with only the threshold/outlier
+// detector (the "off" arm) and once with the correlate layer armed (the
+// "on" arm) — against a fault schedule mixing gray degradations
+// (ramped congestion, sub-threshold RTT inflation, a blinking link)
+// with the hard failures the first layer is tuned for.
+//
+// Scoring is localization-strict: an injection counts as caught only
+// when some alarm names one of its ground-truth components inside its
+// active window. Alarm-level precision uses the active-window rule of
+// internal/metrics: an alarm is a true positive iff any injection was
+// active when it fired.
+//
+// The command writes BENCH_correlate.json and enforces the acceptance
+// gate: the on arm must strictly improve gray recall without degrading
+// hard-fault recall or overall precision. A failed gate exits nonzero,
+// so CI treats a regressing correlate layer like any failing test.
+//
+// Usage:
+//
+//	correlatebench [-hosts 64] [-seed 7] [-o BENCH_correlate.json] [-v]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"skeletonhunter/internal/analyzer"
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/correlate"
+	"skeletonhunter/internal/detect"
+	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/hunter"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/topology"
+)
+
+// Campaign timeline (simulated): calibrate the detectors, inject the
+// schedule, then measure. Analysis ticks every 10 s, so the measure
+// phase spans ~24 correlate rounds — enough for drift accumulation and
+// chain support without letting the ramp grow into a hard failure.
+const (
+	analysisInterval = 10 * time.Second
+	warmupSim        = 5 * time.Minute
+	measureSim       = 4 * time.Minute
+)
+
+// Report is the bench's JSON output.
+type Report struct {
+	Config   ConfigInfo `json:"config"`
+	Off      ArmReport  `json:"off"`
+	On       ArmReport  `json:"on"`
+	Gate     GateInfo   `json:"gate"`
+	Finished string     `json:"finished"`
+}
+
+type ConfigInfo struct {
+	Hosts          int     `json:"hosts"`
+	Seed           int64   `json:"seed"`
+	WarmupSeconds  float64 `json:"warmup_sim_seconds"`
+	MeasureSeconds float64 `json:"measure_sim_seconds"`
+	GrayFaults     int     `json:"gray_faults"`
+	HardFaults     int     `json:"hard_faults"`
+}
+
+// ArmReport scores one campaign arm.
+type ArmReport struct {
+	Name           string             `json:"name"`
+	HardAlarms     int                `json:"hard_alarms"`
+	GrayAlarms     int                `json:"gray_alarms"`
+	GraySuppressed int                `json:"gray_suppressed"`
+	ChainsEmitted  int                `json:"chains_emitted"`
+	GrayRecall     float64            `json:"gray_recall"`
+	HardRecall     float64            `json:"hard_recall"`
+	Precision      float64            `json:"precision"`
+	MeanGrayTTDSec float64            `json:"mean_gray_ttd_seconds,omitempty"`
+	Injections     []InjectionOutcome `json:"injections"`
+}
+
+// InjectionOutcome is one scheduled fault's scored fate in an arm.
+type InjectionOutcome struct {
+	Name       string  `json:"name"`
+	Gray       bool    `json:"gray"`
+	Component  string  `json:"component"`
+	Caught     bool    `json:"caught"`
+	CaughtBy   string  `json:"caught_by,omitempty"` // "detect", "correlate", or "both"
+	LatencySec float64 `json:"latency_seconds,omitempty"`
+}
+
+type GateInfo struct {
+	Passed bool   `json:"passed"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func fastestLag() cluster.LagModel {
+	return cluster.LagModel{
+		CreateLag:    func(*rand.Rand, int) time.Duration { return 0 },
+		StartupDelay: func(*rand.Rand) time.Duration { return time.Second },
+		StopLag:      func(*rand.Rand) time.Duration { return 0 },
+	}
+}
+
+func main() {
+	hosts := flag.Int("hosts", 64, "physical hosts in the fabric")
+	seed := flag.Int64("seed", 7, "simulation seed (both arms share it)")
+	out := flag.String("o", "BENCH_correlate.json", "report output path")
+	verbose := flag.Bool("v", false, "print campaign progress")
+	flag.Parse()
+
+	rep, err := runBench(*hosts, *seed, *verbose)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "correlatebench:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "correlatebench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "correlatebench:", err)
+		os.Exit(1)
+	}
+	for _, arm := range []*ArmReport{&rep.Off, &rep.On} {
+		fmt.Printf("correlatebench: %-3s gray recall %.2f, hard recall %.2f, precision %.2f (%d hard + %d gray alarms)\n",
+			arm.Name, arm.GrayRecall, arm.HardRecall, arm.Precision, arm.HardAlarms, arm.GrayAlarms)
+	}
+	fmt.Printf("correlatebench: → %s\n", *out)
+	if !rep.Gate.Passed {
+		fmt.Fprintln(os.Stderr, "correlatebench: FAIL:", rep.Gate.Reason)
+		os.Exit(1)
+	}
+	fmt.Println("correlatebench: gate passed (gray recall strictly improved, nothing degraded)")
+}
+
+func runBench(hosts int, seed int64, verbose bool) (*Report, error) {
+	off, err := runArm(hosts, seed, false, verbose)
+	if err != nil {
+		return nil, fmt.Errorf("off arm: %w", err)
+	}
+	on, err := runArm(hosts, seed, true, verbose)
+	if err != nil {
+		return nil, fmt.Errorf("on arm: %w", err)
+	}
+	grays, hards := 0, 0
+	for _, io := range on.Injections {
+		if io.Gray {
+			grays++
+		} else {
+			hards++
+		}
+	}
+	rep := &Report{
+		Config: ConfigInfo{
+			Hosts: hosts, Seed: seed,
+			WarmupSeconds:  warmupSim.Seconds(),
+			MeasureSeconds: measureSim.Seconds(),
+			GrayFaults:     grays, HardFaults: hards,
+		},
+		Off:      *off,
+		On:       *on,
+		Finished: time.Now().UTC().Format(time.RFC3339),
+	}
+	rep.Gate = gate(off, on)
+	return rep, nil
+}
+
+// gate encodes the acceptance criterion: the correlate layer must buy
+// gray coverage and cost nothing — no lost hard-fault coverage, no
+// precision drop from its extra alarms.
+func gate(off, on *ArmReport) GateInfo {
+	switch {
+	case on.GrayRecall <= off.GrayRecall:
+		return GateInfo{Reason: fmt.Sprintf(
+			"gray recall did not improve: on %.2f vs off %.2f", on.GrayRecall, off.GrayRecall)}
+	case on.HardRecall < off.HardRecall:
+		return GateInfo{Reason: fmt.Sprintf(
+			"hard recall degraded: on %.2f vs off %.2f", on.HardRecall, off.HardRecall)}
+	case on.Precision < off.Precision:
+		return GateInfo{Reason: fmt.Sprintf(
+			"precision degraded: on %.2f vs off %.2f", on.Precision, off.Precision)}
+	}
+	return GateInfo{Passed: true}
+}
+
+// scheduled pairs an injection with the component IDs an alarm may
+// legitimately name for it. The accept set is wider than the ground
+// truth where layers attribute differently: a queue change-point names
+// the switch while the injector blames its config; a link blink is
+// correctly pinned by naming the link or the RNIC behind it.
+type scheduled struct {
+	in     *faults.Injection
+	accept map[component.ID]bool
+}
+
+func schedule(d *hunter.Deployment, hosts int) ([]scheduled, error) {
+	var out []scheduled
+	add := func(in *faults.Injection, err error, extra ...component.ID) error {
+		if err != nil {
+			return err
+		}
+		acc := make(map[component.ID]bool)
+		for _, c := range in.Components {
+			acc[c] = true
+		}
+		for _, c := range extra {
+			acc[c] = true
+		}
+		out = append(out, scheduled{in: in, accept: acc})
+		return nil
+	}
+
+	// Gray faults: a ramped ToR, a subtly slow RNIC, a blinking link.
+	tor := d.Fabric.ToR(0, 1)
+	in, err := d.Injector.InjectGray(faults.GrayCongestionDroop, faults.Target{Switch: tor})
+	if err := add(in, err, component.Switch(tor)); err != nil {
+		return nil, err
+	}
+	in, err = d.Injector.InjectGray(faults.GrayPartialRTT, faults.Target{Host: hosts / 4, Rail: 2})
+	if err := add(in, err); err != nil {
+		return nil, err
+	}
+	flapNIC := topology.NIC{Host: hosts / 2, Rail: 0}
+	flapLink := topology.MakeLinkID(flapNIC.ID(), d.Fabric.ToR(d.Fabric.PodOf(flapNIC.Host), 0))
+	in, err = d.Injector.InjectGray(faults.GrayFlappingLink, faults.Target{Link: flapLink})
+	if err := add(in, err, component.RNIC(flapNIC.Host, flapNIC.Rail)); err != nil {
+		return nil, err
+	}
+
+	// Hard faults: the first layer's bread and butter — the gate checks
+	// the correlate layer does not erode their coverage.
+	in, err = d.Injector.Inject(faults.RNICPortDown, faults.Target{Host: hosts - 2, Rail: 4})
+	if err := add(in, err); err != nil {
+		return nil, err
+	}
+	downNIC := topology.NIC{Host: hosts - 5, Rail: 6}
+	downLink := topology.MakeLinkID(downNIC.ID(), d.Fabric.ToR(d.Fabric.PodOf(downNIC.Host), 6))
+	in, err = d.Injector.Inject(faults.SwitchPortDown, faults.Target{Link: downLink})
+	if err := add(in, err, component.RNIC(downNIC.Host, downNIC.Rail)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func runArm(hosts int, seed int64, withCorrelate, verbose bool) (*ArmReport, error) {
+	opts := hunter.Options{
+		Seed:             seed,
+		Spec:             topology.Production(hosts),
+		Lag:              fastestLag(),
+		Workers:          4,
+		Detect:           detect.Config{ShortWindow: analysisInterval},
+		AnalysisInterval: analysisInterval,
+	}
+	if withCorrelate {
+		opts.Correlate = &correlate.Config{}
+	}
+	d, err := hunter.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	var grayEvents []correlate.Alarm
+	d.OnGray = func(al correlate.Alarm) { grayEvents = append(grayEvents, al) }
+
+	par := parallelism.Config{TP: 8, PP: 2, DP: 2} // 4-host tenants
+	tasks := 0
+	for {
+		if _, err := d.SubmitTask(cluster.TaskSpec{Par: par}); err != nil {
+			if errors.Is(err, cluster.ErrNoCapacity) {
+				break
+			}
+			return nil, err
+		}
+		tasks++
+	}
+	if tasks == 0 {
+		return nil, fmt.Errorf("fleet of %d hosts fits no 4-host task", hosts)
+	}
+	d.Run(warmupSim)
+
+	sched, err := schedule(d, hosts)
+	if err != nil {
+		return nil, err
+	}
+	d.Run(measureSim)
+	d.Analyzer.Flush(d.Engine.Now())
+
+	name := "off"
+	if withCorrelate {
+		name = "on"
+	}
+	arm := &ArmReport{Name: name, HardAlarms: len(d.Analyzer.Alarms())}
+	if d.Correlate != nil {
+		alarms, suppressed, chains := d.Correlate.Counts()
+		arm.GrayAlarms = alarms
+		arm.GraySuppressed = suppressed
+		arm.ChainsEmitted = chains
+	}
+	score(arm, sched, d.Analyzer.Alarms(), grayEvents)
+	if verbose {
+		fmt.Printf("arm %s: %d tasks, %d hard alarms, %d gray alarms\n",
+			name, tasks, arm.HardAlarms, arm.GrayAlarms)
+	}
+	return arm, nil
+}
+
+// score fills the arm's recall and precision from the schedule: recall
+// is localization-strict (the alarm must name an accepted component),
+// precision is active-window (any live injection makes an alarm a TP).
+func score(arm *ArmReport, sched []scheduled, hard []analyzer.Alarm, gray []correlate.Alarm) {
+	activeAt := func(in *faults.Injection, at time.Duration) bool {
+		if at < in.At {
+			return false
+		}
+		return !in.Cleared || at <= in.ClearedAt
+	}
+
+	tp, total := 0, 0
+	countAlarm := func(at time.Duration) {
+		total++
+		for _, s := range sched {
+			if activeAt(s.in, at) {
+				tp++
+				return
+			}
+		}
+	}
+	for _, a := range hard {
+		countAlarm(a.At)
+	}
+	seen := map[int]bool{}
+	for _, al := range gray {
+		// OnGray re-delivers an alarm every round it changes; precision
+		// counts each minted alarm once, at its first anomaly time.
+		if seen[al.Seq] {
+			continue
+		}
+		seen[al.Seq] = true
+		countAlarm(al.At)
+	}
+	arm.Precision = 1
+	if total > 0 {
+		arm.Precision = float64(tp) / float64(total)
+	}
+
+	grayTotal, grayCaught, hardTotal, hardCaught := 0, 0, 0, 0
+	var ttdSum time.Duration
+	for _, s := range sched {
+		io := InjectionOutcome{
+			Name:      s.in.Info.Name,
+			Gray:      s.in.IsGray(),
+			Component: string(s.in.Components[0]),
+		}
+		first := time.Duration(-1)
+		byDetect, byCorrelate := false, false
+		for _, a := range hard {
+			if !activeAt(s.in, a.At) {
+				continue
+			}
+			for _, c := range a.Components() {
+				if s.accept[c] {
+					byDetect = true
+					if first < 0 || a.At < first {
+						first = a.At
+					}
+					break
+				}
+			}
+		}
+		for _, al := range gray {
+			if !s.accept[al.Component] || !activeAt(s.in, al.At) {
+				continue
+			}
+			byCorrelate = true
+			if first < 0 || al.At < first {
+				first = al.At
+			}
+		}
+		io.Caught = byDetect || byCorrelate
+		switch {
+		case byDetect && byCorrelate:
+			io.CaughtBy = "both"
+		case byDetect:
+			io.CaughtBy = "detect"
+		case byCorrelate:
+			io.CaughtBy = "correlate"
+		}
+		if io.Caught {
+			io.LatencySec = (first - s.in.At).Seconds()
+		}
+		if io.Gray {
+			grayTotal++
+			if io.Caught {
+				grayCaught++
+				ttdSum += first - s.in.At
+			}
+		} else {
+			hardTotal++
+			if io.Caught {
+				hardCaught++
+			}
+		}
+		arm.Injections = append(arm.Injections, io)
+	}
+	if grayTotal > 0 {
+		arm.GrayRecall = float64(grayCaught) / float64(grayTotal)
+	}
+	if hardTotal > 0 {
+		arm.HardRecall = float64(hardCaught) / float64(hardTotal)
+	}
+	if grayCaught > 0 {
+		arm.MeanGrayTTDSec = (ttdSum / time.Duration(grayCaught)).Seconds()
+	}
+}

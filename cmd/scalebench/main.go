@@ -13,16 +13,22 @@
 // course vary with the machine; the campaign outcome does not.
 //
 // The -campaign flag selects the variant: "probe" (the default,
-// detection only) or "heal", which arms the remediation plane and —
+// detection only), "heal", which arms the remediation plane and —
 // after the measured rounds — runs a settle phase so planned repairs
-// execute and their verify windows commit. In heal mode the outcome
-// carries repaired-incident and remedy-action counts, the remedy
-// ledger folds into the cross-worker fingerprint check, and -gate2x
-// additionally fails the run if no incident was actually healed.
+// execute and their verify windows commit, or "gray", which arms the
+// second-layer correlate detector and injects gray degradations
+// (a ramped ToR and a subtly slow RNIC) alongside the hard faults. In
+// heal mode the outcome carries repaired-incident and remedy-action
+// counts and -gate2x additionally fails the run if no incident was
+// actually healed; in gray mode the outcome carries correlate alarm,
+// suppression, and causal-chain counts, and -gate2x fails the run
+// unless at least one gray alarm was raised and one duplicate was
+// suppressed. Either way the extra plane's ledger folds into the
+// cross-worker fingerprint check.
 //
 // Usage:
 //
-//	scalebench [-hosts 4096] [-rounds 30] [-workers 1,4,16] [-campaign heal] [-short] [-o BENCH_scale.json]
+//	scalebench [-hosts 4096] [-rounds 30] [-workers 1,4,16] [-campaign heal|gray] [-short] [-o BENCH_scale.json]
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/correlate"
 	"skeletonhunter/internal/detect"
 	"skeletonhunter/internal/faults"
 	"skeletonhunter/internal/hunter"
@@ -116,6 +123,10 @@ type OutcomeInfo struct {
 	Repaired        int `json:"incidents_repaired,omitempty"`
 	RemedyCommitted int `json:"remedy_committed,omitempty"`
 	RemedyEscalated int `json:"remedy_escalated,omitempty"`
+	// Gray-campaign fields: zero (and omitted) unless -campaign gray.
+	GrayAlarms     int `json:"gray_alarms,omitempty"`
+	GraySuppressed int `json:"gray_suppressed,omitempty"`
+	ChainsEmitted  int `json:"chains_emitted,omitempty"`
 }
 
 // fastestLag removes the minutes-scale container lifecycle delays of
@@ -162,9 +173,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scalebench:", err)
 		os.Exit(2)
 	}
-	if *campaign != "probe" && *campaign != "heal" {
-		fmt.Fprintf(os.Stderr, "scalebench: bad -campaign %q (want probe or heal)\n", *campaign)
+	if *campaign != "probe" && *campaign != "heal" && *campaign != "gray" {
+		fmt.Fprintf(os.Stderr, "scalebench: bad -campaign %q (want probe, heal, or gray)\n", *campaign)
 		os.Exit(2)
+	}
+	if *campaign == "gray" {
+		// The correlate layer folds at the 10 s analysis cadence, so the
+		// 1 s probing rounds above are too few for its warmup to elapse:
+		// stretch the campaign unless the caller pinned the knobs.
+		if !explicit["warmup"] {
+			*warmup = 120
+		}
+		if !explicit["rounds"] {
+			*rounds = 60
+		}
 	}
 
 	rep, err := runMatrix(*hosts, *rounds, *warmup, *seed, workers, mode, *campaign, *verbose)
@@ -190,6 +212,10 @@ func main() {
 		fmt.Printf("scalebench: heal campaign: %d incidents repaired, %d actions committed, %d escalated\n",
 			rep.Outcome.Repaired, rep.Outcome.RemedyCommitted, rep.Outcome.RemedyEscalated)
 	}
+	if *campaign == "gray" {
+		fmt.Printf("scalebench: gray campaign: %d correlate alarms, %d suppressed, %d chains\n",
+			rep.Outcome.GrayAlarms, rep.Outcome.GraySuppressed, rep.Outcome.ChainsEmitted)
+	}
 	fmt.Printf("scalebench: %d hosts, deterministic=%v → %s\n", rep.Config.Hosts, rep.Deterministic, *out)
 
 	if !rep.Deterministic {
@@ -201,7 +227,24 @@ func main() {
 		if *campaign == "heal" {
 			gateHealed(rep)
 		}
+		if *campaign == "gray" {
+			gateGray(rep)
+		}
 	}
+}
+
+// gateGray is the gray campaign's acceptance floor under -gate2x: the
+// correlate layer must have raised at least one change-point alarm and
+// deduplicated at least one repeat — a campaign where the second layer
+// saw nothing (or never had to suppress) proves nothing.
+func gateGray(rep *Report) {
+	if rep.Outcome.GrayAlarms < 1 || rep.Outcome.GraySuppressed < 1 {
+		fmt.Fprintf(os.Stderr, "scalebench: FAIL: gray campaign raised %d correlate alarms (%d suppressed), want ≥1 of each\n",
+			rep.Outcome.GrayAlarms, rep.Outcome.GraySuppressed)
+		os.Exit(1)
+	}
+	fmt.Printf("scalebench: gray gate passed (%d alarms, %d suppressed, %d chains)\n",
+		rep.Outcome.GrayAlarms, rep.Outcome.GraySuppressed, rep.Outcome.ChainsEmitted)
 }
 
 // gateHealed is the heal campaign's acceptance floor under -gate2x:
@@ -277,7 +320,7 @@ func runMatrix(hosts, rounds, warmup int, seed int64, workers []int, mode, campa
 		Deterministic: true,
 	}
 	for _, w := range workers {
-		wp, fleet, outcome, err := run(hosts, rounds, warmup, seed, w, campaign == "heal", verbose)
+		wp, fleet, outcome, err := run(hosts, rounds, warmup, seed, w, campaign, verbose)
 		if err != nil {
 			return nil, err
 		}
@@ -303,7 +346,8 @@ func runMatrix(hosts, rounds, warmup int, seed int64, workers []int, mode, campa
 	return rep, nil
 }
 
-func run(hosts, rounds, warmup int, seed int64, workers int, heal, verbose bool) (*WorkerPerf, *FleetInfo, *OutcomeInfo, error) {
+func run(hosts, rounds, warmup int, seed int64, workers int, campaign string, verbose bool) (*WorkerPerf, *FleetInfo, *OutcomeInfo, error) {
+	heal, gray := campaign == "heal", campaign == "gray"
 	spec := topology.Production(hosts)
 	opts := hunter.Options{
 		Seed:    seed,
@@ -320,6 +364,12 @@ func run(hosts, rounds, warmup int, seed int64, workers int, heal, verbose bool)
 		// phase short: repairs planned during the measured rounds commit
 		// within the two simulated minutes run after the clock stops.
 		opts.Remedy = &remedy.Config{VerifyAfter: 30 * time.Second}
+	}
+	if gray {
+		// A short calibration window: the stretched warmup above gives
+		// the correlator ~12 analysis rounds, and the measured phase must
+		// leave room for alarms to mint and repeats to be suppressed.
+		opts.Correlate = &correlate.Config{Warmup: 6}
 	}
 	d, err := hunter.New(opts)
 	if err != nil {
@@ -363,6 +413,17 @@ func run(hosts, rounds, warmup int, seed int64, workers int, heal, verbose bool)
 	}
 	if _, err := d.Injector.Inject(faults.SwitchOffline, faults.Target{Switch: d.Fabric.Agg(0, 1)}); err != nil {
 		return nil, nil, nil, err
+	}
+	if gray {
+		// Gray degradations on top of the hard faults: a ToR whose
+		// latency ramps from zero and an RNIC a few µs slow — signals
+		// only the correlate layer is built to surface.
+		if _, err := d.Injector.InjectGray(faults.GrayCongestionDroop, faults.Target{Switch: d.Fabric.ToR(0, 1)}); err != nil {
+			return nil, nil, nil, err
+		}
+		if _, err := d.Injector.InjectGray(faults.GrayPartialRTT, faults.Target{Host: hosts / 4, Rail: 2}); err != nil {
+			return nil, nil, nil, err
+		}
 	}
 
 	before := d.Stats().Counters
@@ -422,6 +483,9 @@ func run(hosts, rounds, warmup int, seed int64, workers int, heal, verbose bool)
 		Incidents:   incidents,
 		ProbesSent:  after[obs.ProbesSent.String()],
 		RecordsSeen: after[obs.RecordsIngested.String()],
+	}
+	if d.Correlate != nil {
+		outcome.GrayAlarms, outcome.GraySuppressed, outcome.ChainsEmitted = d.Correlate.Counts()
 	}
 	if d.Remedy != nil {
 		outcome.Repaired = int(after[obs.IncidentsRepaired.String()])

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/correlate"
 	"skeletonhunter/internal/faults"
 	"skeletonhunter/internal/hunter"
 	"skeletonhunter/internal/metrics"
@@ -54,6 +55,8 @@ func main() {
 	remedyBudget := flag.Int("remedy-budget", 4, "max remediation actions per budget window")
 	remedyWindow := flag.Duration("remedy-window", 10*time.Minute, "remediation budget window")
 	remedyBlast := flag.Float64("remedy-blast", 0.25, "max fraction of hosts simultaneously under remediation")
+	correlateOn := flag.Bool("correlate", false, "arm the second-layer gray-failure detector (CUSUM change-points, alarm dedup, lead-lag causal chains)")
+	gray := flag.String("gray", "", `inject a gray failure: "droop" (ramped ToR congestion), "partial" (subtle RNIC latency), or "flap" (blinking link); implies -correlate`)
 	flag.Parse()
 
 	cfg := runConfig{
@@ -76,6 +79,8 @@ func main() {
 		crashDown:    *crashDown,
 		ckptInterval: *ckptInterval,
 		httpAddr:     *httpAddr,
+		correlate:    *correlateOn || *gray != "",
+		gray:         *gray,
 	}
 	if *remedyOn || *remedyDry {
 		cfg.remedy = &remedy.Config{
@@ -106,6 +111,8 @@ type runConfig struct {
 	ckptInterval time.Duration
 	httpAddr     string
 	remedy       *remedy.Config
+	correlate    bool
+	gray         string
 }
 
 func (c runConfig) telemetryEnabled() bool {
@@ -115,14 +122,18 @@ func (c runConfig) telemetryEnabled() bool {
 func run(cfg runConfig) error {
 	hosts, par, issue, seed, workers, verbose :=
 		cfg.hosts, cfg.par, cfg.issue, cfg.seed, cfg.workers, cfg.verbose
-	d, err := hunter.New(hunter.Options{
+	opts := hunter.Options{
 		Seed:               seed,
 		Hosts:              hosts,
 		Workers:            workers,
 		CheckpointInterval: cfg.ckptInterval,
 		HTTPAddr:           cfg.httpAddr,
 		Remedy:             cfg.remedy,
-	})
+	}
+	if cfg.correlate {
+		opts.Correlate = &correlate.Config{}
+	}
+	d, err := hunter.New(opts)
 	if err != nil {
 		return err
 	}
@@ -179,9 +190,33 @@ func run(cfg runConfig) error {
 
 	d.Run(5 * time.Minute) // detector history on the skeleton list
 
+	if cfg.gray != "" {
+		kind, gtgt, err := grayTarget(d, task, cfg.gray)
+		if err != nil {
+			return err
+		}
+		gin, err := d.Injector.InjectGray(kind, gtgt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("t=%-8v injected gray failure (%s) → %v\n",
+			d.Engine.Now().Round(time.Second), gin.Info.Name, gin.Components)
+	}
+
 	if issue == 0 {
-		d.Run(5 * time.Minute)
+		run := 5 * time.Minute
+		if cfg.gray != "" {
+			// Gray degradations build evidence over rounds: give the
+			// drift accumulators and lead-lag window time to converge.
+			run = 8 * time.Minute
+		}
+		d.Run(run)
 		fmt.Printf("healthy run: %d alarms\n", len(d.Analyzer.Alarms()))
+		if cfg.gray != "" {
+			d.Analyzer.Flush(d.Engine.Now())
+			reportIncidents(d)
+			reportGray(d)
+		}
 		reportCrash(d, crash)
 		if cfg.stats {
 			fmt.Printf("self-monitoring stats:\n%s", indent(d.Stats().String()))
@@ -226,6 +261,7 @@ func run(cfg runConfig) error {
 	}
 	fmt.Printf("blacklist: %d components\n", len(d.Analyzer.Blacklist()))
 	reportIncidents(d)
+	reportGray(d)
 	reportRemedy(d)
 	reportCrash(d, crash)
 	if verbose {
@@ -252,6 +288,44 @@ func reportIncidents(d *hunter.Deployment) {
 		}
 		fmt.Println()
 	}
+}
+
+// reportGray prints the second-layer correlate summary: change-point
+// alarms, how many repeats the dedup filter absorbed, and every causal
+// chain attached to a gray incident's evidence.
+func reportGray(d *hunter.Deployment) {
+	if d.Correlate == nil {
+		return
+	}
+	alarms, suppressed, chains := d.Correlate.Counts()
+	fmt.Printf("correlate: %d gray alarms (%d repeats suppressed, %d causal chains)\n",
+		alarms, suppressed, chains)
+	for _, in := range d.Incidents.Incidents() {
+		if !in.Gray {
+			continue
+		}
+		for _, ch := range in.Evidence.Chains {
+			fmt.Printf("  %s chain: %s\n", in.ID, ch)
+		}
+	}
+}
+
+// grayTarget maps the -gray flag onto a gray fault kind and target in
+// the task's probe footprint, mirroring pickTarget for hard issues.
+func grayTarget(d *hunter.Deployment, task *cluster.Task, gray string) (faults.GrayKind, faults.Target, error) {
+	a := task.Containers[0].Addrs[0]
+	nic := topology.NIC{Host: a.Host, Rail: a.Rail}
+	pod := d.Fabric.PodOf(a.Host)
+	switch gray {
+	case "droop":
+		return faults.GrayCongestionDroop, faults.Target{Switch: d.Fabric.ToR(pod, a.Rail)}, nil
+	case "partial":
+		return faults.GrayPartialRTT, faults.Target{Host: a.Host, Rail: a.Rail}, nil
+	case "flap":
+		link := topology.MakeLinkID(nic.ID(), d.Fabric.ToR(pod, a.Rail))
+		return faults.GrayFlappingLink, faults.Target{Link: link}, nil
+	}
+	return 0, faults.Target{}, fmt.Errorf("unknown -gray kind %q (want droop, partial, or flap)", gray)
 }
 
 // reportRemedy prints the remediation audit ledger: every repair the

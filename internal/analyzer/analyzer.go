@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/correlate"
 	"skeletonhunter/internal/detect"
 	"skeletonhunter/internal/localize"
 	"skeletonhunter/internal/obs"
@@ -90,6 +91,12 @@ type Config struct {
 	// Obs receives the analyzer's self-monitoring counters and stage
 	// timings. Nil disables collection at negligible cost.
 	Obs *obs.Stats
+	// Correlate, when set, runs the second-layer change-point detector
+	// beside the LOF/Z-test round: shards observe their records during
+	// drain, close their series at the round barrier, and the engine
+	// folds the change-points serially afterwards. Nil disables the
+	// layer entirely.
+	Correlate *correlate.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -173,7 +180,7 @@ func (s *shard) enqueue(recs ...probe.Record) (accepted int) {
 // records already carry ascending timestamps). The sort also groups a
 // pair's records contiguously, so grouping by consecutive runs gives
 // one detector lookup per pair per round.
-func (s *shard) drain() (records int) {
+func (s *shard) drain(cs *correlate.Shard) (records int) {
 	records = len(s.inbox)
 	sort.SliceStable(s.inbox, func(i, j int) bool {
 		a, b := &s.inbox[i], &s.inbox[j]
@@ -192,14 +199,23 @@ func (s *shard) drain() (records int) {
 		return a.DstRail < b.DstRail
 	})
 	var (
-		runKey detect.PairKey
-		runPI  *pairInfo
-		have   bool
+		runKey   detect.PairKey
+		runPI    *pairInfo
+		have     bool
+		runStart int
 	)
-	flush := func() {
-		if have && len(s.samples) > 0 {
+	flush := func(end int) {
+		if !have {
+			return
+		}
+		if len(s.samples) > 0 {
 			s.detector.ObserveMany(runKey, s.samples)
 			s.samples = s.samples[:0]
+		}
+		// The correlate layer rides the same contiguous runs the
+		// detector ingest exploits: one series lookup per pair per run.
+		if cs != nil {
+			cs.ObserveRun(s.inbox[runStart:end])
 		}
 	}
 	for i := range s.inbox {
@@ -210,9 +226,10 @@ func (s *shard) drain() (records int) {
 			DstContainer: rec.DstContainer, DstRail: rec.DstRail,
 		}
 		if !have || key != runKey {
-			flush()
+			flush(i)
 			runKey = key
 			have = true
+			runStart = i
 			pi, ok := s.pairs[key]
 			if !ok {
 				pi = &pairInfo{src: rec.Src, dst: rec.Dst}
@@ -237,7 +254,7 @@ func (s *shard) drain() (records int) {
 		}
 		s.samples = append(s.samples, detect.Sample{At: rec.At, RTT: rec.RTT, Lost: rec.Lost})
 	}
-	flush()
+	flush(len(s.inbox))
 	s.inbox = s.inbox[:0]
 	return records
 }
@@ -297,6 +314,10 @@ type Analyzer struct {
 	Localizer *localize.Localizer
 	// OnAlarm receives every alarm as it is raised.
 	OnAlarm func(Alarm)
+	// OnGray receives every correlate-layer alarm that changed this
+	// round (newly raised, suppression-counted, or chain-extended).
+	// Only called when Config.Correlate is set.
+	OnGray func(correlate.Alarm)
 	// Gate, when set, is consulted at the top of every analysis round;
 	// returning true withholds the round (telemetry-fault injection:
 	// the streaming job falling behind its schedule). A withheld
@@ -348,9 +369,19 @@ func (an *Analyzer) Stop() {
 	}
 }
 
+// warmCorrelate mirrors analyzer shard creation into the correlate
+// engine on the serial ingest/prepare paths, preserving the invariant
+// that round-fanout shard lookups are pure map reads.
+func (an *Analyzer) warmCorrelate(task string) {
+	if an.cfg.Correlate != nil {
+		an.cfg.Correlate.Warm(task)
+	}
+}
+
 // Ingest consumes one probe record: the single-record convenience
 // entry point (tests, replay tools). Agents use IngestBatch.
 func (an *Analyzer) Ingest(rec probe.Record) {
+	an.warmCorrelate(string(rec.Task))
 	sh := an.shards.Get(string(rec.Task))
 	n := sh.enqueue(rec)
 	an.stats.Add(pipeline.StageIngest, uint64(n))
@@ -365,6 +396,7 @@ func (an *Analyzer) IngestBatch(batch probe.Batch) {
 	if len(batch) == 0 {
 		return
 	}
+	an.warmCorrelate(string(batch[0].Task))
 	sh := an.shards.Get(string(batch[0].Task))
 	n := sh.enqueue(batch...)
 	an.stats.Add(pipeline.StageIngest, uint64(n))
@@ -376,13 +408,15 @@ func (an *Analyzer) IngestBatch(batch probe.Batch) {
 // lookups are pure map reads and enqueue touches only shard-owned
 // state plus atomic counters.
 func (an *Analyzer) WarmShard(task string) {
+	an.warmCorrelate(task)
 	an.shards.Get(task)
 }
 
 // shardResult is one shard's round output, merged in task-key order.
 type shardResult struct {
-	anomalies []detect.Anomaly
-	verdicts  []localize.Verdict
+	anomalies    []detect.Anomaly
+	verdicts     []localize.Verdict
+	changePoints []correlate.ChangePoint
 }
 
 // Round runs one analysis round: fan the shards out over the worker
@@ -407,10 +441,19 @@ func (an *Analyzer) Round(now time.Duration) {
 	if o != nil {
 		observe = func(task string, d time.Duration) { o.ObserveDuration("shard-round-ms", d) }
 	}
+	cor := an.cfg.Correlate
+	var corRound int
+	if cor != nil {
+		corRound = cor.BeginRound()
+	}
 	results := pipeline.FanOutTimed(an.shards, an.cfg.Workers, func(task string, s *shard) shardResult {
+		var cs *correlate.Shard
+		if cor != nil {
+			cs = cor.ShardOf(task)
+		}
 		evalBefore := s.detector.Evaluated
 		detectStart := time.Now()
-		n := s.drain()
+		n := s.drain(cs)
 		o.ObserveDuration("stage-detect-ms", time.Since(detectStart))
 		an.stats.Add(pipeline.StageDetect, uint64(n))
 		localizeStart := time.Now()
@@ -419,7 +462,11 @@ func (an *Analyzer) Round(now time.Duration) {
 		an.stats.Add(pipeline.StageLocalize, uint64(len(anomalies)))
 		o.Add(obs.WindowsEvaluated, uint64(s.detector.Evaluated-evalBefore))
 		o.Add(obs.AnomaliesDetected, uint64(len(anomalies)))
-		return shardResult{anomalies: anomalies, verdicts: verdicts}
+		res := shardResult{anomalies: anomalies, verdicts: verdicts}
+		if cs != nil {
+			res.changePoints = cs.EndRound(corRound, now)
+		}
+		return res
 	}, observe)
 
 	// Deterministic merge: FanOut returns results in ascending task-key
@@ -428,10 +475,23 @@ func (an *Analyzer) Round(now time.Duration) {
 	// exactly as a single-batch Localize would have collapsed them.
 	var anomalies []detect.Anomaly
 	var verdicts []localize.Verdict
+	var changePoints []correlate.ChangePoint
 	for _, r := range results {
 		anomalies = append(anomalies, r.anomalies...)
 		verdicts = append(verdicts, r.verdicts...)
+		changePoints = append(changePoints, r.changePoints...)
 	}
+
+	// The correlate fold runs every round — its warmup, dedup decay and
+	// lead-lag windows advance with round time, not with anomaly luck.
+	if cor != nil {
+		for _, ga := range cor.Fold(now, changePoints) {
+			if an.OnGray != nil {
+				an.OnGray(ga)
+			}
+		}
+	}
+
 	if len(anomalies) == 0 {
 		return
 	}
@@ -457,8 +517,12 @@ func (an *Analyzer) Flush(now time.Duration) {
 	// close the windows; Round would drain too, but by then the flush
 	// must already have evaluated the half-open windows.
 	an.shards.Each(func(task string, s *shard) {
+		var cs *correlate.Shard
+		if an.cfg.Correlate != nil {
+			cs = an.cfg.Correlate.ShardOf(task)
+		}
 		evalBefore := s.detector.Evaluated
-		n := s.drain()
+		n := s.drain(cs)
 		an.stats.Add(pipeline.StageDetect, uint64(n))
 		s.detector.Flush(now)
 		an.cfg.Obs.Add(obs.WindowsEvaluated, uint64(s.detector.Evaluated-evalBefore))
@@ -491,9 +555,13 @@ func (an *Analyzer) Shards() int { return an.shards.Len() }
 // Stats exposes the per-stage pipeline counters.
 func (an *Analyzer) Stats() *pipeline.Counters { return &an.stats }
 
-// ForgetTask drops the finished task's entire shard.
+// ForgetTask drops the finished task's entire shard, including its
+// correlate series.
 func (an *Analyzer) ForgetTask(task string) {
 	an.shards.Delete(task)
+	if an.cfg.Correlate != nil {
+		an.cfg.Correlate.Forget(task)
+	}
 }
 
 // ForgetContainer drops state for every pair touching a gracefully

@@ -231,7 +231,11 @@ type incidentView struct {
 	Mitigation     string       `json:"mitigation,omitempty"`
 	AlarmCount     int          `json:"alarm_count"`
 	Reopens        int          `json:"reopens"`
-	Remediation    []string     `json:"remediation,omitempty"`
+	// Gray marks an incident opened by the correlate layer's
+	// change-point detector: sub-threshold evidence, page-only policy.
+	Gray        bool     `json:"gray,omitempty"`
+	Chains      []string `json:"chains,omitempty"`
+	Remediation []string `json:"remediation,omitempty"`
 }
 
 // incidentDetail adds the evidence bundle to the detail endpoint.
@@ -305,6 +309,8 @@ func toIncidentView(in incident.Incident) incidentView {
 		Mitigation:     in.Mitigation,
 		AlarmCount:     in.AlarmCount,
 		Reopens:        in.Reopens,
+		Gray:           in.Gray,
+		Chains:         in.Evidence.Chains,
 		Remediation:    in.Evidence.Remediation,
 	}
 }

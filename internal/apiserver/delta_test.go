@@ -136,6 +136,30 @@ func TestDeltaMatchesWholesale(t *testing.T) {
 	})
 	update("incident opened")
 
+	// A gray incident from the correlate layer: the Gray flag and the
+	// causal-chain evidence must render identically on both paths, in
+	// the list fragment and the detail body.
+	rev++
+	snap.Incidents = append(snap.Incidents, incident.Incident{
+		ID: "inc-gray", Component: component.RNIC(7, 0), Class: component.ClassRNIC,
+		Severity: incident.SevMedium, State: incident.Open, OpenedAt: now,
+		LastAlarmAt: now, AlarmCount: 1, Gray: true, Rev: rev,
+		Evidence: incident.Evidence{
+			Verdicts:    []string{"[correlate] rnic/h7/r0 throughput-droop change-point (score 8.3σ, 4 crossing(s), 2 suppressed)"},
+			Chains:      []string{"switch/tor/0/0 queue-growth leads task t0 rtt inflation by ~2 round(s) (support 3, confidence 0.67)"},
+			Remediation: []string{"gray-failure policy: page with evidence, no automatic remediation"},
+		},
+	})
+	update("gray incident opened")
+
+	rev++
+	gi := &snap.Incidents[len(snap.Incidents)-1]
+	gi.Evidence.Chains = append(gi.Evidence.Chains,
+		"rnic/h7/r0 throughput-droop leads task t1 rtt inflation by ~1 round(s) (support 4, confidence 0.75)")
+	gi.AlarmCount++
+	gi.Rev = rev
+	update("gray chains grown")
+
 	snap.Incidents = snap.Incidents[1:]
 	update("incident dropped")
 

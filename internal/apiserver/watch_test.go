@@ -127,15 +127,26 @@ func TestWatchCatchup(t *testing.T) {
 // bytes as one that read the whole stream in one go.
 func TestWatchResumeByteIdentical(t *testing.T) {
 	s := New(Config{RatePerSec: 1000, Burst: 1000})
+	// The incident is a gray one accumulating causal-chain evidence: a
+	// new chain per epoch, so every watch delta re-renders the chains
+	// array and resume identity covers the correlate evidence path.
 	for rev := uint64(1); rev <= 6; rev++ {
 		snap := revSnapshot(time.Duration(rev)*time.Minute, rev)
 		snap.Incidents[0].AlarmCount = int(rev)
+		snap.Incidents[0].Gray = true
+		for c := uint64(1); c <= rev; c++ {
+			snap.Incidents[0].Evidence.Chains = append(snap.Incidents[0].Evidence.Chains,
+				fmt.Sprintf("switch/tor/0/0 queue-growth leads task t0 rtt inflation by ~%d round(s) (support 3, confidence 0.67)", c))
+		}
 		s.Update(snap)
 	}
 
 	_, uninterrupted := watchLines(t, s, 0)
 	if len(uninterrupted) != 6 {
 		t.Fatalf("expected 6 events, got %d", len(uninterrupted))
+	}
+	if !strings.Contains(uninterrupted[5], `"gray":true`) || !strings.Contains(uninterrupted[5], "queue-growth leads") {
+		t.Fatal("watch deltas dropped the gray flag or chain evidence")
 	}
 
 	// Interrupted client: read, "disconnect" after the second event,

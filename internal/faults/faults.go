@@ -391,3 +391,87 @@ func (inj *Injector) ClearAll() {
 		inj.Clear(in)
 	}
 }
+
+// GrayKind enumerates gray failures: degradations engineered to sit
+// below (or creep up on) the first-layer detector's thresholds. They
+// are the workload for the second-layer correlator — a gray fault
+// should raise change-point alarms well before, or instead of, a hard
+// verdict.
+type GrayKind int
+
+const (
+	// GrayCongestionDroop ramps a switch's congestion-backed latency
+	// from zero: no step for a threshold to trip on, but the queue
+	// grows round over round and the drift CUSUM accumulates.
+	GrayCongestionDroop GrayKind = iota + 1
+	// GrayPartialRTT adds a small constant latency at one RNIC — a
+	// fraction of the software-slow-path penalty, far under the hard
+	// detector's outlier bar, yet a clear level shift in log-RTT.
+	GrayPartialRTT
+	// GrayFlappingLink makes a NIC attach link blink briefly on a short
+	// period: per-round loss stays under the packet-loss threshold while
+	// the RNIC's delivery ratio visibly droops.
+	GrayFlappingLink
+)
+
+// grayIssueBase offsets gray injection types past the Table 1 catalog
+// so scoring can tell the two fault populations apart.
+const grayIssueBase = 100
+
+// IsGray reports whether an injection was made through InjectGray.
+func (in *Injection) IsGray() bool { return in.Type >= grayIssueBase }
+
+// InjectGray applies one gray failure. The returned record carries the
+// same ground-truth component set Inject produces, with Type offset by
+// grayIssueBase and synthesized catalog metadata.
+func (inj *Injector) InjectGray(k GrayKind, tgt Target) (*Injection, error) {
+	now := inj.Net.Engine.Now()
+	in := &Injection{Type: IssueType(grayIssueBase + int(k)), Target: tgt, At: now}
+
+	switch k {
+	case GrayCongestionDroop:
+		if tgt.Switch == "" {
+			return nil, errBadTarget
+		}
+		in.Info = Info{Type: in.Type, Name: "Gray congestion droop",
+			Class: component.ClassConfiguration, Symptom: SymptomHighLatency,
+			Reason: "A switch queue's congestion control slowly degrades; latency ramps instead of stepping."}
+		inj.Net.SetNodeCondition(tgt.Switch, &netsim.Condition{
+			RampLatencyPerSec: 150 * time.Nanosecond,
+			RampStart:         now,
+			QueueBacklog:      true,
+		})
+		in.Components = []component.ID{component.SwitchConfig(tgt.Switch)}
+		in.undo = func() { inj.Net.SetNodeCondition(tgt.Switch, nil) }
+
+	case GrayPartialRTT:
+		nic := topology.NIC{Host: tgt.Host, Rail: tgt.Rail}
+		in.Info = Info{Type: in.Type, Name: "Gray partial RTT inflation",
+			Class: component.ClassRNIC, Symptom: SymptomHighLatency,
+			Reason: "An RNIC adds a few microseconds per traversal — well under the outlier bar, persistently."}
+		inj.Net.SetNodeCondition(nic.ID(), &netsim.Condition{ExtraLatency: 4 * time.Microsecond})
+		in.Components = []component.ID{component.RNIC(tgt.Host, tgt.Rail)}
+		in.undo = func() { inj.Net.SetNodeCondition(nic.ID(), nil) }
+
+	case GrayFlappingLink:
+		if tgt.Link == "" {
+			return nil, errBadTarget
+		}
+		in.Info = Info{Type: in.Type, Name: "Gray flapping link",
+			Class: component.ClassInterHostNetwork, Symptom: SymptomPacketLoss,
+			Reason: "A link blinks for a few hundred milliseconds on a short period; average loss stays sub-threshold."}
+		inj.Net.SetLinkCondition(tgt.Link, &netsim.Condition{
+			Flap: &netsim.Flap{Period: 9 * time.Second, DownFor: 450 * time.Millisecond},
+		})
+		in.Components = []component.ID{component.Link(tgt.Link)}
+		in.undo = func() { inj.Net.SetLinkCondition(tgt.Link, nil) }
+
+	default:
+		return nil, fmt.Errorf("faults: unknown gray kind %d", k)
+	}
+
+	inj.seq++
+	in.ID = inj.seq
+	inj.injections = append(inj.injections, in)
+	return in, nil
+}

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/topology"
+)
+
+func TestInjectGrayCongestionDroopRampsRTT(t *testing.T) {
+	r := newRig(t)
+	a, b := r.pair()
+	tor := r.net.Fabric.ToR(0, a.Rail)
+
+	in, err := r.inj.InjectGray(GrayCongestionDroop, Target{Switch: tor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsGray() || in.Type != IssueType(grayIssueBase+int(GrayCongestionDroop)) {
+		t.Fatalf("injection not marked gray: %+v", in)
+	}
+	if want := []component.ID{component.SwitchConfig(tor)}; len(in.Components) != 1 || in.Components[0] != want[0] {
+		t.Fatalf("ground truth = %v, want %v", in.Components, want)
+	}
+
+	// Right after injection nothing has accrued; minutes later the same
+	// probe pair is visibly slower, and the queue grew alongside.
+	early := r.net.Probe(a, b, 1).RTT
+	q0 := r.net.QueueLength(tor)
+	r.eng.RunUntil(r.eng.Now() + 3*time.Minute)
+	late := r.net.Probe(a, b, 1).RTT
+	if late-early < 20*time.Microsecond {
+		t.Fatalf("ramp barely moved RTT: early %v late %v", early, late)
+	}
+	if q1 := r.net.QueueLength(tor); q1 <= q0 {
+		t.Fatalf("queue did not grow with the ramp: %v -> %v", q0, q1)
+	}
+
+	r.inj.Clear(in)
+	if got := r.net.Probe(a, b, 1).RTT; got >= late {
+		t.Fatalf("clear did not restore latency: %v", got)
+	}
+}
+
+func TestInjectGrayPartialRTTStaysSubtle(t *testing.T) {
+	r := newRig(t)
+	a, b := r.pair()
+	base := r.net.Probe(a, b, 7).RTT
+
+	in, err := r.inj.InjectGray(GrayPartialRTT, Target{Host: a.Host, Rail: a.Rail})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := component.RNIC(a.Host, a.Rail); in.Components[0] != want {
+		t.Fatalf("ground truth = %v, want %v", in.Components, want)
+	}
+	got := r.net.Probe(a, b, 7).RTT
+	// One traversal each way through the afflicted RNIC: +8 µs RTT —
+	// a shift, but nowhere near the ~100 µs software-slow-path jump the
+	// hard detector is tuned for.
+	if d := got - base; d < 6*time.Microsecond || d > 12*time.Microsecond {
+		t.Fatalf("partial inflation = %v, want ≈8 µs", d)
+	}
+	if !strings.Contains(in.Info.Name, "Gray") {
+		t.Fatalf("synthesized info: %+v", in.Info)
+	}
+}
+
+func TestInjectGrayFlappingLinkSubThresholdLoss(t *testing.T) {
+	r := newRig(t)
+	a, b := r.pair()
+	nic := topology.NIC{Host: a.Host, Rail: a.Rail}
+	link := topology.MakeLinkID(nic.ID(), r.net.Fabric.ToR(0, a.Rail))
+
+	in, err := r.inj.InjectGray(GrayFlappingLink, Target{Link: link})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := component.Link(link); in.Components[0] != want {
+		t.Fatalf("ground truth = %v, want %v", in.Components, want)
+	}
+	// Sample across many flap periods: some probes die in the blink
+	// windows, but the duty cycle keeps average loss sub-threshold-ish.
+	lost, total := 0, 0
+	for i := 0; i < 300; i++ {
+		r.eng.RunUntil(r.eng.Now() + 300*time.Millisecond)
+		if r.net.Probe(a, b, uint64(i)).Lost {
+			lost++
+		}
+		total++
+	}
+	if lost == 0 {
+		t.Fatal("flapping link never dropped a probe")
+	}
+	if frac := float64(lost) / float64(total); frac > 0.15 {
+		t.Fatalf("loss fraction %.2f too violent for a gray fault", frac)
+	}
+}
+
+func TestInjectGrayValidatesTargets(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.inj.InjectGray(GrayCongestionDroop, Target{}); err == nil {
+		t.Fatal("droop with no switch accepted")
+	}
+	if _, err := r.inj.InjectGray(GrayFlappingLink, Target{}); err == nil {
+		t.Fatal("flap with no link accepted")
+	}
+	if _, err := r.inj.InjectGray(GrayKind(99), Target{Host: 1}); err == nil {
+		t.Fatal("unknown gray kind accepted")
+	}
+}

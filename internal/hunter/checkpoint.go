@@ -33,6 +33,7 @@ import (
 	"skeletonhunter/internal/cluster"
 	"skeletonhunter/internal/component"
 	"skeletonhunter/internal/controller"
+	"skeletonhunter/internal/correlate"
 	"skeletonhunter/internal/faults"
 	"skeletonhunter/internal/incident"
 	"skeletonhunter/internal/obs"
@@ -48,8 +49,12 @@ import (
 // remediation plane: the audit ledger, deferred queue, cooldowns and
 // budget window ride along so healing survives a controller crash —
 // in-flight verifies resume because their deadlines are data the next
-// tick scans, not timers the dead process held.
-const CheckpointVersion = 3
+// tick scans, not timers the dead process held. Version 4 added the
+// gray-failure correlator: CUSUM calibrations, the dedup bloom filter
+// (cells and RNG cursor), alarm ledger, and lead-lag windows restore
+// exactly — a replayed record the correlator already observed is
+// skipped by high-water mark, so restore+replay equals never-crashed.
+const CheckpointVersion = 4
 
 // Checkpoint is a durable image of the monitoring system's control
 // plane at one instant.
@@ -61,6 +66,7 @@ type Checkpoint struct {
 	Analyzer   analyzer.Snapshot
 	Incidents  incident.Snapshot
 	Remedy     remedy.Snapshot
+	Correlate  correlate.Snapshot
 
 	BlockedHosts []int
 	Migrations   int
@@ -84,6 +90,7 @@ func (d *Deployment) Checkpoint() *Checkpoint {
 		Analyzer:     d.Analyzer.SnapshotState(),
 		Incidents:    incident.Snapshot{Version: incident.SnapshotVersion},
 		Remedy:       remedy.Snapshot{Version: remedy.SnapshotVersion},
+		Correlate:    correlate.Snapshot{Version: correlate.SnapshotVersion},
 		BlockedHosts: d.BlockedHosts(),
 		Migrations:   d.migrations,
 		Secrets:      copyTaskMap(d.secrets),
@@ -94,6 +101,9 @@ func (d *Deployment) Checkpoint() *Checkpoint {
 	}
 	if d.Remedy != nil {
 		ck.Remedy = d.Remedy.Snapshot()
+	}
+	if d.Correlate != nil {
+		ck.Correlate = d.Correlate.Snapshot()
 	}
 	d.lastCkpt = ck
 	d.Obs.Inc(obs.CheckpointsTaken)
@@ -118,6 +128,9 @@ func (d *Deployment) CrashController() {
 	}
 	if d.Remedy != nil {
 		d.Remedy.Crash()
+	}
+	if d.Correlate != nil {
+		d.Correlate.Crash()
 	}
 	d.blockedHosts = make(map[int]bool)
 	d.migrations = 0
@@ -154,6 +167,14 @@ func (d *Deployment) RecoverFrom(ck *Checkpoint) error {
 	}
 	if d.Remedy != nil {
 		if err := d.Remedy.Restore(ck.Remedy); err != nil {
+			return err
+		}
+	}
+	if d.Correlate != nil {
+		// Restore before the logstore replay below: restored shards carry
+		// a high-water mark that makes replayed records the correlator
+		// already folded idempotent.
+		if err := d.Correlate.Restore(ck.Correlate); err != nil {
 			return err
 		}
 	}
@@ -225,6 +246,7 @@ func (d *Deployment) RecoverFromLast() error {
 			},
 			Incidents: incident.Snapshot{Version: incident.SnapshotVersion},
 			Remedy:    remedy.Snapshot{Version: remedy.SnapshotVersion},
+			Correlate: correlate.Snapshot{Version: correlate.SnapshotVersion},
 		}
 	}
 	return d.RecoverFrom(ck)
@@ -273,6 +295,9 @@ func (d *Deployment) Fingerprint() string {
 	}
 	if d.Remedy != nil {
 		fmt.Fprintf(h, "rem %s\n", d.Remedy.Fingerprint())
+	}
+	if d.Correlate != nil {
+		fmt.Fprintf(h, "cor %s\n", d.Correlate.Fingerprint())
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

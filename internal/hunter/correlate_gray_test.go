@@ -1,0 +1,218 @@
+package hunter
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/correlate"
+	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/incident"
+	"skeletonhunter/internal/parallelism"
+	"skeletonhunter/internal/topology"
+)
+
+// newGrayDeployment builds a deployment with the second detection
+// layer armed. The correlate warmup is shortened so CUSUM baselines
+// freeze within the test's steady-state window.
+func newGrayDeployment(t *testing.T, workers int) *Deployment {
+	t.Helper()
+	d, err := New(Options{
+		Seed:      23,
+		Spec:      topology.Spec{Pods: 1, HostsPerPod: 8, Rails: 8, AggPerPod: 2},
+		Lag:       fastLag(),
+		Workers:   workers,
+		Correlate: &correlate.Config{Warmup: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// runGrayCampaign plays a fixed fault scenario with correlate enabled:
+// steady state past the CUSUM warmup, a dead RNIC port (sustained
+// droop — the dedup storm case) plus a flapping port on a second
+// task, optionally a controller crash/recover in the middle, and a
+// final settle. Returns the deployment fingerprint, which now folds in
+// the correlate engine's complete state ("cor" line).
+func runGrayCampaign(t *testing.T, workers int, crash bool) (string, *Deployment) {
+	t.Helper()
+	d := newGrayDeployment(t, workers)
+	t1, err := d.SubmitTask(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := d.SubmitTask(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(7 * time.Minute)
+
+	a := t1.Containers[0].Addrs[0]
+	if _, err := d.Injector.Inject(faults.RNICPortDown, faults.Target{Host: a.Host, Rail: a.Rail}); err != nil {
+		t.Fatal(err)
+	}
+	b := t2.Containers[1].Addrs[2]
+	if _, err := d.Injector.Inject(faults.RNICPortFlapping, faults.Target{Host: b.Host, Rail: b.Rail}); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(2 * time.Minute)
+
+	if crash {
+		if d.Checkpoint() == nil {
+			t.Fatal("checkpoint refused mid-campaign")
+		}
+		d.CrashController()
+		d.Run(30 * time.Second)
+		if err := d.RecoverFromLast(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d.Run(2 * time.Minute)
+	d.Analyzer.Flush(d.Engine.Now())
+	return d.Fingerprint(), d
+}
+
+// TestCorrelateWorkerCountDeterminism pins the tentpole's concurrency
+// contract: with the second layer running per-shard inside the round
+// fan-out, the worker pool size must not change a single change-point,
+// alarm, suppression count, or chain — the deployment fingerprint
+// (which digests the full correlate state) is bit-identical.
+func TestCorrelateWorkerCountDeterminism(t *testing.T) {
+	want, d := runGrayCampaign(t, 1, false)
+	alarms, suppressed, _ := d.Correlate.Counts()
+	if alarms == 0 {
+		t.Fatal("campaign raised no correlate alarms; determinism test has no teeth")
+	}
+	if suppressed == 0 {
+		t.Fatal("sustained faults produced no suppressions; dedup untested")
+	}
+	for _, workers := range []int{4, 16} {
+		got, _ := runGrayCampaign(t, workers, false)
+		if got != want {
+			t.Fatalf("workers=%d diverged from serial run with correlate enabled", workers)
+		}
+	}
+}
+
+// TestCorrelateCrashRecoveryDeterminism adds a mid-campaign controller
+// crash and recovery: CUSUM calibrations, bloom cells, the dedup RNG
+// position, and lag histograms restore exactly, so the post-recovery
+// trajectory is still identical across worker counts.
+func TestCorrelateCrashRecoveryDeterminism(t *testing.T) {
+	want, d := runGrayCampaign(t, 1, true)
+	if alarms, _, _ := d.Correlate.Counts(); alarms == 0 {
+		t.Fatal("crashed campaign raised no correlate alarms")
+	}
+	for _, workers := range []int{4, 16} {
+		got, _ := runGrayCampaign(t, workers, true)
+		if got != want {
+			t.Fatalf("workers=%d diverged across crash/recover with correlate enabled", workers)
+		}
+	}
+}
+
+// TestCorrelateCheckpointRestoreExact is the v4 checkpoint contract:
+// crash the controller and recover from the last checkpoint while the
+// correlate layer is mid-storm, and the restored engine state matches
+// the pre-crash state bit for bit.
+func TestCorrelateCheckpointRestoreExact(t *testing.T) {
+	d := newGrayDeployment(t, 0)
+	task, err := d.SubmitTask(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(7 * time.Minute)
+	a := task.Containers[0].Addrs[0]
+	if _, err := d.Injector.Inject(faults.RNICPortDown, faults.Target{Host: a.Host, Rail: a.Rail}); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(2 * time.Minute)
+	if alarms, _, _ := d.Correlate.Counts(); alarms == 0 {
+		t.Fatal("no correlate alarms before the crash; restore test has no teeth")
+	}
+
+	corFP := d.Correlate.Fingerprint()
+	fp := d.Fingerprint()
+	ck := d.Checkpoint()
+	if ck == nil || ck.Version != CheckpointVersion {
+		t.Fatalf("checkpoint = %+v", ck)
+	}
+	if ck.Correlate.Version != correlate.SnapshotVersion {
+		t.Fatalf("checkpoint carries correlate snapshot v%d", ck.Correlate.Version)
+	}
+
+	d.CrashController()
+	if got := d.Correlate.SeriesCount(); got != 0 {
+		t.Fatalf("crash left %d correlate series behind", got)
+	}
+	d.Run(30 * time.Second) // agents idle against the dead controller
+	if err := d.RecoverFromLast(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Correlate.Fingerprint(); got != corFP {
+		t.Fatal("correlate state differs after checkpoint restore")
+	}
+	if got := d.Fingerprint(); got != fp {
+		t.Fatal("deployment fingerprint changed across recovery with correlate enabled")
+	}
+
+	// The plane keeps working after recovery: more storm rounds fold
+	// into the restored alarms instead of minting duplicates.
+	before, _, _ := d.Correlate.Counts()
+	d.Run(2 * time.Minute)
+	after, suppressed, _ := d.Correlate.Counts()
+	if after < before {
+		t.Fatalf("alarm ledger shrank after recovery: %d -> %d", before, after)
+	}
+	if suppressed == 0 {
+		t.Fatal("post-recovery storm produced no suppressions")
+	}
+}
+
+// TestGrayCampaignSurfacesInStatsAndIncidents checks the observability
+// satellite end to end: the new counters show up in Deployment.Stats,
+// and correlate alarms reach the incident plane as a distinct source.
+func TestGrayCampaignSurfacesInStatsAndIncidents(t *testing.T) {
+	_, d := runGrayCampaign(t, 0, false)
+	snap := d.Stats()
+	if snap.Counters["changepoints-raised"] == 0 {
+		t.Fatal("changepoints-raised counter never moved")
+	}
+	if snap.Counters["alarms-deduped"] == 0 {
+		t.Fatal("alarms-deduped counter never moved")
+	}
+	if snap.Counters["correlate-alarms"] == 0 || snap.Counters["correlate-series"] == 0 {
+		t.Fatalf("correlate gauges missing from stats: %v", snap.Counters)
+	}
+	if _, ok := snap.Histograms["stage-correlate-ms"]; !ok {
+		t.Fatal("stage-correlate-ms histogram missing")
+	}
+
+	// Every incident fed by the gray source carries the correlate
+	// verdict line; gray-opened ones are capped at SevMedium and pinned
+	// to the page-with-evidence policy.
+	sawVerdict := false
+	for _, inc := range d.Incidents.Incidents() {
+		for _, v := range inc.Evidence.Verdicts {
+			if strings.Contains(v, "[correlate]") {
+				sawVerdict = true
+			}
+		}
+		if inc.Gray {
+			if inc.Severity > incident.SevMedium && inc.Reopens == 0 {
+				t.Fatalf("gray incident %s at severity %v", inc.ID, inc.Severity)
+			}
+			if len(inc.Evidence.Remediation) == 0 ||
+				!strings.Contains(inc.Evidence.Remediation[0], "no automatic remediation") {
+				t.Fatalf("gray incident %s lacks the policy note: %v", inc.ID, inc.Evidence.Remediation)
+			}
+		}
+	}
+	if !sawVerdict {
+		t.Fatal("no incident carries a correlate verdict")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"skeletonhunter/internal/cluster"
 	"skeletonhunter/internal/component"
 	"skeletonhunter/internal/controller"
+	"skeletonhunter/internal/correlate"
 	"skeletonhunter/internal/detect"
 	"skeletonhunter/internal/faults"
 	"skeletonhunter/internal/incident"
@@ -85,6 +86,15 @@ type Options struct {
 	// DisableIncidents turns the incident plane off entirely.
 	Incidents        incident.Config
 	DisableIncidents bool
+	// Correlate, when non-nil, enables the second-layer gray-failure
+	// detector: CUSUM change-points over per-pair RTT, per-RNIC
+	// delivery-ratio and per-ToR queue-depth series, with stable-bloom
+	// dedup and lead-lag causal chains. Gray alarms flow into the
+	// incident plane as a distinct source (page-with-evidence; the
+	// remediation plane never acts on them) and the engine's state is
+	// carried in checkpoint v4. Zero-value config takes the correlate
+	// package defaults (the engine's own seed defaults to Options.Seed).
+	Correlate *correlate.Config
 	// Remedy, when non-nil, enables the self-healing remediation plane:
 	// the policy engine consumes the incident stream each sweep and
 	// repairs localized faults behind the configured safety rails
@@ -117,6 +127,9 @@ type Deployment struct {
 	// Remedy is the self-healing policy engine (nil unless
 	// Options.Remedy was set).
 	Remedy *remedy.Engine
+	// Correlate is the second-layer gray-failure detector (nil unless
+	// Options.Correlate was set).
+	Correlate *correlate.Engine
 	// API is the HTTP read plane over the deployment's monitoring
 	// state (nil unless Options.HTTPAddr was set).
 	API *apiserver.Server
@@ -128,6 +141,9 @@ type Deployment struct {
 	// OnAlarm, when set, receives every alarm after the deployment's
 	// own feedback handling (blacklist propagation, auto-migration).
 	OnAlarm func(analyzer.Alarm)
+	// OnGray, when set, receives every changed correlate alarm after
+	// the deployment folds it into the incident plane.
+	OnGray func(correlate.Alarm)
 
 	probeInterval time.Duration
 	sweepInterval time.Duration
@@ -189,12 +205,35 @@ func New(opts Options) (*Deployment, error) {
 	}
 	loc := localize.NewWithControlPlane(net, cp)
 	st := obs.New()
+	var cor *correlate.Engine
+	if opts.Correlate != nil {
+		cc := *opts.Correlate
+		if cc.Seed == 0 {
+			cc.Seed = opts.Seed
+		}
+		cc.Obs = st
+		cor = correlate.New(cc)
+		// Queue-depth series: one sample per ToR per round, enumerated
+		// in (pod, rail) order so the sampling — and everything CUSUM
+		// derives from it — is deterministic.
+		cor.Queues = func() []correlate.QueueSample {
+			out := make([]correlate.QueueSample, 0, spec.Pods*spec.Rails)
+			for p := 0; p < spec.Pods; p++ {
+				for r := 0; r < spec.Rails; r++ {
+					n := fab.ToR(p, r)
+					out = append(out, correlate.QueueSample{Node: n, Depth: net.QueueLength(n)})
+				}
+			}
+			return out
+		}
+	}
 	an := analyzer.New(eng, loc, analyzer.Config{
 		Detect:           opts.Detect,
 		AnalysisInterval: opts.AnalysisInterval,
 		Workers:          opts.Workers,
 		InboxLimit:       opts.InboxLimit,
 		Obs:              st,
+		Correlate:        cor,
 	})
 	an.Start()
 	log := logstore.New(1 << 16)
@@ -233,6 +272,10 @@ func New(opts Options) (*Deployment, error) {
 	// optionally, trigger live migration off them.
 	cp.HostSchedulable = func(h int) bool { return !d.blockedHosts[h] }
 	an.OnAlarm = d.handleAlarm
+	if cor != nil {
+		d.Correlate = cor
+		an.OnGray = d.handleGrayAlarm
+	}
 	if opts.CheckpointInterval > 0 {
 		eng.Every(opts.CheckpointInterval, opts.CheckpointInterval, "checkpoint",
 			func(time.Duration) { d.Checkpoint() })
@@ -415,6 +458,20 @@ func (d *Deployment) AgentRestartStorm(frac float64, downFor time.Duration) int 
 		})
 	}
 	return killed
+}
+
+// handleGrayAlarm folds one correlate-layer alarm into the incident
+// plane. Deliberately no feedback: gray signals never blacklist hosts
+// or trigger migrations — they page with evidence (chains included)
+// and wait for an operator or for the hard detector to confirm.
+func (d *Deployment) handleGrayAlarm(al correlate.Alarm) {
+	if d.Incidents != nil {
+		d.Incidents.ObserveGray(al)
+		d.refreshAPI()
+	}
+	if d.OnGray != nil {
+		d.OnGray(al)
+	}
 }
 
 // handleAlarm folds the alarm into the incident plane, propagates
@@ -679,6 +736,13 @@ func (d *Deployment) Stats() obs.Snapshot {
 		deferred, verifying := d.Remedy.Pending()
 		snap.Counters["remedy-deferred-now"] = uint64(deferred)
 		snap.Counters["remedy-verifying-now"] = uint64(verifying)
+	}
+	if d.Correlate != nil {
+		alarms, suppressed, chains := d.Correlate.Counts()
+		snap.Counters["correlate-alarms"] = uint64(alarms)
+		snap.Counters["correlate-suppressed"] = uint64(suppressed)
+		snap.Counters["correlate-chains"] = uint64(chains)
+		snap.Counters["correlate-series"] = uint64(d.Correlate.SeriesCount())
 	}
 	if d.API != nil {
 		for k, v := range d.API.Stats() {

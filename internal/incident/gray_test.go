@@ -1,0 +1,170 @@
+package incident
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/correlate"
+)
+
+func grayAlarm(at, last time.Duration, comp component.ID, chains ...string) correlate.Alarm {
+	return correlate.Alarm{
+		Component:    comp,
+		Kind:         correlate.KindThroughput,
+		At:           at,
+		LastAt:       last,
+		Score:        8.3,
+		ChangePoints: 4,
+		Suppressed:   2,
+		Chains:       chains,
+	}
+}
+
+func TestObserveGrayOpensCappedIncident(t *testing.T) {
+	c := New(Config{QuietWindow: 5 * time.Minute}, Sources{})
+	comp := component.RNIC(3, 1) // hard-alarm severity would be SevHigh
+	chain := "switch/tor queue-growth leads task job rtt inflation by ~2 round(s) (support 3, confidence 0.67)"
+	c.ObserveGray(grayAlarm(10*time.Minute, 12*time.Minute, comp, chain))
+
+	incs := c.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("incidents = %d, want 1", len(incs))
+	}
+	in := incs[0]
+	if !in.Gray || in.State != Open || in.Component != comp {
+		t.Fatalf("incident: %+v", in)
+	}
+	if in.Severity != SevMedium {
+		t.Fatalf("gray severity = %v, want capped at SevMedium", in.Severity)
+	}
+	if in.OpenedAt != 12*time.Minute || in.FirstAnomalyAt != 10*time.Minute || in.TimeToDetect != 2*time.Minute {
+		t.Fatalf("clocks: opened=%v first=%v ttd=%v", in.OpenedAt, in.FirstAnomalyAt, in.TimeToDetect)
+	}
+	if len(in.Evidence.Verdicts) != 1 || !strings.Contains(in.Evidence.Verdicts[0], "[correlate]") {
+		t.Fatalf("verdicts: %v", in.Evidence.Verdicts)
+	}
+	if !reflect.DeepEqual(in.Evidence.Chains, []string{chain}) {
+		t.Fatalf("chains: %v", in.Evidence.Chains)
+	}
+	if len(in.Evidence.Remediation) != 1 || !strings.Contains(in.Evidence.Remediation[0], "no automatic remediation") {
+		t.Fatalf("remediation trail: %v", in.Evidence.Remediation)
+	}
+}
+
+func TestObserveGrayFoldsIntoLiveIncident(t *testing.T) {
+	c := New(Config{QuietWindow: 5 * time.Minute}, Sources{})
+	comp := component.RNIC(0, 0)
+	c.ObserveGray(grayAlarm(10*time.Minute, 10*time.Minute, comp))
+
+	al := grayAlarm(10*time.Minute, 13*time.Minute, comp, "chain-a", "chain-b")
+	al.Suppressed = 9
+	c.ObserveGray(al)
+
+	incs := c.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("second gray alarm minted a new incident: %d", len(incs))
+	}
+	in := incs[0]
+	if in.AlarmCount != 2 || in.LastAlarmAt != 13*time.Minute {
+		t.Fatalf("fold: count=%d last=%v", in.AlarmCount, in.LastAlarmAt)
+	}
+	if len(in.Evidence.Verdicts) != 2 {
+		t.Fatalf("verdict trail: %v", in.Evidence.Verdicts)
+	}
+	if !strings.Contains(in.Evidence.Verdicts[1], "9 suppressed") {
+		t.Fatalf("updated verdict lost the suppression count: %q", in.Evidence.Verdicts[1])
+	}
+	// Chains mirror the alarm's authoritative list, not an append log.
+	if !reflect.DeepEqual(in.Evidence.Chains, []string{"chain-a", "chain-b"}) {
+		t.Fatalf("chains: %v", in.Evidence.Chains)
+	}
+}
+
+func TestObserveGrayFlapReopens(t *testing.T) {
+	c := New(Config{QuietWindow: 5 * time.Minute}, Sources{})
+	comp := component.RNIC(1, 2)
+	c.ObserveGray(grayAlarm(10*time.Minute, 10*time.Minute, comp))
+	c.NoteMitigated(comp, 11*time.Minute, "paged")
+	c.Sweep(17 * time.Minute)
+	if st := c.Incidents()[0].State; st != Resolved {
+		t.Fatalf("not resolved: %v", st)
+	}
+
+	// Recurrence inside the quiet window: the flapping-signal case the
+	// dedup layer reports — reopen and escalate, don't re-page fresh.
+	c.ObserveGray(grayAlarm(18*time.Minute, 19*time.Minute, comp, "late-chain"))
+	incs := c.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("flap minted a new incident: %d", len(incs))
+	}
+	in := incs[0]
+	if in.State != Open || in.Reopens != 1 || !in.Gray {
+		t.Fatalf("reopen: %+v", in)
+	}
+	if in.Severity != SevMedium+1 {
+		t.Fatalf("reopen severity = %v, want bumped to %v", in.Severity, SevMedium+1)
+	}
+	if !reflect.DeepEqual(in.Evidence.Chains, []string{"late-chain"}) {
+		t.Fatalf("reopen chains: %v", in.Evidence.Chains)
+	}
+
+	// Past the quiet window a recurrence is a fresh page.
+	c.NoteMitigated(comp, 20*time.Minute, "paged")
+	c.Sweep(26 * time.Minute)
+	c.ObserveGray(grayAlarm(40*time.Minute, 40*time.Minute, comp))
+	if got := len(c.Incidents()); got != 2 {
+		t.Fatalf("quiet-window-expired recurrence folded instead of opening: %d incidents", got)
+	}
+}
+
+func TestGraySnapshotRoundTrip(t *testing.T) {
+	c := New(Config{QuietWindow: 5 * time.Minute}, Sources{})
+	c.ObserveGray(grayAlarm(10*time.Minute, 12*time.Minute, component.RNIC(0, 1), "chain-x"))
+	snap := c.Snapshot()
+
+	c2 := New(Config{QuietWindow: 5 * time.Minute}, Sources{})
+	if err := c2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() != c2.Fingerprint() {
+		t.Fatal("gray incident fingerprint not preserved across snapshot")
+	}
+	in := c2.Incidents()[0]
+	if !in.Gray || !reflect.DeepEqual(in.Evidence.Chains, []string{"chain-x"}) {
+		t.Fatalf("restored incident lost gray fields: %+v", in)
+	}
+
+	// Gray and chains are load-bearing in the fingerprint: flipping
+	// either must change the digest.
+	c3 := New(Config{QuietWindow: 5 * time.Minute}, Sources{})
+	if err := c3.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	c3.incidents[0].Gray = false
+	if c.Fingerprint() == c3.Fingerprint() {
+		t.Fatal("fingerprint blind to the Gray flag")
+	}
+	c3.incidents[0].Gray = true
+	c3.incidents[0].Evidence.Chains[0] = "tampered"
+	if c.Fingerprint() == c3.Fingerprint() {
+		t.Fatal("fingerprint blind to chain evidence")
+	}
+}
+
+func TestNoteRemediationCapsTrail(t *testing.T) {
+	c := New(Config{QuietWindow: 5 * time.Minute, MaxEvidenceNotes: 3}, Sources{})
+	comp := component.ID("switch/tor/0/0")
+	c.ObserveAlarm(alarmFor(10*time.Minute, "port down", comp))
+	for _, note := range []string{"n1", "n2", "n3", "n4", "n5"} {
+		if !c.NoteRemediation(comp, note) {
+			t.Fatalf("note %s rejected", note)
+		}
+	}
+	got := c.Incidents()[0].Evidence.Remediation
+	if want := []string{"n3", "n4", "n5"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("remediation trail = %v, want %v (capped, newest kept)", got, want)
+	}
+}

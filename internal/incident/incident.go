@@ -34,6 +34,7 @@ import (
 
 	"skeletonhunter/internal/analyzer"
 	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/correlate"
 	"skeletonhunter/internal/obs"
 	"skeletonhunter/internal/overlay"
 	"skeletonhunter/internal/probe"
@@ -138,9 +139,14 @@ type Evidence struct {
 	// Verdicts are the localization details ("[underlay] …") that named
 	// this incident's component in the triggering alarm.
 	Verdicts []string
+	// Chains are the correlate layer's causal chains ("ToR queue
+	// growth leads task rtt inflation by ~2 rounds"), observation
+	// order, capped at MaxEvidenceNotes.
+	Chains []string
 	// Remediation is the self-healing audit trail: one line per
 	// remediation-plane event touching this incident (planned, deferred,
-	// executed, committed, rolled back, escalated), in event order.
+	// executed, committed, rolled back, escalated), in event order,
+	// capped at MaxEvidenceNotes (newest kept).
 	Remediation []string
 }
 
@@ -149,6 +155,7 @@ func (e Evidence) clone() Evidence {
 	out.Records = append([]probe.Record(nil), e.Records...)
 	out.Queues = append([]QueueSample(nil), e.Queues...)
 	out.Verdicts = append([]string(nil), e.Verdicts...)
+	out.Chains = append([]string(nil), e.Chains...)
 	out.Remediation = append([]string(nil), e.Remediation...)
 	if e.Offload != nil {
 		od := *e.Offload
@@ -200,6 +207,12 @@ type Incident struct {
 	AlarmCount int
 	Reopens    int
 
+	// Gray marks an incident opened by the correlate layer (a
+	// change-point below the hard detector's thresholds). Gray
+	// incidents page with evidence; the remediation plane deliberately
+	// declines to act on them.
+	Gray bool
+
 	// Rev is the incident's change revision: the correlator's global
 	// monotonic mutation counter, stamped onto the incident at every
 	// fold that touches it. Consumers that re-publish incidents (the
@@ -245,6 +258,10 @@ type Config struct {
 	// MaxEvidenceRecords caps the records kept per bundle (default 64,
 	// newest kept; negative = keep none).
 	MaxEvidenceRecords int
+	// MaxEvidenceNotes caps the appended evidence-note trails —
+	// remediation audit lines and correlate chains — per bundle
+	// (default 32, observation order, newest kept).
+	MaxEvidenceNotes int
 }
 
 func (c Config) withDefaults() Config {
@@ -256,6 +273,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEvidenceRecords == 0 {
 		c.MaxEvidenceRecords = 64
+	}
+	if c.MaxEvidenceNotes == 0 {
+		c.MaxEvidenceNotes = 32
 	}
 	return c
 }
@@ -333,6 +353,93 @@ func (c *Correlator) ObserveAlarm(al analyzer.Alarm) {
 	}
 }
 
+// ObserveGray folds one correlate-layer alarm into the incident set.
+// Gray alarms are a distinct source: they carry no localization
+// verdicts, open page-with-evidence incidents capped at SevMedium, and
+// attach the correlator's causal chains as evidence. A gray alarm on a
+// component with a live incident (gray or hard) folds into it instead.
+func (c *Correlator) ObserveGray(al correlate.Alarm) {
+	comp := al.Component
+	verdict := fmt.Sprintf("[correlate] %s %s change-point (score %.1fσ, %d crossing(s), %d suppressed)",
+		comp, al.Kind, al.Score, al.ChangePoints, al.Suppressed)
+	inc := c.latest[comp]
+	switch {
+	case inc == nil || (inc.State == Resolved && al.LastAt-inc.ResolvedAt > c.cfg.QuietWindow):
+		c.openGray(comp, al, verdict)
+	case inc.State == Resolved:
+		// Recurrence inside the quiet window: flap-reopen the record,
+		// exactly as a hard alarm would, with re-gathered evidence.
+		inc.State = Open
+		inc.Reopens++
+		if inc.Severity < SevCritical {
+			inc.Severity++
+		}
+		inc.ResolvedAt = 0
+		inc.MitigatedAt = 0
+		inc.Mitigation = ""
+		inc.RepairedAt = 0
+		inc.TimeToRepair = 0
+		inc.LastAlarmAt = al.LastAt
+		inc.AlarmCount++
+		inc.Evidence = c.gatherAt(comp, al.LastAt)
+		inc.Evidence.Verdicts = append(inc.Evidence.Verdicts, verdict)
+		inc.Evidence.Chains = cappedChains(nil, al.Chains, c.cfg.MaxEvidenceNotes)
+		c.touch(inc)
+		c.Obs.Inc(obs.IncidentsReopened)
+	default:
+		inc.LastAlarmAt = al.LastAt
+		inc.AlarmCount++
+		inc.Evidence.Verdicts = correlate.AppendCapped(inc.Evidence.Verdicts, c.cfg.MaxEvidenceNotes, verdict)
+		inc.Evidence.Chains = cappedChains(inc.Evidence.Chains[:0], al.Chains, c.cfg.MaxEvidenceNotes)
+		c.touch(inc)
+	}
+}
+
+// openGray mints a page-with-evidence incident for a gray alarm.
+func (c *Correlator) openGray(comp component.ID, al correlate.Alarm, verdict string) {
+	c.nextSeq++
+	class := component.ClassOf(comp)
+	sev := SeverityFor(class)
+	if sev > SevMedium {
+		// Conservative by design: a sub-threshold signal never pages at
+		// the urgency a confirmed hard fault would.
+		sev = SevMedium
+	}
+	inc := &Incident{
+		ID:             fmt.Sprintf("inc-%04d", c.nextSeq),
+		Component:      comp,
+		Class:          class,
+		Severity:       sev,
+		State:          Open,
+		OpenedAt:       al.LastAt,
+		LastAlarmAt:    al.LastAt,
+		FirstAnomalyAt: al.At,
+		TimeToDetect:   al.LastAt - al.At,
+		AlarmCount:     1,
+		Gray:           true,
+		Evidence:       c.gatherAt(comp, al.LastAt),
+	}
+	inc.Evidence.Verdicts = append(inc.Evidence.Verdicts, verdict)
+	inc.Evidence.Chains = cappedChains(nil, al.Chains, c.cfg.MaxEvidenceNotes)
+	inc.Evidence.Remediation = correlate.AppendCapped(inc.Evidence.Remediation, c.cfg.MaxEvidenceNotes,
+		"gray-failure policy: page with evidence, no automatic remediation")
+	c.touch(inc)
+	c.incidents = append(c.incidents, inc)
+	c.latest[comp] = inc
+	c.byID[inc.ID] = inc
+	c.Obs.Inc(obs.IncidentsOpened)
+}
+
+// cappedChains rebuilds a chain trail from the alarm's authoritative
+// list through the shared capped appender, preserving observation
+// order under the incident plane's own cap.
+func cappedChains(dst []string, chains []string, max int) []string {
+	for _, ch := range chains {
+		dst = correlate.AppendCapped(dst, max, ch)
+	}
+	return dst
+}
+
 // open mints a new incident for a component.
 func (c *Correlator) open(comp component.ID, al analyzer.Alarm, firstAnomaly time.Duration) {
 	c.nextSeq++
@@ -370,7 +477,7 @@ func (c *Correlator) Rev() uint64 { return c.rev }
 
 // gather assembles the evidence bundle for a component at alarm time.
 func (c *Correlator) gather(comp component.ID, al analyzer.Alarm) Evidence {
-	ev := Evidence{GatheredAt: al.At}
+	ev := c.gatherAt(comp, al.At)
 	for _, v := range al.Verdicts {
 		for _, vc := range v.Components {
 			if vc == comp {
@@ -379,8 +486,16 @@ func (c *Correlator) gather(comp component.ID, al analyzer.Alarm) Evidence {
 			}
 		}
 	}
+	return ev
+}
+
+// gatherAt pulls the source-backed evidence dimensions (retained
+// records, queue samples, offload dump) for a component at a given
+// time — shared by the hard-alarm and gray-alarm gather paths.
+func (c *Correlator) gatherAt(comp component.ID, at time.Duration) Evidence {
+	ev := Evidence{GatheredAt: at}
 	if c.src.Records != nil {
-		since := al.At - c.cfg.EvidenceWindow
+		since := at - c.cfg.EvidenceWindow
 		if since < 0 {
 			since = 0
 		}
@@ -429,14 +544,17 @@ func (c *Correlator) NoteMitigated(comp component.ID, at time.Duration, how stri
 }
 
 // NoteRemediation appends one line to the component's latest
-// incident's remediation audit trail. Reports whether an incident
-// existed to annotate.
+// incident's remediation audit trail, through the shared capped
+// appender (observation order, newest MaxEvidenceNotes kept) — the
+// same policy correlate chains get, so a chatty remediation loop (or
+// an auto-migration exhaustion storm) cannot grow evidence without
+// bound. Reports whether an incident existed to annotate.
 func (c *Correlator) NoteRemediation(comp component.ID, note string) bool {
 	inc := c.latest[comp]
 	if inc == nil {
 		return false
 	}
-	inc.Evidence.Remediation = append(inc.Evidence.Remediation, note)
+	inc.Evidence.Remediation = correlate.AppendCapped(inc.Evidence.Remediation, c.cfg.MaxEvidenceNotes, note)
 	c.touch(inc)
 	return true
 }

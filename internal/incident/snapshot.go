@@ -16,8 +16,9 @@ import (
 
 // SnapshotVersion is the incident snapshot format version. Version 2
 // added the remediation fields (RepairedAt, TimeToRepair, the
-// evidence audit trail); older snapshots are not readable.
-const SnapshotVersion = 2
+// evidence audit trail); version 3 added the gray-failure source
+// (Incident.Gray, Evidence.Chains). Older snapshots are not readable.
+const SnapshotVersion = 3
 
 // Snapshot is the correlator's serializable state.
 type Snapshot struct {
@@ -88,11 +89,11 @@ func (c *Correlator) Crash() {
 func (c *Correlator) Fingerprint() string {
 	h := sha256.New()
 	for _, inc := range c.incidents {
-		fmt.Fprintf(h, "inc %s %s %s %s %d %d %d %d %d %d %d %d %d %d %q\n",
+		fmt.Fprintf(h, "inc %s %s %s %s %d %d %d %d %d %d %d %d %d %d %v %q\n",
 			inc.ID, inc.Component, inc.State, inc.Severity,
 			inc.OpenedAt, inc.MitigatedAt, inc.ResolvedAt, inc.LastAlarmAt,
 			inc.TimeToDetect, inc.TimeToMitigate, inc.RepairedAt, inc.TimeToRepair,
-			inc.AlarmCount, inc.Reopens, inc.Mitigation)
+			inc.AlarmCount, inc.Reopens, inc.Gray, inc.Mitigation)
 		ev := inc.Evidence
 		fmt.Fprintf(h, " ev %d %d %d\n", ev.GatheredAt, ev.TotalRecords, len(ev.Records))
 		for _, r := range ev.Records {
@@ -106,6 +107,9 @@ func (c *Correlator) Fingerprint() string {
 		}
 		for _, v := range ev.Verdicts {
 			fmt.Fprintf(h, " v %s\n", v)
+		}
+		for _, ch := range ev.Chains {
+			fmt.Fprintf(h, " c %s\n", ch)
 		}
 		for _, m := range ev.Remediation {
 			fmt.Fprintf(h, " m %s\n", m)

@@ -45,8 +45,25 @@ type Condition struct {
 	// queues flat — the signal the Fig. 18 investigation used to rule
 	// out congestion.
 	QueueBacklog bool
+	// RampLatencyPerSec grows the extra latency linearly with simulated
+	// time once now passes RampStart: the gray-failure shape where a
+	// fault degrades gradually instead of arriving as a step, which
+	// threshold detectors miss but drift change-point tests catch.
+	RampLatencyPerSec time.Duration
+	// RampStart is the simulated time the ramp begins accruing.
+	RampStart time.Duration
 	// Flap, when non-nil, makes the component periodically Down.
 	Flap *Flap
+}
+
+// extraLatency returns the condition's latency inflation at time now:
+// the constant ExtraLatency plus any accrued ramp.
+func (c *Condition) extraLatency(now time.Duration) time.Duration {
+	d := c.ExtraLatency
+	if c.RampLatencyPerSec > 0 && now > c.RampStart {
+		d += time.Duration(float64(c.RampLatencyPerSec) * (now - c.RampStart).Seconds())
+	}
+	return d
 }
 
 // Flap describes periodic unavailability: within every Period the
@@ -165,9 +182,12 @@ func decayFactor(dt time.Duration) float64 {
 }
 
 // QueueLength returns the node's current queue occupancy estimate (in
-// packets): the decayed traversal count plus a large constant backlog
-// when a congestion-backed condition afflicts the node. Operators use
-// this to distinguish genuine congestion from software-path slowness.
+// packets): the decayed traversal count plus a backlog proportional to
+// the condition's current latency inflation when that inflation is
+// congestion-backed. Operators use this to distinguish genuine
+// congestion from software-path slowness; ramped congestion shows a
+// queue that grows round over round, the drift signal the second-layer
+// correlator keys on.
 func (n *Net) QueueLength(node topology.NodeID) float64 {
 	depth := 0.0
 	if ord, ok := n.Fabric.NodeIndex(node); ok {
@@ -175,8 +195,15 @@ func (n *Net) QueueLength(node topology.NodeID) float64 {
 			depth = q.depth * decayFactor(n.Engine.Now()-q.last)
 		}
 	}
-	if c := n.nodeCond[node]; c != nil && c.QueueBacklog && !c.effectiveDown(n.Engine.Now()) {
-		depth += 500
+	now := n.Engine.Now()
+	if c := n.nodeCond[node]; c != nil && c.QueueBacklog && !c.effectiveDown(now) {
+		// ≈10 packets queued per µs of congestion latency, capped at the
+		// buffer size a ToR would shoulder before ECN/PFC kicks in.
+		backlog := 10 * float64(c.extraLatency(now)) / float64(time.Microsecond)
+		if backlog > 500 {
+			backlog = 500
+		}
+		depth += backlog
 	}
 	return depth
 }
@@ -393,7 +420,7 @@ func (e *effects) apply(c *Condition, now time.Duration) bool {
 		return false
 	}
 	e.addLoss(c.LossRate)
-	e.latency += c.ExtraLatency
+	e.latency += c.extraLatency(now)
 	return true
 }
 

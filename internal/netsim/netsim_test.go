@@ -269,6 +269,51 @@ func TestQueueBacklogOnlyForCongestionBackedConditions(t *testing.T) {
 	}
 }
 
+// TestRampedConditionGrowsLatencyAndQueue pins the gray-congestion
+// shape: a ramped condition inflates RTT a little more each sample and
+// drags a proportionally growing queue behind it — no step anywhere
+// for a threshold detector to trip on.
+func TestRampedConditionGrowsLatencyAndQueue(t *testing.T) {
+	n, a, b := world(t)
+	tor := n.Fabric.ToR(0, b.Rail)
+	start := n.Engine.Now()
+	n.SetNodeCondition(tor, &Condition{
+		RampLatencyPerSec: 200 * time.Nanosecond,
+		RampStart:         start,
+		QueueBacklog:      true,
+	})
+
+	var rtts []time.Duration
+	var queues []float64
+	for i := 0; i < 5; i++ {
+		n.Engine.RunUntil(n.Engine.Now() + 30*time.Second)
+		res := n.Probe(a, b, uint64(i))
+		if res.Lost {
+			t.Fatalf("sample %d lost", i)
+		}
+		rtts = append(rtts, res.RTT)
+		queues = append(queues, n.QueueLength(tor))
+	}
+	for i := 1; i < len(rtts); i++ {
+		if rtts[i] <= rtts[i-1] {
+			t.Fatalf("rtt not monotonically growing: %v", rtts)
+		}
+		if queues[i] <= queues[i-1] {
+			t.Fatalf("queue not growing with the ramp: %v", queues)
+		}
+	}
+	// 2 minutes in, the one-way ramp is 24 µs — both directions traverse
+	// the ToR, so the RTT carries roughly double that over baseline.
+	if base, last := rtts[0], rtts[len(rtts)-1]; last-base < 30*time.Microsecond {
+		t.Fatalf("ramp barely moved the RTT: first %v last %v", base, last)
+	}
+	// The proportional backlog saturates at the buffer cap.
+	n.Engine.RunUntil(n.Engine.Now() + 10*time.Minute)
+	if q := n.QueueLength(tor); q < 499 || q > 501 {
+		t.Fatalf("saturated queue = %v, want the 500-packet cap", q)
+	}
+}
+
 func TestTracerouteMatchesECMPSelection(t *testing.T) {
 	n, _, _ := world(t)
 	src := topology.NIC{Host: 0, Rail: 1}

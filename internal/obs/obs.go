@@ -126,6 +126,15 @@ const (
 	// RemedyDryRunIntents counts actions the engine would have executed
 	// in dry-run mode (intent recorded, nothing touched).
 	RemedyDryRunIntents
+	// ChangepointsRaised counts CUSUM threshold crossings in the
+	// correlate layer (both directions, before clustering and dedup).
+	ChangepointsRaised
+	// AlarmsDeduped counts gray-alarm candidates collapsed into an
+	// existing alarm by the stable-bloom dedup stage.
+	AlarmsDeduped
+	// ChainsEmitted counts lead-lag causal chains attached to gray
+	// alarms as incident evidence.
+	ChainsEmitted
 
 	numCounters
 )
@@ -204,6 +213,12 @@ func (c Counter) String() string {
 		return "remedy-actions-escalated"
 	case RemedyDryRunIntents:
 		return "remedy-dry-run-intents"
+	case ChangepointsRaised:
+		return "changepoints-raised"
+	case AlarmsDeduped:
+		return "alarms-deduped"
+	case ChainsEmitted:
+		return "chains-emitted"
 	default:
 		return fmt.Sprintf("counter(%d)", int(c))
 	}

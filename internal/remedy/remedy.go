@@ -483,6 +483,14 @@ func (e *Engine) Pending() (deferred, verifying int) {
 // whether an automated play exists; classes without one (e.g. a bare
 // switch-config drift with no locatable switch) stay human-owned.
 func PolicyFor(in *incident.Incident) (ActionKind, bool) {
+	// Gray incidents (correlate-layer change-points below the hard
+	// detector's thresholds) page with evidence only: a sub-threshold
+	// signal never justifies draining a host or cordoning a switch
+	// automatically. Operators act on the chains, or the symptom
+	// hardens and the detector's alarm takes over.
+	if in.Gray {
+		return 0, false
+	}
 	switch in.Class {
 	case component.ClassContainerRuntime:
 		return KindRestartContainer, true

@@ -97,6 +97,26 @@ func TestPolicyTable(t *testing.T) {
 	}
 }
 
+// TestPolicyGrayNeverAutoRemediates pins the conservative gray policy:
+// a correlate-layer incident pages with evidence only, even when its
+// class would otherwise map to an automated play.
+func TestPolicyGrayNeverAutoRemediates(t *testing.T) {
+	comps := []component.ID{
+		component.Container("t0/c1"),
+		component.RNIC(4, 0),
+		component.HostBoard(5),
+		component.Switch("tor/p0/r1"),
+		component.ID("link/nic/h2/r0--tor/p0/r0"),
+	}
+	for _, comp := range comps {
+		in := openIncident("i-gray", comp)
+		in.Gray = true
+		if kind, ok := PolicyFor(&in); ok {
+			t.Errorf("PolicyFor(gray %s) = (%v, true), want no automated play", comp, kind)
+		}
+	}
+}
+
 // TestBudgetDefersNotDrops exceeds the per-window budget and requires
 // the overflow to queue FIFO and execute in the next window.
 func TestBudgetDefersNotDrops(t *testing.T) {
