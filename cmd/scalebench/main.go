@@ -17,7 +17,22 @@
 // after the measured rounds — runs a settle phase so planned repairs
 // execute and their verify windows commit, or "gray", which arms the
 // second-layer correlate detector and injects gray degradations
-// (a ramped ToR and a subtly slow RNIC) alongside the hard faults. In
+// (a ramped ToR and a subtly slow RNIC) alongside the hard faults.
+//
+// Three further variants replay the adversarial scenario packs of
+// internal/scenario instead of the default fleet-and-faults schedule:
+// "flap" (flap+ghost: flapping links under a corrupted topology view),
+// "rdma-mask" (transport retry masks an escalating-loss link until the
+// collective collapses), and "churn" (trace-driven container churn
+// around hard faults). The pack supplies the tasks and the fault
+// schedule; the campaign runs to the pack's horizon, the outcome
+// carries the pack's ground-truth score, and -gate2x enforces the
+// pack's sanity floor (recall > 0; for rdma-mask, a collapse with
+// detection before it) instead of the speedup gate, which is
+// meaningless on a pack-sized fleet. The worker-matrix fingerprint
+// cross-check applies to every variant.
+//
+// In
 // heal mode the outcome carries repaired-incident and remedy-action
 // counts and -gate2x additionally fails the run if no incident was
 // actually healed; in gray mode the outcome carries correlate alarm,
@@ -28,7 +43,7 @@
 //
 // Usage:
 //
-//	scalebench [-hosts 4096] [-rounds 30] [-workers 1,4,16] [-campaign heal|gray] [-short] [-o BENCH_scale.json]
+//	scalebench [-hosts 4096] [-rounds 30] [-workers 1,4,16] [-campaign heal|gray|flap|rdma-mask|churn] [-short] [-o BENCH_scale.json]
 package main
 
 import (
@@ -51,6 +66,7 @@ import (
 	"skeletonhunter/internal/obs"
 	"skeletonhunter/internal/parallelism"
 	"skeletonhunter/internal/remedy"
+	"skeletonhunter/internal/scenario"
 	"skeletonhunter/internal/topology"
 )
 
@@ -127,6 +143,24 @@ type OutcomeInfo struct {
 	GrayAlarms     int `json:"gray_alarms,omitempty"`
 	GraySuppressed int `json:"gray_suppressed,omitempty"`
 	ChainsEmitted  int `json:"chains_emitted,omitempty"`
+	// Scenario-campaign outcome: nil unless -campaign names a pack.
+	Scenario *ScenarioOutcome `json:"scenario,omitempty"`
+}
+
+// ScenarioOutcome is a scenario campaign's ground-truth score plus the
+// rdma-mask workload truth.
+type ScenarioOutcome struct {
+	scenario.PackScore
+	CollapseAtSec float64 `json:"collapse_at_sec,omitempty"`
+	Collapsed     bool    `json:"collapsed,omitempty"`
+	PreCollapse   bool    `json:"detected_before_collapse,omitempty"`
+}
+
+// scenarioCampaigns maps -campaign values to scenario pack names.
+var scenarioCampaigns = map[string]string{
+	"flap":      "flap-ghost",
+	"rdma-mask": "rdma-mask",
+	"churn":     "churn-replay",
 }
 
 // fastestLag removes the minutes-scale container lifecycle delays of
@@ -173,9 +207,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scalebench:", err)
 		os.Exit(2)
 	}
-	if *campaign != "probe" && *campaign != "heal" && *campaign != "gray" {
-		fmt.Fprintf(os.Stderr, "scalebench: bad -campaign %q (want probe, heal, or gray)\n", *campaign)
+	if _, isScenario := scenarioCampaigns[*campaign]; !isScenario &&
+		*campaign != "probe" && *campaign != "heal" && *campaign != "gray" {
+		fmt.Fprintf(os.Stderr, "scalebench: bad -campaign %q (want probe, heal, gray, flap, rdma-mask, or churn)\n", *campaign)
 		os.Exit(2)
+	}
+	if _, isScenario := scenarioCampaigns[*campaign]; isScenario && !explicit["hosts"] {
+		// Packs submit their own pack-sized tenants; a 4096-host fabric
+		// only slows the replay down without adding probe coverage.
+		*hosts = 64
 	}
 	if *campaign == "gray" {
 		// The correlate layer folds at the 10 s analysis cadence, so the
@@ -216,6 +256,10 @@ func main() {
 		fmt.Printf("scalebench: gray campaign: %d correlate alarms, %d suppressed, %d chains\n",
 			rep.Outcome.GrayAlarms, rep.Outcome.GraySuppressed, rep.Outcome.ChainsEmitted)
 	}
+	if sc := rep.Outcome.Scenario; sc != nil {
+		fmt.Printf("scalebench: scenario %s: precision %.2f recall %.2f strict %.2f ttd %.1fs (%d episodes)\n",
+			sc.Pack, sc.Precision, sc.Recall, sc.StrictRecall, sc.MeanTTDSec, sc.Episodes)
+	}
 	fmt.Printf("scalebench: %d hosts, deterministic=%v → %s\n", rep.Config.Hosts, rep.Deterministic, *out)
 
 	if !rep.Deterministic {
@@ -223,14 +267,47 @@ func main() {
 		os.Exit(1)
 	}
 	if *gate2x {
-		gateSpeedup(rep)
-		if *campaign == "heal" {
-			gateHealed(rep)
-		}
-		if *campaign == "gray" {
-			gateGray(rep)
+		if _, isScenario := scenarioCampaigns[*campaign]; isScenario {
+			gateScenario(rep)
+		} else {
+			gateSpeedup(rep)
+			if *campaign == "heal" {
+				gateHealed(rep)
+			}
+			if *campaign == "gray" {
+				gateGray(rep)
+			}
 		}
 	}
+}
+
+// gateScenario is a scenario campaign's acceptance floor under
+// -gate2x: the pack must have produced ground-truth episodes and
+// detected at least one of them, and the rdma-mask pack must
+// additionally have collapsed its collective job with detection
+// strictly before the collapse. (The speedup gate is skipped: a
+// pack-sized fleet has nothing for extra workers to parallelize.)
+func gateScenario(rep *Report) {
+	sc := rep.Outcome.Scenario
+	if sc == nil {
+		fmt.Fprintln(os.Stderr, "scalebench: FAIL: scenario campaign produced no scenario outcome")
+		os.Exit(1)
+	}
+	if sc.Episodes < 1 || sc.Recall <= 0 {
+		fmt.Fprintf(os.Stderr, "scalebench: FAIL: pack %s scored %d episodes, recall %.2f (want ≥1 episode detected)\n",
+			sc.Pack, sc.Episodes, sc.Recall)
+		os.Exit(1)
+	}
+	if sc.RunErrs > 0 {
+		fmt.Fprintf(os.Stderr, "scalebench: FAIL: pack %s logged %d action errors\n", sc.Pack, sc.RunErrs)
+		os.Exit(1)
+	}
+	if sc.Pack == "rdma-mask" && (!sc.Collapsed || !sc.PreCollapse) {
+		fmt.Fprintf(os.Stderr, "scalebench: FAIL: rdma-mask collapsed=%v detected-before-collapse=%v, want both\n",
+			sc.Collapsed, sc.PreCollapse)
+		os.Exit(1)
+	}
+	fmt.Printf("scalebench: scenario gate passed (%s: recall %.2f over %d episodes)\n", sc.Pack, sc.Recall, sc.Episodes)
 }
 
 // gateGray is the gray campaign's acceptance floor under -gate2x: the
@@ -347,6 +424,9 @@ func runMatrix(hosts, rounds, warmup int, seed int64, workers []int, mode, campa
 }
 
 func run(hosts, rounds, warmup int, seed int64, workers int, campaign string, verbose bool) (*WorkerPerf, *FleetInfo, *OutcomeInfo, error) {
+	if pack, ok := scenarioCampaigns[campaign]; ok {
+		return runScenario(pack, hosts, seed, workers, verbose)
+	}
 	heal, gray := campaign == "heal", campaign == "gray"
 	spec := topology.Production(hosts)
 	opts := hunter.Options{
@@ -497,6 +577,103 @@ func run(hosts, rounds, warmup int, seed int64, workers int, campaign string, ve
 				outcome.RemedyEscalated++
 			}
 		}
+	}
+	return wp, fleet, outcome, nil
+}
+
+// runScenario replays one scenario pack as the campaign: the pack
+// supplies the tasks and the fault schedule, the replay runs to the
+// pack's horizon in one-second rounds for the usual perf accounting,
+// and the outcome carries the pack's ground-truth score. The same
+// fingerprint cross-check as every other campaign applies across the
+// worker matrix.
+func runScenario(pack string, hosts int, seed int64, workers int, verbose bool) (*WorkerPerf, *FleetInfo, *OutcomeInfo, error) {
+	spec := topology.Production(hosts)
+	d, err := hunter.New(hunter.Options{
+		Seed:             seed,
+		Spec:             spec,
+		Lag:              fastestLag(),
+		Workers:          workers,
+		Detect:           detect.Config{ShortWindow: 10 * time.Second},
+		AnalysisInterval: 10 * time.Second,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s, ok := scenario.Pack(pack, d.Fabric, seed)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("unknown scenario pack %q", pack)
+	}
+	log, err := scenario.Install(d, s)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rounds := int(s.Horizon / time.Second)
+	if verbose {
+		fmt.Printf("scenario %s: %d actions over %v (%d rounds); workers %d\n",
+			pack, len(s.Actions), s.Horizon, rounds, workers)
+	}
+
+	before := d.Stats().Counters
+	runtime.GC()
+	var m0, m1, ms runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	peak := m0.HeapAlloc
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		d.Run(time.Second)
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+		if verbose && (r+1)%120 == 0 {
+			fmt.Printf("round %d/%d: %d alarms, heap %d MiB\n",
+				r+1, rounds, len(d.Analyzer.Alarms()), ms.HeapAlloc>>20)
+		}
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	d.Analyzer.Flush(d.Engine.Now())
+	after := d.Stats().Counters
+
+	probes := after[obs.ProbesSent.String()] - before[obs.ProbesSent.String()]
+	incidents := 0
+	if d.Incidents != nil {
+		incidents = len(d.Incidents.Incidents())
+	}
+	fleet := &FleetInfo{
+		Pods:   spec.Pods,
+		RNICs:  hosts * spec.Rails,
+		Links:  d.Fabric.NumLinks(),
+		Tasks:  len(log.Tasks),
+		Agents: d.Agents(),
+	}
+	wp := &WorkerPerf{
+		Workers:        workers,
+		WallSeconds:    wall.Seconds(),
+		RoundsPerSec:   float64(rounds) / wall.Seconds(),
+		ProbesPerRound: float64(probes) / float64(rounds),
+		AllocsPerRound: float64(m1.Mallocs-m0.Mallocs) / float64(rounds),
+		BytesPerRound:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(rounds),
+		PeakHeapBytes:  peak,
+		UtilizationPct: after["worker-utilization-pct"],
+		Fingerprint:    d.Fingerprint(),
+	}
+	sc := &ScenarioOutcome{
+		PackScore: scenario.ScorePack(log, d.Injector.Injections(), d.Analyzer.Alarms()),
+	}
+	if at, collapsed := log.CollapseAt(); collapsed {
+		sc.Collapsed = true
+		sc.CollapseAtSec = at.Seconds()
+		sc.PreCollapse = scenario.PreCollapseDetection(d.Injector.Injections(), d.Analyzer.Alarms(), at)
+	}
+	outcome := &OutcomeInfo{
+		Alarms:      len(d.Analyzer.Alarms()),
+		Blacklisted: len(d.Analyzer.Blacklist()),
+		Incidents:   incidents,
+		ProbesSent:  after[obs.ProbesSent.String()],
+		RecordsSeen: after[obs.RecordsIngested.String()],
+		Scenario:    sc,
 	}
 	return wp, fleet, outcome, nil
 }

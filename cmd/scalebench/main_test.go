@@ -36,3 +36,43 @@ func TestParseWorkers(t *testing.T) {
 func TestGateHealedPasses(t *testing.T) {
 	gateHealed(&Report{Outcome: OutcomeInfo{Repaired: 3, RemedyCommitted: 3}})
 }
+
+// TestScenarioCampaign runs the flap pack through the scenario
+// campaign path on a small fabric and checks the perf/outcome wiring
+// and the accepting gate path.
+func TestScenarioCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("14-minute simulated campaign")
+	}
+	wp, fleet, outcome, err := run(16, 0, 0, 7, 1, "flap", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp.Fingerprint == "" {
+		t.Fatal("scenario campaign produced no fingerprint")
+	}
+	if wp.ProbesPerRound <= 0 {
+		t.Fatalf("probes/round = %v", wp.ProbesPerRound)
+	}
+	if fleet.Tasks == 0 {
+		t.Fatal("pack submitted no tasks")
+	}
+	sc := outcome.Scenario
+	if sc == nil || sc.Pack != "flap-ghost" {
+		t.Fatalf("scenario outcome = %+v", sc)
+	}
+	if sc.Episodes == 0 || sc.Recall <= 0 {
+		t.Fatalf("pack scored nothing: %+v", sc)
+	}
+	// The accepting gate path (the failing path calls os.Exit).
+	gateScenario(&Report{Outcome: *outcome})
+
+	// Same campaign at a second worker count: bit-identical outcome.
+	wp4, _, _, err := run(16, 0, 0, 7, 4, "flap", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp4.Fingerprint != wp.Fingerprint {
+		t.Fatalf("fingerprint diverges across workers:\n  1: %s\n  4: %s", wp.Fingerprint, wp4.Fingerprint)
+	}
+}

@@ -1,0 +1,227 @@
+// Command scenariobench runs the three adversarial scenario packs
+// (internal/scenario) end to end against a simulated deployment and
+// scores each against its ground-truth fault ledger: precision,
+// episode recall, strict (localization) recall, and mean time to
+// detect. CI archives the JSON report (BENCH_scenarios.json) so the
+// packs' accuracy diffs across commits like any other benchmark.
+//
+// Two acceptance gates fail the command (exit 1):
+//
+//   - flap+ghost: after the corrupted topology view refreshes,
+//     localization-strict recall must recover to within 10 points of a
+//     clean arm (the identical fault schedule with the ghost/refresh
+//     actions stripped) scored over the same phase.
+//   - rdma-mask: at least one ground-truth episode must be detected
+//     strictly before the collective job collapses — an alarm that
+//     arrives only after the workload died is a failed pack.
+//
+// Usage:
+//
+//	scenariobench [-seed 7] [-hosts 8] [-workers 1] [-o BENCH_scenarios.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/detect"
+	"skeletonhunter/internal/hunter"
+	"skeletonhunter/internal/scenario"
+	"skeletonhunter/internal/topology"
+)
+
+// Report is the benchmark's JSON output.
+type Report struct {
+	Config   ConfigInfo   `json:"config"`
+	Packs    []PackResult `json:"packs"`
+	Gates    GateInfo     `json:"gates"`
+	Finished string       `json:"finished"`
+}
+
+type ConfigInfo struct {
+	Seed       int64 `json:"seed"`
+	Hosts      int   `json:"hosts"`
+	Workers    int   `json:"workers"`
+	GOMAXPROCS int   `json:"gomaxprocs"`
+}
+
+// PackResult is one pack's scored run.
+type PackResult struct {
+	scenario.PackScore
+	WallSeconds float64 `json:"wall_seconds"`
+
+	// Flap+ghost phase breakdown: strict recall during the ghost phase
+	// and after the refresh, each against the clean arm's same phase.
+	Flap *FlapPhases `json:"flap,omitempty"`
+	// RDMA-mask workload truth.
+	RDMA *RDMAOutcome `json:"rdma,omitempty"`
+}
+
+type FlapPhases struct {
+	GhostRecall      float64 `json:"ghost_recall"`
+	CleanGhostRecall float64 `json:"clean_ghost_recall"`
+	PostRecall       float64 `json:"post_recall"`
+	CleanPostRecall  float64 `json:"clean_post_recall"`
+}
+
+type RDMAOutcome struct {
+	CollapseAtSec float64 `json:"collapse_at_sec"`
+	Collapsed     bool    `json:"collapsed"`
+	PreCollapse   bool    `json:"detected_before_collapse"`
+}
+
+type GateInfo struct {
+	FlapRecovered   bool `json:"flap_recovered"`
+	RDMAPreCollapse bool `json:"rdma_pre_collapse"`
+	Pass            bool `json:"pass"`
+}
+
+// flapRecoveryMargin is the flap+ghost gate: post-refresh strict
+// recall must land within this many points of the clean arm's.
+const flapRecoveryMargin = 0.10
+
+func fastLag() cluster.LagModel {
+	return cluster.LagModel{
+		CreateLag:    func(r *rand.Rand, i int) time.Duration { return time.Duration(i) * time.Second },
+		StartupDelay: func(r *rand.Rand) time.Duration { return 5 * time.Second },
+		StopLag:      func(r *rand.Rand) time.Duration { return time.Second },
+	}
+}
+
+func newDeployment(seed int64, hosts, workers int) (*hunter.Deployment, error) {
+	return hunter.New(hunter.Options{
+		Seed: seed,
+		Spec: topology.Spec{Pods: 1, HostsPerPod: hosts, Rails: 8, AggPerPod: 2},
+		Lag:  fastLag(),
+		// Compressed timescale to match the packs' 30 s-scale faults.
+		Detect:           detect.Config{ShortWindow: 10 * time.Second},
+		AnalysisInterval: 10 * time.Second,
+		Workers:          workers,
+	})
+}
+
+// runSchedule plays one schedule to its horizon on a fresh deployment.
+func runSchedule(s *scenario.Schedule, seed int64, hosts, workers int) (*hunter.Deployment, *scenario.RunLog, error) {
+	d, err := newDeployment(seed, hosts, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	log, err := scenario.Run(d, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, log, nil
+}
+
+func main() {
+	seed := flag.Int64("seed", 7, "pack generation and simulation seed")
+	hosts := flag.Int("hosts", 8, "hosts in the simulated fabric")
+	workers := flag.Int("workers", 1, "round-engine workers")
+	out := flag.String("o", "BENCH_scenarios.json", "report output path")
+	flag.Parse()
+
+	rep, err := runBench(*seed, *hosts, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Finished = time.Now().UTC().Format(time.RFC3339)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scenariobench: report → %s\n", *out)
+
+	if !rep.Gates.FlapRecovered {
+		fmt.Fprintln(os.Stderr, "scenariobench: FAIL: flap+ghost localization did not recover to within 10% of the clean arm after the view refresh")
+	}
+	if !rep.Gates.RDMAPreCollapse {
+		fmt.Fprintln(os.Stderr, "scenariobench: FAIL: rdma-mask raised no detection before the collective collapse")
+	}
+	if !rep.Gates.Pass {
+		os.Exit(1)
+	}
+	fmt.Println("scenariobench: all gates passed")
+}
+
+// runBench plays every pack, scores it, and evaluates the gates.
+func runBench(seed int64, hosts, workers int) (*Report, error) {
+	rep := &Report{
+		Config: ConfigInfo{Seed: seed, Hosts: hosts, Workers: workers, GOMAXPROCS: runtime.GOMAXPROCS(0)},
+		Gates:  GateInfo{FlapRecovered: true, RDMAPreCollapse: true},
+	}
+	fab, err := topology.New(topology.Spec{Pods: 1, HostsPerPod: hosts, Rails: 8, AggPerPod: 2})
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range scenario.PackNames {
+		s, ok := scenario.Pack(name, fab, seed)
+		if !ok {
+			return nil, fmt.Errorf("unknown pack %q", name)
+		}
+		t0 := time.Now()
+		d, log, err := runSchedule(s, seed, hosts, workers)
+		if err != nil {
+			return nil, fmt.Errorf("pack %s: %w", name, err)
+		}
+		pr := PackResult{
+			PackScore:   scenario.ScorePack(log, d.Injector.Injections(), d.Analyzer.Alarms()),
+			WallSeconds: time.Since(t0).Seconds(),
+		}
+		switch name {
+		case "flap-ghost":
+			pr.Flap, err = flapPhases(s, d, log, seed, hosts, workers)
+			if err != nil {
+				return nil, err
+			}
+			rep.Gates.FlapRecovered = pr.Flap.PostRecall >= pr.Flap.CleanPostRecall-flapRecoveryMargin
+		case "rdma-mask":
+			at, ok := log.CollapseAt()
+			pr.RDMA = &RDMAOutcome{CollapseAtSec: at.Seconds(), Collapsed: ok}
+			if ok {
+				pr.RDMA.PreCollapse = scenario.PreCollapseDetection(d.Injector.Injections(), d.Analyzer.Alarms(), at)
+			}
+			rep.Gates.RDMAPreCollapse = ok && pr.RDMA.PreCollapse
+		}
+		rep.Packs = append(rep.Packs, pr)
+		fmt.Printf("scenariobench: %-12s precision %.2f  recall %.2f  strict %.2f  ttd %5.1fs  (%d episodes, %d alarms)\n",
+			name, pr.Precision, pr.Recall, pr.StrictRecall, pr.MeanTTDSec, pr.Episodes, pr.Alarms)
+	}
+	rep.Gates.Pass = rep.Gates.FlapRecovered && rep.Gates.RDMAPreCollapse
+	return rep, nil
+}
+
+// flapPhases scores the ghost arm's two phases against a clean arm:
+// the identical fault schedule with the view corruption stripped.
+func flapPhases(s *scenario.Schedule, d *hunter.Deployment, log *scenario.RunLog, seed int64, hosts, workers int) (*FlapPhases, error) {
+	if !log.HasGhost || !log.HasRefresh {
+		return nil, fmt.Errorf("flap-ghost: ghost/refresh actions never fired")
+	}
+	clean := s.Strip(scenario.ActGhostView, scenario.ActRefreshView)
+	cd, _, err := runSchedule(clean, seed, hosts, workers)
+	if err != nil {
+		return nil, fmt.Errorf("flap-ghost clean arm: %w", err)
+	}
+	horizon := s.Horizon
+	return &FlapPhases{
+		GhostRecall:      scenario.FlapPhaseRecall(d.Injector.Injections(), d.Analyzer.Alarms(), log.GhostAt, log.RefreshAt),
+		CleanGhostRecall: scenario.FlapPhaseRecall(cd.Injector.Injections(), cd.Analyzer.Alarms(), log.GhostAt, log.RefreshAt),
+		PostRecall:       scenario.FlapPhaseRecall(d.Injector.Injections(), d.Analyzer.Alarms(), log.RefreshAt, horizon),
+		CleanPostRecall:  scenario.FlapPhaseRecall(cd.Injector.Injections(), cd.Analyzer.Alarms(), log.RefreshAt, horizon),
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scenariobench:", err)
+	os.Exit(1)
+}

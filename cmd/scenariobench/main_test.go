@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunBench plays all three packs at the CI-default knobs and
+// checks the report shape and both acceptance gates. This is the same
+// run `make bench-scenarios` executes, so a gate regression fails here
+// before it fails in CI.
+func TestRunBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four simulated campaigns")
+	}
+	rep, err := runBench(7, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Packs) != 3 {
+		t.Fatalf("%d packs scored, want 3", len(rep.Packs))
+	}
+	for _, pr := range rep.Packs {
+		if pr.RunErrs != 0 {
+			t.Errorf("pack %s logged %d action errors", pr.Pack, pr.RunErrs)
+		}
+		if pr.Episodes == 0 {
+			t.Errorf("pack %s produced no ground-truth episodes", pr.Pack)
+		}
+		if pr.Recall <= 0 {
+			t.Errorf("pack %s detected nothing: recall %v", pr.Pack, pr.Recall)
+		}
+	}
+
+	flap := rep.Packs[0]
+	if flap.Pack != "flap-ghost" || flap.Flap == nil {
+		t.Fatalf("first pack = %+v, want flap-ghost with phase breakdown", flap.PackScore)
+	}
+	// The ghost phase must actually degrade localization relative to
+	// the clean arm — otherwise the pack proves nothing.
+	if flap.Flap.GhostRecall >= flap.Flap.CleanGhostRecall {
+		t.Errorf("ghost view did not degrade localization: %+v", flap.Flap)
+	}
+	if !rep.Gates.FlapRecovered {
+		t.Errorf("flap recovery gate failed: %+v", flap.Flap)
+	}
+
+	rdma := rep.Packs[1]
+	if rdma.Pack != "rdma-mask" || rdma.RDMA == nil {
+		t.Fatalf("second pack = %+v, want rdma-mask with workload truth", rdma.PackScore)
+	}
+	if !rdma.RDMA.Collapsed {
+		t.Error("rdma-mask never collapsed the collective job")
+	}
+	if !rep.Gates.RDMAPreCollapse {
+		t.Errorf("rdma pre-collapse gate failed: %+v", rdma.RDMA)
+	}
+
+	if !rep.Gates.Pass {
+		t.Fatalf("gates failed: %+v", rep.Gates)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+}

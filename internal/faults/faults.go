@@ -330,6 +330,49 @@ func (inj *Injector) Inject(t IssueType, tgt Target) (*Injection, error) {
 	return in, nil
 }
 
+// scenarioIssueBase offsets scenario-pack injection types past both the
+// Table 1 catalog and the gray range, so scoring can tell the three
+// fault populations apart.
+const scenarioIssueBase = 200
+
+// ScenarioLinkLoss is the parameterized-loss injection the scenario
+// packs escalate through (rdma-mask's loss staircase).
+const ScenarioLinkLoss = IssueType(scenarioIssueBase + 1)
+
+// IsScenario reports whether an injection was made through a
+// scenario-pack primitive (InjectLinkLoss).
+func (in *Injection) IsScenario() bool { return in.Type >= scenarioIssueBase }
+
+// InjectLinkLoss applies a raw loss-rate condition to one link and
+// records ground truth. Unlike CRCError's fixed 5 % it takes the rate
+// as a parameter — the scenario packs walk a link through an escalating
+// loss staircase, each step its own adjacent ground-truth window on the
+// same component (exactly the overlapping-window shape metrics.Score
+// merges into episodes).
+func (inj *Injector) InjectLinkLoss(link topology.LinkID, rate float64) (*Injection, error) {
+	if link == "" {
+		return nil, errBadTarget
+	}
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("faults: loss rate %v outside [0,1]", rate)
+	}
+	in := &Injection{
+		Type:   ScenarioLinkLoss,
+		Target: Target{Link: link},
+		At:     inj.Net.Engine.Now(),
+		Info: Info{Type: ScenarioLinkLoss, Name: fmt.Sprintf("Scenario link loss %.0f%%", rate*100),
+			Class: component.ClassInterHostNetwork, Symptom: SymptomPacketLoss,
+			Reason: "Scenario pack applies a parameterized loss rate to a link."},
+		Components: []component.ID{component.Link(link)},
+	}
+	inj.Net.SetLinkCondition(link, &netsim.Condition{LossRate: rate})
+	in.undo = func() { inj.Net.SetLinkCondition(link, nil) }
+	inj.seq++
+	in.ID = inj.seq
+	inj.injections = append(inj.injections, in)
+	return in, nil
+}
+
 // staleRail marks (or restores) every offloaded entry riding a rail on
 // a host as stale, returning the touched keys.
 func (inj *Injector) staleRail(host, rail int, stale bool) []overlay.FlowKey {

@@ -118,6 +118,11 @@ type Deployment struct {
 	Controller *controller.Controller
 	Analyzer   *analyzer.Analyzer
 	Injector   *faults.Injector
+	// Localizer is the three-stage disentangler the analyzer's shards
+	// share. Exposed so scenario packs can corrupt and refresh its
+	// topology View (the flap+ghost campaign); swap View only from an
+	// engine event, never mid-round.
+	Localizer *localize.Localizer
 	// Log retains recent probe records indexed by task/container/RNIC/
 	// switch (§6's log service) for operator queries.
 	Log *logstore.Store
@@ -242,6 +247,7 @@ func New(opts Options) (*Deployment, error) {
 	d := &Deployment{
 		Engine: eng, Fabric: fab, Overlay: ovl, Net: net,
 		CP: cp, Controller: ctl, Analyzer: an,
+		Localizer:     loc,
 		Injector:      faults.NewInjector(net, cp),
 		Log:           log,
 		Obs:           st,

@@ -144,6 +144,17 @@ type Localizer struct {
 	// ContainerIDOf resolves an overlay address to its container's
 	// identity for verdict naming; when nil, a "vni/ip" guess is used.
 	ContainerIDOf func(addr overlay.Addr) (string, bool)
+	// View is the localizer's picture of the physical topology: the
+	// tomography stage can only vote on links the topology service
+	// believes exist. A stale or corrupted view — flap storms drive the
+	// service's graph out of sync with the fabric, leaving "ghost"
+	// entries and missing links — returns false for links it has lost,
+	// and evidence crossing those links sheds its votes there, degrading
+	// localization until the view refreshes. nil means the view is
+	// perfectly synchronized (every link known). Like the rest of the
+	// localizer's inputs it is read by concurrent shards: swap it only
+	// between rounds, from an engine event.
+	View func(topology.LinkID) bool
 }
 
 // NewWithControlPlane wires a localizer whose container-state oracle is
@@ -376,11 +387,16 @@ func (in *linkInterner) id(o int32) topology.LinkID {
 func (in *linkInterner) size() int { return int(in.base) + len(in.ids) }
 
 // internPairSet dedupes one pair's observed links into a sorted
-// ordinal set (one vote per pair, not per probe).
-func (in *linkInterner) internPairSet(paths [][]topology.LinkID) []int32 {
+// ordinal set (one vote per pair, not per probe). known, when non-nil,
+// is the topology view: links it disclaims are dropped before voting —
+// the tomography of a system that does not know those links exist.
+func (in *linkInterner) internPairSet(paths [][]topology.LinkID, known func(topology.LinkID) bool) []int32 {
 	var ords []int32
 	for _, p := range paths {
 		for _, link := range p {
+			if known != nil && !known(link) {
+				continue
+			}
 			ords = append(ords, in.ord(link))
 		}
 	}
@@ -417,7 +433,7 @@ func (l *Localizer) physicalIntersection(sc *Scratch, evidence []Evidence, healt
 	in := sc.in
 	pairOrds := sc.pairOrds[:0]
 	for _, ev := range evidence {
-		pairOrds = append(pairOrds, in.internPairSet(ev.Paths))
+		pairOrds = append(pairOrds, in.internPairSet(ev.Paths, l.View))
 	}
 	sc.pairOrds = pairOrds
 	if len(sc.votes) < in.size() {

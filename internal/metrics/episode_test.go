@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/analyzer"
+	"skeletonhunter/internal/component"
+	"skeletonhunter/internal/faults"
+)
+
+// Flapping records many short windows on one component. The episode
+// side must score the burst as one fault, while the per-injection side
+// keeps its historical per-window semantics.
+func TestScoreOverlappingWindowsMergeIntoOneEpisode(t *testing.T) {
+	c := component.Link("nic/h0/r1--tor/p0/r1")
+	const grace = 10 * time.Second
+	injections := []*faults.Injection{
+		injection(10*time.Second, 20*time.Second, c),
+		injection(25*time.Second, 40*time.Second, c), // 25s ≤ 20s+grace: overlaps
+		injection(45*time.Second, 55*time.Second, c), // 45s ≤ 40s+grace: overlaps
+	}
+	alarms := []analyzer.Alarm{alarm(30*time.Second, c)}
+	r := Score(injections, alarms, grace)
+	if r.Episodes != 1 {
+		t.Fatalf("episodes = %d, want 1 merged flap burst (%+v)", r.Episodes, r)
+	}
+	if r.DetectedEpisodes != 1 || r.LocalizedEpisodes != 1 || r.MissedEpisodes != 0 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.EpisodeRecall() != 1 {
+		t.Fatalf("episode recall = %v", r.EpisodeRecall())
+	}
+	// Latency is measured from the episode's onset, not from whichever
+	// later window the alarm also fell into.
+	if r.MeanEpisodeLatency != 20*time.Second {
+		t.Fatalf("episode latency = %v, want 20s from burst onset", r.MeanEpisodeLatency)
+	}
+	// The per-injection side still counts windows individually.
+	if r.Injections != 3 {
+		t.Fatalf("injections = %d", r.Injections)
+	}
+}
+
+// Exactly-touching windows (next.At == prev.ClearedAt+grace) merge;
+// 1ns past the boundary splits.
+func TestScoreEpisodeTouchBoundary(t *testing.T) {
+	c := component.Link("l")
+	const grace = 10 * time.Second
+	touching := []*faults.Injection{
+		injection(0, 20*time.Second, c),
+		injection(30*time.Second, 50*time.Second, c), // 30s == 20s+grace: touches
+	}
+	r := Score(touching, nil, grace)
+	if r.Episodes != 1 {
+		t.Fatalf("touching windows: episodes = %d, want 1", r.Episodes)
+	}
+	split := []*faults.Injection{
+		injection(0, 20*time.Second, c),
+		injection(30*time.Second+time.Nanosecond, 50*time.Second, c),
+	}
+	r = Score(split, nil, grace)
+	if r.Episodes != 2 {
+		t.Fatalf("split windows: episodes = %d, want 2", r.Episodes)
+	}
+	if r.MissedEpisodes != 2 || r.EpisodeRecall() != 0 {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+// Disjoint campaigns: episode numbers reduce to the per-injection
+// numbers, so existing scoring semantics are a special case.
+func TestScoreDisjointWindowsMatchInjections(t *testing.T) {
+	a := component.RNIC(1, 2)
+	b := component.VSwitch(3)
+	injections := []*faults.Injection{
+		injection(10*time.Second, 60*time.Second, a),
+		injection(5*time.Minute, 6*time.Minute, b),
+	}
+	alarms := []analyzer.Alarm{alarm(40*time.Second, a)}
+	r := Score(injections, alarms, 10*time.Second)
+	if r.Episodes != r.Injections || r.DetectedEpisodes != r.DetectedInjections {
+		t.Fatalf("disjoint campaign diverged: %+v", r)
+	}
+	if r.MeanEpisodeLatency != r.MeanDetectionLatency {
+		t.Fatalf("latency diverged: %v vs %v", r.MeanEpisodeLatency, r.MeanDetectionLatency)
+	}
+}
+
+// Different components never merge, even with identical intervals.
+func TestScoreEpisodesSeparateComponents(t *testing.T) {
+	injections := []*faults.Injection{
+		injection(10*time.Second, 60*time.Second, component.Link("l1")),
+		injection(10*time.Second, 60*time.Second, component.Link("l2")),
+	}
+	r := Score(injections, nil, 10*time.Second)
+	if r.Episodes != 2 {
+		t.Fatalf("episodes = %d, want 2 concurrent faults", r.Episodes)
+	}
+}
+
+// An uncleared window absorbs every later window on the component and
+// leaves the episode open-ended.
+func TestScoreOpenEpisodeAbsorbsLaterWindows(t *testing.T) {
+	c := component.Link("l")
+	injections := []*faults.Injection{
+		injection(10*time.Second, 0, c), // never cleared
+		injection(5*time.Minute, 6*time.Minute, c),
+	}
+	r := Score(injections, []analyzer.Alarm{alarm(2*time.Hour, c)}, time.Second)
+	if r.Episodes != 1 {
+		t.Fatalf("episodes = %d, want 1 open episode", r.Episodes)
+	}
+	if r.DetectedEpisodes != 1 || r.LocalizedEpisodes != 1 {
+		t.Fatalf("late alarm must land in the open episode: %+v", r)
+	}
+}
+
+// Unsorted input: windows recorded out of order still merge.
+func TestScoreEpisodesUnsortedInjections(t *testing.T) {
+	c := component.Link("l")
+	injections := []*faults.Injection{
+		injection(25*time.Second, 40*time.Second, c),
+		injection(10*time.Second, 20*time.Second, c),
+	}
+	r := Score(injections, nil, 10*time.Second)
+	if r.Episodes != 1 {
+		t.Fatalf("episodes = %d, want 1 after sorting", r.Episodes)
+	}
+}
+
+// Multi-component injections group by the full component set: repeated
+// windows of one {link, rnic} fault merge, but a {link}-only window on
+// the same link is its own episode stream.
+func TestScoreEpisodeComponentSetSignature(t *testing.T) {
+	link := component.Link("l")
+	rnic := component.RNIC(0, 1)
+	injections := []*faults.Injection{
+		{At: 10 * time.Second, Cleared: true, ClearedAt: 20 * time.Second, Components: []component.ID{link, rnic}},
+		{At: 22 * time.Second, Cleared: true, ClearedAt: 30 * time.Second, Components: []component.ID{rnic, link}},
+		injection(15*time.Second, 18*time.Second, link),
+	}
+	r := Score(injections, nil, 5*time.Second)
+	if r.Episodes != 2 {
+		t.Fatalf("episodes = %d, want {link,rnic} merged + {link} separate", r.Episodes)
+	}
+}

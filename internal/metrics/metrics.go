@@ -14,6 +14,8 @@
 package metrics
 
 import (
+	"sort"
+	"strings"
 	"time"
 
 	"skeletonhunter/internal/analyzer"
@@ -35,6 +37,38 @@ type Report struct {
 	// MeanDetectionLatency averages (first alarm − injection time) over
 	// detected injections.
 	MeanDetectionLatency time.Duration
+
+	// Episode aggregation. Flapping and escalating faults record many
+	// adjacent or overlapping ground-truth windows on the same
+	// component; counting each window as its own injection double-
+	// credits one alarm against all of them and skews recall and
+	// latency. Injections sharing an identical component set whose
+	// grace-extended windows overlap or touch are merged into episodes,
+	// and the episode-side numbers below score one fault occurrence
+	// once, however many windows recorded it.
+	Episodes          int
+	DetectedEpisodes  int
+	MissedEpisodes    int
+	LocalizedEpisodes int
+	// MeanEpisodeLatency averages (first in-episode alarm − episode
+	// onset) over detected episodes.
+	MeanEpisodeLatency time.Duration
+}
+
+// EpisodeRecall is detected episodes / all episodes.
+func (r Report) EpisodeRecall() float64 {
+	if r.Episodes == 0 {
+		return 1
+	}
+	return float64(r.DetectedEpisodes) / float64(r.Episodes)
+}
+
+// EpisodeLocalization is correctly localized / detected episodes.
+func (r Report) EpisodeLocalization() float64 {
+	if r.DetectedEpisodes == 0 {
+		return 0
+	}
+	return float64(r.LocalizedEpisodes) / float64(r.DetectedEpisodes)
 }
 
 // Precision is TP alarms / all alarms.
@@ -132,7 +166,97 @@ func Score(injections []*faults.Injection, alarms []analyzer.Alarm, grace time.D
 	if r.DetectedInjections > 0 {
 		r.MeanDetectionLatency = latencySum / time.Duration(r.DetectedInjections)
 	}
+
+	// Episode-side: score each merged same-component fault interval
+	// once. For campaigns whose windows are all disjoint this reduces
+	// to the per-injection numbers above.
+	var epLatency time.Duration
+	for _, ep := range buildEpisodes(injections, grace) {
+		r.Episodes++
+		detected, localized := false, false
+		var first time.Duration
+		for _, a := range alarms {
+			if a.At < ep.start || (!ep.open && a.At > ep.end) {
+				continue
+			}
+			if !detected || a.At < first {
+				detected = true
+				first = a.At
+			}
+			if componentsIntersect(a.Components(), ep.comps) {
+				localized = true
+			}
+		}
+		if detected {
+			r.DetectedEpisodes++
+			epLatency += first - ep.start
+			if localized {
+				r.LocalizedEpisodes++
+			}
+		} else {
+			r.MissedEpisodes++
+		}
+	}
+	if r.DetectedEpisodes > 0 {
+		r.MeanEpisodeLatency = epLatency / time.Duration(r.DetectedEpisodes)
+	}
 	return r
+}
+
+// episode is one merged ground-truth interval for one component set.
+// end includes the trailing grace; open means an uncleared window made
+// the interval unbounded.
+type episode struct {
+	comps []component.ID
+	start time.Duration
+	end   time.Duration
+	open  bool
+}
+
+// buildEpisodes merges the grace-extended windows of injections with
+// identical component sets whenever they overlap or touch (a window
+// starting exactly where the previous one ends joins it). Windows of
+// different component sets never merge — two links flapping in the
+// same span are two episodes.
+func buildEpisodes(injections []*faults.Injection, grace time.Duration) []episode {
+	sig := func(comps []component.ID) string {
+		parts := make([]string, len(comps))
+		for i, c := range comps {
+			parts[i] = string(c)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, ",")
+	}
+	groups := map[string][]*faults.Injection{}
+	var order []string
+	for _, in := range injections {
+		k := sig(in.Components)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], in)
+	}
+	var eps []episode
+	for _, k := range order {
+		ins := groups[k]
+		sort.SliceStable(ins, func(i, j int) bool { return ins[i].At < ins[j].At })
+		for _, in := range ins {
+			end := in.ClearedAt + grace
+			open := !in.Cleared
+			if len(eps) > 0 {
+				cur := &eps[len(eps)-1]
+				if sig(cur.comps) == k && (cur.open || in.At <= cur.end) {
+					cur.open = cur.open || open
+					if !cur.open && end > cur.end {
+						cur.end = end
+					}
+					continue
+				}
+			}
+			eps = append(eps, episode{comps: in.Components, start: in.At, end: end, open: open})
+		}
+	}
+	return eps
 }
 
 func componentsIntersect(a []component.ID, b []component.ID) bool {

@@ -105,6 +105,24 @@ const (
 	slowPathLossRate = 0.0008
 )
 
+// Transport models the RDMA transport-level reliability layer: lost
+// exchanges are retransmitted instead of surfacing as loss, the way
+// RoCE's go-back-N retry hides per-packet drops from the application.
+// The masking is partial — every failed attempt adds the
+// retransmission timeout to the measured RTT, and once loss outruns
+// the retry budget the exchange fails outright — which is exactly the
+// failure shape the rdma-mask scenario pack stresses: probes look
+// clean (at inflated latency) while collective traffic is quietly
+// burning its retry budget, until it collapses.
+type Transport struct {
+	// Retries is the number of retransmission attempts after a lost
+	// exchange before the transport gives up and reports loss.
+	Retries int
+	// RetryLatency is the retransmission timeout added to the measured
+	// RTT for each failed attempt.
+	RetryLatency time.Duration
+}
+
 // Net is the probe-level network simulator.
 type Net struct {
 	Engine  *sim.Engine
@@ -139,6 +157,11 @@ type Net struct {
 	queueD       []queueState // by node ordinal
 	qPend        []uint32     // commit-time integer staging, by node ordinal
 	qPendTouched []int32
+
+	// transport, when non-nil, retries lost exchanges (see Transport).
+	// It is read by the probe hot path: set it only between rounds,
+	// never while probes are in flight.
+	transport *Transport
 
 	// seedBase anchors the per-probe keyed RNG to the engine seed: it is
 	// drawn once from a dedicated named stream at construction, so runs
@@ -241,6 +264,14 @@ func (n *Net) SetHostCondition(host int, c *Condition) {
 	}
 	n.hostCond[host] = c
 }
+
+// SetTransport installs (or, with nil, removes) the transport-level
+// retry model. Like condition changes it must not race the probe hot
+// path: call it from an engine event, between rounds.
+func (n *Net) SetTransport(t *Transport) { n.transport = t }
+
+// TransportConfig returns the installed transport model (nil if none).
+func (n *Net) TransportConfig() *Transport { return n.transport }
 
 // LinkCondition returns the current condition of a link (nil if healthy).
 func (n *Net) LinkCondition(id topology.LinkID) *Condition { return n.linkCond[id] }
@@ -540,12 +571,26 @@ func (n *Net) ProbeIntoCtx(ctx *ProbeCtx, res *Result, src, dst overlay.Addr, en
 	}
 	rtt = time.Duration(float64(rtt) * jitter)
 
-	// Two chances to die: request and reply.
-	if rng.Float64() < ef.lossProb || rng.Float64() < ef.lossProb {
-		res.Lost = true
-		return
+	// Two chances to die: request and reply. With a transport model
+	// installed, a lost exchange is retransmitted up to Retries times,
+	// each failed attempt adding the retransmission timeout to the
+	// measured RTT; the probe surfaces as Lost only when every attempt
+	// dies. Without one (the zero-configuration default) the draws below
+	// are byte-identical to the historical single-attempt path.
+	attempts := 1
+	var retryLatency time.Duration
+	if n.transport != nil {
+		attempts += n.transport.Retries
+		retryLatency = n.transport.RetryLatency
 	}
-	res.RTT = rtt
+	for a := 0; a < attempts; a++ {
+		if !(rng.Float64() < ef.lossProb || rng.Float64() < ef.lossProb) {
+			res.RTT = rtt
+			return
+		}
+		rtt += retryLatency
+	}
+	res.Lost = true
 }
 
 // Traceroute resolves the underlay path a flow with the given entropy

@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/topology"
+)
+
+func TestTransportRetryMasksLoss(t *testing.T) {
+	n, a, b := world(t)
+	// 30 % per-link loss without a transport: plenty of probes die.
+	nic := topology.NIC{Host: 0, Rail: 1}
+	link := topology.MakeLinkID(nic.ID(), n.Fabric.ToR(0, 1))
+	n.SetLinkCondition(link, &Condition{LossRate: 0.3})
+
+	bareLost := 0
+	for i := 0; i < 400; i++ {
+		if n.Probe(a, b, uint64(i)).Lost {
+			bareLost++
+		}
+	}
+	if bareLost < 50 {
+		t.Fatalf("bare loss = %d/400, expected heavy loss at 30%%", bareLost)
+	}
+
+	// Same network, transport retry armed: per-probe loss collapses
+	// (masked ≈ rawLoss^attempts) but retried probes pay the timeout.
+	n.SetTransport(&Transport{Retries: 2, RetryLatency: time.Millisecond})
+	maskedLost, slow := 0, 0
+	for i := 0; i < 400; i++ {
+		res := n.Probe(a, b, uint64(i))
+		if res.Lost {
+			maskedLost++
+		} else if res.RTT >= time.Millisecond {
+			slow++
+		}
+	}
+	if maskedLost*3 >= bareLost {
+		t.Fatalf("masked loss = %d vs bare %d; retry should suppress most loss", maskedLost, bareLost)
+	}
+	if slow == 0 {
+		t.Fatal("no probe paid the retransmission timeout; masking should inflate RTT")
+	}
+	if n.TransportConfig() == nil {
+		t.Fatal("TransportConfig lost the installed model")
+	}
+}
+
+func TestTransportGivesUpPastRetryBudget(t *testing.T) {
+	n, a, b := world(t)
+	nic := topology.NIC{Host: 0, Rail: 1}
+	link := topology.MakeLinkID(nic.ID(), n.Fabric.ToR(0, 1))
+	n.SetLinkCondition(link, &Condition{LossRate: 0.95})
+	n.SetTransport(&Transport{Retries: 2, RetryLatency: time.Millisecond})
+	lost := 0
+	for i := 0; i < 200; i++ {
+		if n.Probe(a, b, uint64(i)).Lost {
+			lost++
+		}
+	}
+	// Masked loss ≈ (1-(1-.95)^2)^3 ≈ 0.70: the retry budget cannot
+	// save a collapsing link.
+	if lost < 100 {
+		t.Fatalf("lost = %d/200 at 95%% loss; transport must give up past its budget", lost)
+	}
+}
+
+func TestNilTransportMatchesHistoricalDraws(t *testing.T) {
+	// Installing then removing the transport must leave outcomes
+	// byte-identical to a never-configured network at the same seed.
+	n1, a1, b1 := world(t)
+	n2, a2, b2 := world(t)
+	n2.SetTransport(&Transport{Retries: 3, RetryLatency: time.Millisecond})
+	n2.SetTransport(nil)
+	nic := topology.NIC{Host: 0, Rail: 1}
+	link1 := topology.MakeLinkID(nic.ID(), n1.Fabric.ToR(0, 1))
+	link2 := topology.MakeLinkID(nic.ID(), n2.Fabric.ToR(0, 1))
+	n1.SetLinkCondition(link1, &Condition{LossRate: 0.2})
+	n2.SetLinkCondition(link2, &Condition{LossRate: 0.2})
+	for i := 0; i < 300; i++ {
+		r1 := n1.Probe(a1, b1, uint64(i))
+		r2 := n2.Probe(a2, b2, uint64(i))
+		if r1.Lost != r2.Lost || r1.RTT != r2.RTT {
+			t.Fatalf("probe %d diverged: %+v vs %+v", i, r1, r2)
+		}
+	}
+}

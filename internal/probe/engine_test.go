@@ -1,0 +1,216 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/cluster"
+	"skeletonhunter/internal/obs"
+	"skeletonhunter/internal/parallelism"
+)
+
+// testShardSink is a ShardSink that stages per-task record counts the
+// way the analyzer does: Prepare pre-creates shard state serially, so
+// Consume (on worker goroutines) only ever looks the map up.
+type testShardSink struct {
+	ok       bool
+	shards   map[cluster.TaskID]*int
+	prepared [][]cluster.TaskID
+	commits  []time.Duration
+	consumed int
+}
+
+func (s *testShardSink) FastOK() bool { return s.ok }
+
+func (s *testShardSink) Prepare(tasks []cluster.TaskID) {
+	if s.shards == nil {
+		s.shards = map[cluster.TaskID]*int{}
+	}
+	for _, t := range tasks {
+		if s.shards[t] == nil {
+			s.shards[t] = new(int)
+		}
+	}
+	s.prepared = append(s.prepared, append([]cluster.TaskID(nil), tasks...))
+}
+
+func (s *testShardSink) Consume(task cluster.TaskID, b Batch) {
+	*s.shards[task] += len(b)
+}
+
+func (s *testShardSink) Commit(now time.Duration) {
+	s.commits = append(s.commits, now)
+	s.consumed = 0
+	for _, n := range s.shards {
+		s.consumed += *n
+	}
+}
+
+func startEngineAgents(r *rig, re *RoundEngine, task *cluster.Task, sink Sink) []*OverlayAgent {
+	var agents []*OverlayAgent
+	for _, c := range task.Containers {
+		a := &OverlayAgent{
+			Engine: r.eng, Net: r.net, Controller: r.ctl,
+			Task: task, Container: c, Sink: sink, Driver: re,
+		}
+		a.Start()
+		agents = append(agents, a)
+	}
+	return agents
+}
+
+// TestRoundEngineMatchesTickerMode: grouped rounds are an execution
+// strategy, not a behavior change — the same cluster probed under a
+// RoundEngine produces exactly the record stream ticker mode does.
+func TestRoundEngineMatchesTickerMode(t *testing.T) {
+	type tally struct {
+		records int
+		lost    int
+		rttSum  time.Duration
+	}
+	observe := func(engineMode bool) tally {
+		r := newRig(t)
+		var got tally
+		sink := func(rec Record) {
+			got.records++
+			got.rttSum += rec.RTT
+			if rec.Lost {
+				got.lost++
+			}
+		}
+		if engineMode {
+			re := &RoundEngine{Sim: r.eng, Net: r.net, Workers: 1}
+			startEngineAgents(r, re, r.task, sink)
+		} else {
+			startAgents(r, sink)
+		}
+		r.eng.RunUntil(r.eng.Now() + 10*time.Second)
+		return got
+	}
+	ticker := observe(false)
+	grouped := observe(true)
+	if ticker.records == 0 {
+		t.Fatal("ticker mode produced no records")
+	}
+	if grouped != ticker {
+		t.Fatalf("grouped rounds diverge from ticker mode:\n  ticker:  %+v\n  grouped: %+v", ticker, grouped)
+	}
+}
+
+// TestRoundEngineShardSinkParallel drives the sharded fast path with
+// two tasks over four workers: batches land per task shard, Prepare
+// sees sorted shard keys, and every Commit runs at a round boundary.
+func TestRoundEngineShardSinkParallel(t *testing.T) {
+	r := newRig(t)
+	task2, err := r.cp.Submit(cluster.TaskSpec{Par: parallelism.Config{TP: 8, PP: 2, DP: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(r.eng.Now() + 10*time.Minute)
+
+	sink := &testShardSink{ok: true}
+	stats := obs.New()
+	re := &RoundEngine{Sim: r.eng, Net: r.net, Workers: 4, Sink: sink, Obs: stats}
+	startEngineAgents(r, re, r.task, nil)
+	startEngineAgents(r, re, task2, nil)
+	r.eng.RunUntil(r.eng.Now() + 10*time.Second)
+
+	if len(sink.shards) != 2 {
+		t.Fatalf("sink saw %d task shards, want 2", len(sink.shards))
+	}
+	for _, task := range []*cluster.Task{r.task, task2} {
+		n := sink.shards[task.ID]
+		if n == nil || *n == 0 {
+			t.Fatalf("task %s landed no records", task.ID)
+		}
+	}
+	if sink.consumed == 0 {
+		t.Fatal("commit never tallied consumed records")
+	}
+	for _, tasks := range sink.prepared {
+		for i := 1; i < len(tasks); i++ {
+			if tasks[i] < tasks[i-1] {
+				t.Fatalf("Prepare keys not sorted: %v", tasks)
+			}
+		}
+	}
+	if len(sink.commits) == 0 {
+		t.Fatal("no commits")
+	}
+	for i := 1; i < len(sink.commits); i++ {
+		if sink.commits[i] <= sink.commits[i-1] {
+			t.Fatalf("commit times not strictly increasing: %v", sink.commits)
+		}
+	}
+	if stats.Get(obs.ProbeRoundsGrouped) == 0 {
+		t.Fatal("grouped-round counter never incremented")
+	}
+}
+
+// TestRoundEngineSinkFallback: a sink that declines the fast path
+// (FastOK false) must never see a batch; the round falls back to the
+// agents' own serial delivery.
+func TestRoundEngineSinkFallback(t *testing.T) {
+	r := newRig(t)
+	shard := &testShardSink{ok: false}
+	re := &RoundEngine{Sim: r.eng, Net: r.net, Workers: 2, Sink: shard}
+	records := 0
+	startEngineAgents(r, re, r.task, func(Record) { records++ })
+	r.eng.RunUntil(r.eng.Now() + 5*time.Second)
+
+	if records == 0 {
+		t.Fatal("serial fallback delivered nothing")
+	}
+	if len(shard.shards) != 0 || len(shard.commits) != 0 {
+		t.Fatalf("declined sink still saw traffic: %d shards, %d commits", len(shard.shards), len(shard.commits))
+	}
+}
+
+// TestRoundEngineAgentLifecycle: a killed agent drops out of the
+// rotation, a crashed (not Running) container's agent skips its rounds
+// but stays enrolled, and killing every agent quiesces the engine.
+func TestRoundEngineAgentLifecycle(t *testing.T) {
+	r := newRig(t)
+	perContainer := map[int]int{}
+	re := &RoundEngine{Sim: r.eng, Net: r.net}
+	agents := startEngineAgents(r, re, r.task, func(rec Record) { perContainer[rec.SrcContainer]++ })
+	r.eng.RunUntil(r.eng.Now() + 3*time.Second)
+
+	if len(perContainer) != len(agents) {
+		t.Fatalf("%d containers probing, want %d", len(perContainer), len(agents))
+	}
+
+	// Kill agent 0, crash the container behind agent 1.
+	agents[0].Kill()
+	r.cp.CrashContainer(r.task.Containers[1].ID)
+	snap0, snap1 := perContainer[0], perContainer[1]
+	before2 := perContainer[2]
+	r.eng.RunUntil(r.eng.Now() + 3*time.Second)
+	if perContainer[0] != snap0 {
+		t.Fatalf("killed agent kept probing: %d → %d", snap0, perContainer[0])
+	}
+	if perContainer[1] != snap1 {
+		t.Fatalf("crashed container's agent kept probing: %d → %d", snap1, perContainer[1])
+	}
+	if perContainer[2] == before2 {
+		t.Fatal("surviving agents stopped probing")
+	}
+
+	// Kill the rest: the next fire finds no live agents and the engine
+	// stops re-bucketing entirely.
+	for _, a := range agents {
+		a.Kill()
+	}
+	total := func() int {
+		n := 0
+		for _, v := range perContainer {
+			n += v
+		}
+		return n
+	}
+	snapshot := total()
+	r.eng.RunUntil(r.eng.Now() + 5*time.Second)
+	if total() != snapshot {
+		t.Fatalf("probing continued after all agents killed: %d → %d", snapshot, total())
+	}
+}

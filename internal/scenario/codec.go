@@ -1,0 +1,54 @@
+// Schedule codec: schedules travel as JSON (CI artifacts, replay
+// files, cross-process hand-off), so decoding is hardened against
+// hostile input — size and structural limits up front, unknown fields
+// rejected, trailing garbage rejected, and the full Validate pass
+// before a schedule is accepted. DecodeSchedule is the fuzz surface
+// (FuzzDecodeSchedule): any input it accepts must re-encode and
+// re-decode to the identical schedule.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxEncodedSchedule bounds the bytes DecodeSchedule will even parse.
+const MaxEncodedSchedule = 1 << 20
+
+// EncodeSchedule serializes a validated schedule to canonical JSON.
+func EncodeSchedule(s *Schedule) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > MaxEncodedSchedule {
+		return nil, fmt.Errorf("scenario: encoded schedule %d bytes exceeds %d", len(data), MaxEncodedSchedule)
+	}
+	return data, nil
+}
+
+// DecodeSchedule parses and validates a schedule. It rejects oversized
+// input, unknown fields, trailing data, and anything Validate rejects.
+func DecodeSchedule(data []byte) (*Schedule, error) {
+	if len(data) > MaxEncodedSchedule {
+		return nil, fmt.Errorf("scenario: %d bytes exceed %d", len(data), MaxEncodedSchedule)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Schedule
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("scenario: trailing data after schedule")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,100 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"skeletonhunter/internal/topology"
+)
+
+// TestFlapWindowsProperty checks the flap injector's ground-truth
+// invariants over many seeds: per link, windows are time-sorted,
+// strictly inside [0, horizon], never overlap (a link is never
+// double-downed), and downtime plus uptime sums exactly to the
+// campaign horizon.
+func TestFlapWindowsProperty(t *testing.T) {
+	links := []topology.LinkID{"a->b", "c->d", "e->f"}
+	const horizon = 11 * time.Minute
+	for seed := int64(0); seed < 200; seed++ {
+		wins := FlapWindows(seed, links, horizon, 100*time.Second, 30*time.Second)
+		byLink := map[topology.LinkID][]FlapWindow{}
+		for i := 1; i < len(wins); i++ {
+			if wins[i].Start < wins[i-1].Start {
+				t.Fatalf("seed %d: global order broken at %d", seed, i)
+			}
+		}
+		for _, w := range wins {
+			byLink[w.Link] = append(byLink[w.Link], w)
+		}
+		for link, ws := range byLink {
+			var down time.Duration
+			var cursor time.Duration // end of the previous down window
+			for i, w := range ws {
+				if w.Start < 0 || w.End > horizon {
+					t.Fatalf("seed %d link %s: window %d [%v,%v] outside [0,%v]",
+						seed, link, i, w.Start, w.End, horizon)
+				}
+				if w.End <= w.Start {
+					t.Fatalf("seed %d link %s: window %d empty or inverted [%v,%v]",
+						seed, link, i, w.Start, w.End)
+				}
+				if w.Start < cursor {
+					t.Fatalf("seed %d link %s: window %d starts %v before previous end %v (double-down)",
+						seed, link, i, w.Start, cursor)
+				}
+				if i == 0 && w.Start == 0 {
+					t.Fatalf("seed %d link %s: link starts down", seed, link)
+				}
+				down += w.End - w.Start
+				cursor = w.End
+			}
+			up := horizon - down
+			if up < 0 {
+				t.Fatalf("seed %d link %s: downtime %v exceeds horizon", seed, link, down)
+			}
+			if down+up != horizon {
+				t.Fatalf("seed %d link %s: down %v + up %v != horizon %v", seed, link, down, up, horizon)
+			}
+		}
+	}
+}
+
+func TestFlapWindowsDeterministic(t *testing.T) {
+	links := []topology.LinkID{"a->b", "c->d"}
+	a := FlapWindows(9, links, 10*time.Minute, 100*time.Second, 30*time.Second)
+	b := FlapWindows(9, links, 10*time.Minute, 100*time.Second, 30*time.Second)
+	if len(a) != len(b) {
+		t.Fatalf("window counts differ: %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("window %d differs: %+v != %+v", i, a[i], b[i])
+		}
+	}
+	c := FlapWindows(10, links, 10*time.Minute, 100*time.Second, 30*time.Second)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical windows")
+	}
+}
+
+func TestFlapWindowsDegenerateInputs(t *testing.T) {
+	links := []topology.LinkID{"a->b"}
+	if w := FlapWindows(1, links, 0, time.Second, time.Second); w != nil {
+		t.Fatalf("zero horizon produced %d windows", len(w))
+	}
+	if w := FlapWindows(1, links, time.Minute, 0, time.Second); w != nil {
+		t.Fatal("zero mean-up accepted")
+	}
+	if w := FlapWindows(1, nil, time.Minute, time.Second, time.Second); w != nil {
+		t.Fatal("no links produced windows")
+	}
+}

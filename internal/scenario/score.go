@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"time"
+
+	"skeletonhunter/internal/analyzer"
+	"skeletonhunter/internal/faults"
+	"skeletonhunter/internal/metrics"
+)
+
+// ScoreGrace is the trailing window alarms may lag a cleared fault by
+// and still count: the detector's 30 s aggregation window plus an
+// analysis round.
+const ScoreGrace = 45 * time.Second
+
+// PackScore is one pack's headline numbers against its ground truth.
+// Recall and TTD are episode-based (metrics.Report): flap bursts and
+// loss staircases record many windows per fault occurrence, and the
+// pack is judged on occurrences, not windows.
+type PackScore struct {
+	Pack         string  `json:"pack"`
+	Seed         int64   `json:"seed"`
+	Precision    float64 `json:"precision"`
+	Recall       float64 `json:"recall"`        // detected episodes / episodes
+	StrictRecall float64 `json:"strict_recall"` // localized episodes / episodes
+	MeanTTDSec   float64 `json:"mean_ttd_sec"`
+	Alarms       int     `json:"alarms"`
+	Injections   int     `json:"injections"`
+	Episodes     int     `json:"episodes"`
+	RunErrs      int     `json:"run_errs"`
+}
+
+// ScorePack folds a completed run's ground truth and alarm stream into
+// the pack's headline numbers.
+func ScorePack(log *RunLog, injections []*faults.Injection, alarms []analyzer.Alarm) PackScore {
+	r := metrics.Score(injections, alarms, ScoreGrace)
+	return PackScore{
+		Pack:         log.Schedule.Name,
+		Seed:         log.Schedule.Seed,
+		Precision:    r.Precision(),
+		Recall:       r.EpisodeRecall(),
+		StrictRecall: strictRecall(r),
+		MeanTTDSec:   r.MeanEpisodeLatency.Seconds(),
+		Alarms:       r.Alarms,
+		Injections:   r.Injections,
+		Episodes:     r.Episodes,
+		RunErrs:      len(log.Errs),
+	}
+}
+
+func strictRecall(r metrics.Report) float64 {
+	if r.Episodes == 0 {
+		return 1
+	}
+	return float64(r.LocalizedEpisodes) / float64(r.Episodes)
+}
+
+// WindowedScore restricts scoring to one phase of a campaign: only
+// alarms raised in [from, to] count, against only the injections whose
+// grace-extended window intersects [from, to]. The flap+ghost gate
+// compares the post-refresh phase of the ghost arm against the same
+// phase of the clean arm.
+func WindowedScore(injections []*faults.Injection, alarms []analyzer.Alarm, from, to time.Duration) metrics.Report {
+	var ins []*faults.Injection
+	for _, in := range injections {
+		if in.Cleared && in.ClearedAt+ScoreGrace < from {
+			continue
+		}
+		if in.At > to {
+			continue
+		}
+		ins = append(ins, in)
+	}
+	var als []analyzer.Alarm
+	for _, a := range alarms {
+		if a.At >= from && a.At <= to {
+			als = append(als, a)
+		}
+	}
+	return metrics.Score(ins, als, ScoreGrace)
+}
+
+// FlapPhaseRecall scores the flap+ghost pack's phase of interest: the
+// localization-strict episode recall of flap windows using only the
+// alarms of [from, to].
+func FlapPhaseRecall(injections []*faults.Injection, alarms []analyzer.Alarm, from, to time.Duration) float64 {
+	r := WindowedScore(injections, alarms, from, to)
+	if r.Episodes == 0 {
+		return 1
+	}
+	return float64(r.LocalizedEpisodes) / float64(r.Episodes)
+}
+
+// PreCollapseDetection reports whether any alarm attributable to the
+// given injections fired strictly before the collective collapse —
+// rdma-mask's acceptance bar: detection recall must be non-zero while
+// the workload is still alive.
+func PreCollapseDetection(injections []*faults.Injection, alarms []analyzer.Alarm, collapse time.Duration) bool {
+	r := WindowedScore(injections, alarms, 0, collapse-time.Nanosecond)
+	return r.DetectedEpisodes > 0
+}

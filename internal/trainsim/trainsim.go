@@ -13,6 +13,7 @@ package trainsim
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"skeletonhunter/internal/cluster"
@@ -95,6 +96,19 @@ func Start(eng *sim.Engine, net *netsim.Net, task *cluster.Task, cfg Config) (*J
 	for p := range pairSet {
 		j.pairs = append(j.pairs, p)
 	}
+	// Deterministic probe order: entropy counters are handed out per
+	// probe in pair order, so map-range order must not leak into the
+	// per-probe RNG keys.
+	sort.Slice(j.pairs, func(a, b int) bool {
+		ka := [4]int{j.pairs[a][0].Container, j.pairs[a][0].Rail, j.pairs[a][1].Container, j.pairs[a][1].Rail}
+		kb := [4]int{j.pairs[b][0].Container, j.pairs[b][0].Rail, j.pairs[b][1].Container, j.pairs[b][1].Rail}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				return ka[i] < kb[i]
+			}
+		}
+		return false
+	})
 	j.schedule(cfg.IterBase)
 	return j, nil
 }
